@@ -1,0 +1,141 @@
+// Ablation study — sensitivity of the headline results to the design
+// choices DESIGN.md calls out:
+//   (1) the anticipation window (AS antic_expire),
+//   (2) CFQ's slice length and idle window,
+//   (3) the blkfront ring depth,
+//   (4) the elevator-switch quiesce length (drives the switch cost the
+//       heuristic must amortize),
+//   (5) phase granularity (2 vs 3 phases) in the meta-scheduler.
+#include "bench_util.hpp"
+#include "core/meta_scheduler.hpp"
+
+using namespace iosim;
+using namespace iosim::bench;
+
+namespace {
+
+double sort_seconds(ClusterConfig cfg, SchedulerPair pair) {
+  cfg.pair = pair;
+  return cluster::run_job(cfg, workloads::make_job(workloads::stream_sort())).seconds;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation", "sensitivity of headline results to model/tunable choices");
+
+  // (1) anticipation window: AS-VMM sort time vs antic_expire.
+  {
+    metrics::Table tab("(1) sort under (anticipatory, deadline) vs antic_expire");
+    tab.headers({"antic_expire (ms)", "seconds"});
+    for (double ms : {0.0, 2.0, 6.0, 12.0, 24.0}) {
+      ClusterConfig cfg = paper_cluster();
+      cfg.host.dom0_blk.tunables.as.antic_expire = sim::Time::from_sec_f(ms / 1e3);
+      tab.row({metrics::Table::num(ms, 0),
+               metrics::Table::num(sort_seconds(cfg, {SchedulerKind::kAnticipatory,
+                                                      SchedulerKind::kDeadline}), 1)});
+    }
+    tab.print();
+  }
+
+  // (2) CFQ slice / idle: default-pair sort time.
+  {
+    metrics::Table tab("(2) sort under (cfq, cfq) vs slice_sync / slice_idle");
+    tab.headers({"slice_sync (ms)", "slice_idle (ms)", "seconds"});
+    for (double slice : {40.0, 100.0, 250.0}) {
+      for (double idle : {0.0, 8.0}) {
+        ClusterConfig cfg = paper_cluster();
+        cfg.host.dom0_blk.tunables.cfq.slice_sync = sim::Time::from_sec_f(slice / 1e3);
+        cfg.host.dom0_blk.tunables.cfq.slice_idle = sim::Time::from_sec_f(idle / 1e3);
+        tab.row({metrics::Table::num(slice, 0), metrics::Table::num(idle, 0),
+                 metrics::Table::num(sort_seconds(cfg, iosched::kDefaultPair), 1)});
+      }
+    }
+    tab.print();
+  }
+
+  // (3) ring depth: how much the guest elevator matters.
+  {
+    metrics::Table tab("(3) sort vs blkfront ring slots (guest cfq vs guest noop)");
+    tab.headers({"ring slots", "(as, cfq)", "(as, noop)", "guest effect"});
+    for (int slots : {8, 32, 128}) {
+      ClusterConfig cfg = paper_cluster();
+      cfg.host.domu.ring.slots = slots;
+      const double cfq = sort_seconds(cfg, {SchedulerKind::kAnticipatory, SchedulerKind::kCfq});
+      const double noop = sort_seconds(cfg, {SchedulerKind::kAnticipatory, SchedulerKind::kNoop});
+      tab.row({std::to_string(slots), metrics::Table::num(cfq, 1),
+               metrics::Table::num(noop, 1),
+               metrics::Table::pct(100.0 * (noop - cfq) / cfq, 1)});
+    }
+    tab.print();
+  }
+
+  // (4) switch quiesce length: does the heuristic still win?
+  {
+    metrics::Table tab("(4) meta-scheduler outcome vs elevator-switch freeze");
+    tab.headers({"freeze (ms)", "default", "best single", "adaptive", "vs default"});
+    for (double freeze : {0.0, 100.0, 1000.0, 5000.0}) {
+      ClusterConfig cfg = paper_cluster();
+      cfg.host.dom0_blk.switch_freeze = sim::Time::from_sec_f(freeze / 1e3);
+      cfg.host.domu.guest_blk.switch_freeze = sim::Time::from_sec_f(freeze / 1e3);
+      const auto jc = workloads::make_job(workloads::stream_sort());
+      core::MetaSchedulerOptions opts;
+      opts.plan = core::PhasePlan::for_job(jc, cfg.n_hosts * cfg.vms_per_host);
+      core::MetaScheduler ms(cfg, jc, opts);
+      const auto r = ms.optimize();
+      tab.row({metrics::Table::num(freeze, 0), metrics::Table::num(r.default_seconds, 1),
+               metrics::Table::num(r.best_single_seconds, 1),
+               metrics::Table::num(r.adaptive_seconds, 1),
+               metrics::Table::pct(100.0 * r.improvement_vs_default(), 1)});
+    }
+    tab.print();
+  }
+
+  // (6) NCQ: would command queueing in the drive have erased the paper's
+  // effect? (2011 SATA drives had NCQ, but the 2.6.22 Xen storage stack
+  // under study dispatched serially.)
+  {
+    metrics::Table tab("(6) sort vs drive NCQ depth: does the elevator still matter?");
+    tab.headers({"ncq depth", "(cfq, cfq)", "(noop, noop)", "noop penalty"});
+    for (int depth : {1, 8, 32}) {
+      ClusterConfig cfg = paper_cluster();
+      cfg.host.disk.ncq_depth = depth;
+      const double cc = sort_seconds(cfg, iosched::kDefaultPair);
+      const double nn =
+          sort_seconds(cfg, {SchedulerKind::kNoop, SchedulerKind::kNoop});
+      tab.row({std::to_string(depth), metrics::Table::num(cc, 1),
+               metrics::Table::num(nn, 1),
+               metrics::Table::num(nn / cc, 2) + "x"});
+    }
+    tab.print();
+  }
+
+  // (5) phase granularity.
+  {
+    metrics::Table tab("(5) meta-scheduler: merged (2-phase) vs split (3-phase)");
+    tab.headers({"plan", "adaptive", "heuristic evals"});
+    for (bool merged : {true, false}) {
+      const auto jc = workloads::make_job(workloads::stream_sort());
+      core::MetaSchedulerOptions opts;
+      opts.plan = core::PhasePlan{merged};
+      core::MetaScheduler ms(paper_cluster(), jc, opts);
+      const auto r = ms.optimize();
+      tab.row({merged ? "2 phases (paper)" : "3 phases",
+               metrics::Table::num(r.adaptive_seconds, 1),
+               std::to_string(r.heuristic_evaluations)});
+    }
+    tab.print();
+  }
+
+  print_expectation(
+      "headline shapes are robust: the anticipation window is mild and "
+      "non-monotonic in this substrate (the sub-millisecond re-arrival gaps "
+      "AS bridges on a real DataNode-mediated stack are below the model's "
+      "resolution — see EXPERIMENTS.md); CFQ idling/slice choices move the "
+      "default by a few percent; deeper rings shrink the guest-scheduler "
+      "effect toward zero; very large switch costs erase the adaptive gain "
+      "(the heuristic then falls back to a single-pair solution); 3-phase "
+      "search costs more evaluations for little extra gain at 4 waves — "
+      "the paper's merge rule.");
+  return 0;
+}

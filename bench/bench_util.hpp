@@ -1,0 +1,97 @@
+// Shared helpers for the reproduction benches. Every bench regenerates one
+// table or figure of the paper and prints the measured data next to the
+// paper's expectation for that shape.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/runner.hpp"
+#include "iosched/pair.hpp"
+#include "metrics/table.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace iosim::bench {
+
+using cluster::ClusterConfig;
+using iosched::SchedulerKind;
+using iosched::SchedulerPair;
+
+/// Scheduler order used by the paper's tables: cfq, deadline, anticipatory,
+/// noop.
+inline constexpr SchedulerKind kPaperOrder[4] = {
+    SchedulerKind::kCfq, SchedulerKind::kDeadline, SchedulerKind::kAnticipatory,
+    SchedulerKind::kNoop};
+
+/// The paper's testbed: 4 physical nodes, 4 VMs each, 512 MB per data node.
+inline ClusterConfig paper_cluster() { return ClusterConfig{}; }
+
+/// Seeds averaged per data point (the paper averages 3 consecutive runs).
+inline constexpr int kSeeds = 3;
+
+inline void print_header(const char* id, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("================================================================\n");
+}
+
+inline void print_expectation(const char* text) {
+  std::printf("\npaper expectation: %s\n", text);
+}
+
+/// Render a 4x4 (guest rows x VMM cols) seconds matrix like Table I.
+inline void print_pair_matrix(const char* title, const double t[4][4]) {
+  metrics::Table tab(title);
+  tab.headers({"VM \\ VMM", "cfq", "deadline", "anticipatory", "noop"});
+  for (int g = 0; g < 4; ++g) {
+    std::vector<std::string> row{iosched::to_string(kPaperOrder[g])};
+    for (int v = 0; v < 4; ++v) row.push_back(metrics::Table::num(t[g][v], 1));
+    tab.row(row);
+  }
+  tab.print();
+}
+
+/// Run the full 16-pair sweep for a job; t[guest][vmm] in paper order.
+inline void sweep_pairs(const ClusterConfig& base, const mapred::JobConf& jc,
+                        double t[4][4], int seeds = kSeeds) {
+  for (int g = 0; g < 4; ++g) {
+    for (int v = 0; v < 4; ++v) {
+      ClusterConfig cfg = base;
+      cfg.pair = {kPaperOrder[v], kPaperOrder[g]};
+      t[g][v] = cluster::run_job_avg(cfg, jc, seeds).seconds;
+    }
+  }
+}
+
+struct MatrixSummary {
+  double def = 0;             // (cfq, cfq)
+  double best = 1e300;
+  SchedulerPair best_pair;
+  double best_ex_noop = 1e300;
+  double worst_ex_noop = 0;
+  double noop_col_avg = 0;
+  double col_avg[4] = {0, 0, 0, 0};
+};
+
+inline MatrixSummary summarize(const double t[4][4]) {
+  MatrixSummary s;
+  s.def = t[0][0];
+  for (int g = 0; g < 4; ++g) {
+    for (int v = 0; v < 4; ++v) {
+      s.col_avg[v] += t[g][v] / 4.0;
+      if (t[g][v] < s.best) {
+        s.best = t[g][v];
+        s.best_pair = {kPaperOrder[v], kPaperOrder[g]};
+      }
+      if (v < 3) {
+        s.best_ex_noop = std::min(s.best_ex_noop, t[g][v]);
+        s.worst_ex_noop = std::max(s.worst_ex_noop, t[g][v]);
+      }
+    }
+  }
+  s.noop_col_avg = s.col_avg[3];
+  return s;
+}
+
+}  // namespace iosim::bench

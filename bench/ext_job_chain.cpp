@@ -1,0 +1,53 @@
+// Extension — the paper's Pig scenario (Section IV-C): a chain of
+// MapReduce jobs makes the assignment space S^P explode (16^6 ≈ 1.7e7 for
+// a 3-job chain), which is the paper's argument for the P x S heuristic
+// over brute force. This bench runs Algorithm 1 over a heterogeneous
+// 3-job chain (wordcount -> sort -> wordcount w/o combiner) and reports
+// the search cost and the gain.
+#include "bench_util.hpp"
+#include "cluster/chain_runner.hpp"
+#include "core/meta_scheduler.hpp"
+
+using namespace iosim;
+using namespace iosim::bench;
+
+int main() {
+  print_header("Extension", "Algorithm 1 over a Pig-style 3-job chain (6 phases)");
+
+  const std::vector<mapred::JobConf> confs = {
+      workloads::make_job(workloads::wordcount(), 256 * mapred::kMiB),
+      workloads::make_job(workloads::stream_sort(), 256 * mapred::kMiB),
+      workloads::make_job(workloads::wordcount_no_combiner(), 256 * mapred::kMiB),
+  };
+
+  core::MetaSchedulerOptions opts;
+  core::MetaScheduler ms(core::make_chain_experiment(paper_cluster(), confs), opts);
+  const auto r = ms.optimize();
+
+  metrics::Table tab("chain result");
+  tab.headers({"metric", "value"});
+  tab.row({"phases (P)", "6"});
+  tab.row({"assignment space (S^P)", "16^6 = 16,777,216 schedules"});
+  tab.row({"full executions used",
+           "16 profiling + " + std::to_string(r.heuristic_evaluations) +
+               " heuristic (bound: P x S = 96)"});
+  tab.row({"solution", r.solution.to_string() + (r.fell_back ? " (fallback)" : "")});
+  tab.row({"default (cfq, cfq)", metrics::Table::num(r.default_seconds, 1) + " s"});
+  tab.row({"best single pair",
+           metrics::Table::num(r.best_single_seconds, 1) + " s  " +
+               r.best_single.to_string()});
+  tab.row({"adaptive", metrics::Table::num(r.adaptive_seconds, 1) + " s"});
+  tab.row({"vs default", metrics::Table::pct(100.0 * r.improvement_vs_default(), 1)});
+  tab.row({"vs best single",
+           metrics::Table::pct(100.0 * r.improvement_vs_best_single(), 1)});
+  tab.print();
+
+  print_expectation(
+      "the heuristic explores a vanishing fraction of the 16^6 space "
+      "(paper's bound: at most P x S = 96 executions) and still produces a "
+      "multi-pair schedule at least as good as any single pair across the "
+      "heterogeneous chain — the scalability argument of Section IV-C. The "
+      "absolute gain is capped by the CPU-bound wordcount stages of this "
+      "particular chain.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 4 — performance score of the disk pairs' schedulers at different
+// points of the sort benchmark.
+//
+// Methodology: run sort once per pair, record the time needed to reach each
+// Hadoop-progress milestone, and compare the per-interval durations across
+// pairs (the paper's per-point scores against the (cfq, cfq) baseline).
+// The composite lower bound — picking the best pair per interval — is the
+// paper's "optimal solution" (26% better than the default, 15% better than
+// (anticipatory, deadline) on its testbed).
+#include "bench_util.hpp"
+
+using namespace iosim;
+using namespace iosim::bench;
+
+namespace {
+
+// Milestone times for one pair (progress 0.05 steps).
+std::vector<double> milestone_times(SchedulerPair pair) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.pair = pair;
+  const auto jc = workloads::make_job(workloads::stream_sort());
+  const auto r = cluster::run_job(cfg, jc);
+  std::vector<double> t;
+  for (const auto& m : r.stats.milestones) t.push_back((m.t - r.stats.t_start).sec());
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig 4", "per-progress-interval scores of the pairs on sort");
+
+  // The paper plots a representative subset; we use the four "pure" pairs
+  // plus the two headline ones.
+  const std::vector<SchedulerPair> pairs = {
+      {SchedulerKind::kCfq, SchedulerKind::kCfq},
+      {SchedulerKind::kDeadline, SchedulerKind::kDeadline},
+      {SchedulerKind::kAnticipatory, SchedulerKind::kAnticipatory},
+      {SchedulerKind::kNoop, SchedulerKind::kNoop},
+      {SchedulerKind::kAnticipatory, SchedulerKind::kDeadline},
+      {SchedulerKind::kAnticipatory, SchedulerKind::kCfq},
+  };
+
+  std::vector<std::vector<double>> times;  // per pair: milestone times
+  std::size_t n_milestones = 1e9;
+  for (const auto& p : pairs) {
+    times.push_back(milestone_times(p));
+    n_milestones = std::min(n_milestones, times.back().size());
+  }
+
+  metrics::Table tab("seconds to reach each job-progress milestone");
+  std::vector<std::string> hdr{"progress"};
+  for (const auto& p : pairs) hdr.push_back(p.letters());
+  hdr.push_back("best");
+  tab.headers(hdr);
+
+  double composite = 0, def_total = 0, ad_total = 0;
+  std::vector<double> prev(pairs.size(), 0.0);
+  for (std::size_t m = 0; m < n_milestones; ++m) {
+    std::vector<std::string> row{metrics::Table::num(5.0 * static_cast<double>(m + 1), 0) + "%"};
+    double best = 1e300;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const double seg = times[i][m] - prev[i];
+      row.push_back(metrics::Table::num(seg, 1));
+      if (seg < best) {
+        best = seg;
+        best_i = i;
+      }
+    }
+    composite += best;
+    def_total += times[0][m] - prev[0];
+    ad_total += times[4][m] - prev[4];
+    row.push_back(pairs[best_i].letters());
+    tab.row(row);
+    for (std::size_t i = 0; i < pairs.size(); ++i) prev[i] = times[i][m];
+  }
+  tab.print();
+
+  std::printf(
+      "\nper-interval-optimal composite: %.1fs | default %.1fs (%.1f%% better) | "
+      "(anticipatory, deadline) %.1fs (%.1f%% better)\n",
+      composite, def_total, 100.0 * (1 - composite / def_total), ad_total,
+      100.0 * (1 - composite / ad_total));
+  print_expectation(
+      "no single pair wins every interval — the winners alternate across the "
+      "job (the basis for adaptive switching). Paper: the per-point optimum "
+      "is 26% better than (cfq, cfq) and 15% better than (anticipatory, "
+      "deadline). The composite here is an optimistic bound that ignores "
+      "switch costs, exactly like the paper's Fig. 4 analysis.");
+  return 0;
+}

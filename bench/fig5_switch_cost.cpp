@@ -1,0 +1,62 @@
+// Fig. 5 — cost of switching between disk pairs' schedulers.
+//
+// Paper methodology, reproduced exactly: dd writes 600 MB of zeroes in
+// parallel on the four VMs of one physical machine;
+//   Cost(a -> b) = T(a switched to b at half the data)
+//                - (T(a alone) + T(b alone)) / 2.
+//
+// Shapes: costs vary widely (paper: ~4 s average to 142 s), the matrix is
+// NOT commutative, and even re-issuing the same pair costs time (the switch
+// command quiesces the queues regardless).
+#include "bench_util.hpp"
+#include "core/switch_cost.hpp"
+
+using namespace iosim;
+using namespace iosim::bench;
+
+int main() {
+  print_header("Fig 5", "switch-cost matrix between pair states (dd methodology)");
+  std::printf("measuring 16 solo runs + 256 switched runs (600 MB x 4 VMs each)...\n");
+
+  core::SwitchCostConfig cfg;
+  const auto m = core::SwitchCostMatrix::measure(cfg);
+
+  const auto pairs = iosched::all_scheduler_pairs();
+  metrics::Table tab("Cost(from -> to), seconds; labels = (VMM, VM) letters");
+  std::vector<std::string> hdr{"from \\ to"};
+  for (const auto& p : pairs) hdr.push_back(p.letters());
+  tab.headers(hdr);
+  for (const auto& a : pairs) {
+    std::vector<std::string> row{a.letters()};
+    for (const auto& b : pairs) row.push_back(metrics::Table::num(m.cost_seconds(a, b), 1));
+    tab.row(row);
+  }
+  tab.print();
+
+  metrics::Table solo("solo dd run time per pair (seconds)");
+  std::vector<std::string> h2, r2;
+  for (const auto& p : pairs) {
+    h2.push_back(p.letters());
+    r2.push_back(metrics::Table::num(m.solo_seconds(p), 1));
+  }
+  solo.headers(h2);
+  solo.row(r2);
+  solo.print();
+
+  // Diagonal and asymmetry summaries.
+  double diag_min = 1e300, diag_max = 0;
+  for (const auto& p : pairs) {
+    diag_min = std::min(diag_min, m.cost_seconds(p, p));
+    diag_max = std::max(diag_max, m.cost_seconds(p, p));
+  }
+  std::printf("\ncost range: %.1f .. %.1f s (paper: ~4 .. 142 s)\n", m.min_cost(),
+              m.max_cost());
+  std::printf("mean cost: %.1f s | mean asymmetry |C(a,b)-C(b,a)|: %.1f s\n",
+              m.mean_cost(), m.mean_asymmetry());
+  std::printf("same-pair re-assignment cost: %.1f .. %.1f s (non-zero, as observed)\n",
+              diag_min, diag_max);
+  print_expectation(
+      "switch cost varies by an order of magnitude with the two states, is "
+      "not commutative, and the diagonal is non-zero.");
+  return 0;
+}

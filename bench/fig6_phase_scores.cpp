@@ -1,0 +1,76 @@
+// Fig. 6 — performance score of the disk pairs' schedulers in the two
+// phases of the sort benchmark (the meta-scheduler's profiling data).
+//
+// Ph1 = job start -> all maps done; Ph2 = the rest (the paper merges the
+// shuffle tail into the reduce phase at its 4-wave operating point).
+//
+// Shape: the per-phase rankings differ — the pair that wins Ph1 is not the
+// pair that wins Ph2, which is exactly the opportunity Algorithm 1 exploits.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "core/meta_scheduler.hpp"
+
+using namespace iosim;
+using namespace iosim::bench;
+
+int main() {
+  print_header("Fig 6", "per-phase scores of all 16 pairs on sort (profiling)");
+
+  const auto jc = workloads::make_job(workloads::stream_sort());
+  core::MetaSchedulerOptions opts;
+  opts.plan = core::PhasePlan::for_job(jc, paper_cluster().n_hosts *
+                                               paper_cluster().vms_per_host);
+  opts.seeds_per_eval = kSeeds;
+  core::MetaScheduler ms(paper_cluster(), jc, opts);
+  auto profile = ms.profile_all_pairs();
+
+  metrics::Table tab("phase scores (seconds)");
+  tab.headers({"pair", "ph1 (maps)", "ph2 (shuffle tail + reduce)", "total"});
+  for (const auto& e : profile) {
+    tab.row({e.pair.to_string(), metrics::Table::num(e.phase_seconds[0], 1),
+             metrics::Table::num(e.phase_seconds[1], 1),
+             metrics::Table::num(e.total_seconds, 1)});
+  }
+  tab.print();
+
+  auto by_phase = [&profile](std::size_t ph) {
+    auto sorted = profile;
+    std::sort(sorted.begin(), sorted.end(),
+              [ph](const core::ProfileEntry& a, const core::ProfileEntry& b) {
+                return a.phase_seconds[ph] < b.phase_seconds[ph];
+              });
+    return sorted;
+  };
+  const auto r1 = by_phase(0);
+  const auto r2 = by_phase(1);
+
+  std::printf("\nph1 ranking (best 3): %s %.1f | %s %.1f | %s %.1f\n",
+              r1[0].pair.letters().c_str(), r1[0].phase_seconds[0],
+              r1[1].pair.letters().c_str(), r1[1].phase_seconds[0],
+              r1[2].pair.letters().c_str(), r1[2].phase_seconds[0]);
+  std::printf("ph2 ranking (best 3): %s %.1f | %s %.1f | %s %.1f\n",
+              r2[0].pair.letters().c_str(), r2[0].phase_seconds[1],
+              r2[1].pair.letters().c_str(), r2[1].phase_seconds[1],
+              r2[2].pair.letters().c_str(), r2[2].phase_seconds[1]);
+
+  const double composite = r1[0].phase_seconds[0] + r2[0].phase_seconds[1];
+  double best_single = 1e300, def = 0;
+  for (const auto& e : profile) {
+    best_single = std::min(best_single, e.total_seconds);
+    if (e.pair == iosched::kDefaultPair) def = e.total_seconds;
+  }
+  std::printf(
+      "\nphase-optimal composite (ignoring switch cost): %.1fs | best single "
+      "%.1fs | default %.1fs\n",
+      composite, best_single, def);
+  if (r1[0].pair == r2[0].pair) {
+    std::printf("NOTE: one pair won both phases on this run — the adaptive gain "
+                "then comes from deeper candidates in Algorithm 1.\n");
+  }
+  print_expectation(
+      "per-phase winners differ (Ph1 prefers read-pipeline-friendly pairs, "
+      "Ph2 prefers write-throughput pairs), making a multi-pair assignment "
+      "superior to any single pair.");
+  return 0;
+}

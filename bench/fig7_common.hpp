@@ -1,0 +1,52 @@
+// Shared driver for the Fig. 7 adaptive-scheduler benches: run the full
+// meta-scheduler pipeline for one scenario and report default / best-single
+// / adaptive, as the paper's bar groups do.
+#pragma once
+
+#include "bench_util.hpp"
+#include "core/meta_scheduler.hpp"
+
+namespace iosim::bench {
+
+struct AdaptiveOutcome {
+  double def = 0;
+  double best_single = 0;
+  iosched::SchedulerPair best_pair;
+  double adaptive = 0;
+  core::PairSchedule solution;
+  int evals = 0;
+};
+
+inline AdaptiveOutcome run_adaptive(const ClusterConfig& cfg, const mapred::JobConf& jc,
+                                    int seeds_per_eval = 1) {
+  core::MetaSchedulerOptions opts;
+  opts.plan = core::PhasePlan::for_job(jc, cfg.n_hosts * cfg.vms_per_host);
+  opts.seeds_per_eval = seeds_per_eval;
+  core::MetaScheduler ms(cfg, jc, opts);
+  const core::MetaResult r = ms.optimize();
+  AdaptiveOutcome out;
+  out.def = r.default_seconds;
+  out.best_single = r.best_single_seconds;
+  out.best_pair = r.best_single;
+  out.adaptive = r.adaptive_seconds;
+  out.solution = r.solution;
+  out.evals = r.heuristic_evaluations;
+  return out;
+}
+
+inline void print_outcome_row(metrics::Table& tab, const std::string& label,
+                              const AdaptiveOutcome& o) {
+  tab.row({label, metrics::Table::num(o.def, 1),
+           metrics::Table::num(o.best_single, 1) + " " + o.best_pair.letters(),
+           metrics::Table::num(o.adaptive, 1),
+           metrics::Table::pct(100.0 * (1 - o.adaptive / o.def), 1),
+           metrics::Table::pct(100.0 * (1 - o.adaptive / o.best_single), 1),
+           o.solution.to_string()});
+}
+
+inline std::vector<std::string> outcome_headers() {
+  return {"scenario", "default (cc)", "best single", "adaptive",
+          "vs default", "vs best", "solution"};
+}
+
+}  // namespace iosim::bench

@@ -1,0 +1,36 @@
+// Fig. 7b — the adaptive scheduler under different VM consolidation.
+//
+// Sort, 512 MB per data node, varying VMs per physical host (2 / 4 / 6).
+// Paper: best-single improves on the default by 4% / 9% / 12% and the
+// adaptive solution by 11% / 15% / 22% — the gain grows with consolidation.
+#include "fig7_common.hpp"
+
+using namespace iosim;
+using namespace iosim::bench;
+
+int main() {
+  print_header("Fig 7b", "adaptive pair scheduling vs VM consolidation (sort)");
+
+  metrics::Table tab("adaptive vs baselines (seconds)");
+  tab.headers(outcome_headers());
+
+  double gains[3] = {0, 0, 0};
+  int i = 0;
+  for (int vms : {2, 4, 6}) {
+    ClusterConfig cfg = paper_cluster();
+    cfg.vms_per_host = vms;
+    const auto jc = workloads::make_job(workloads::stream_sort());
+    const auto o = run_adaptive(cfg, jc);
+    print_outcome_row(tab, std::to_string(vms) + " VMs/host", o);
+    gains[i++] = 100.0 * (1 - o.adaptive / o.def);
+  }
+  tab.print();
+
+  std::printf("\nadaptive gain vs default: %.1f%% (2 VMs) -> %.1f%% (4) -> %.1f%% (6)\n",
+              gains[0], gains[1], gains[2]);
+  print_expectation(
+      "the improvement grows with the consolidation degree (paper: 11% -> "
+      "15% -> 22%), because disk interference — and so the scheduling "
+      "headroom — grows with the number of VMs sharing the spindle.");
+  return 0;
+}

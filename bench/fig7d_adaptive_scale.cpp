@@ -1,0 +1,36 @@
+// Fig. 7d — the adaptive scheduler under different cluster scales.
+//
+// Sort with 4 VMs per host and 512 MB per data node, varying the physical
+// cluster: 3 / 4 / 5 / 6 hosts. Paper: the adaptive scheduler keeps (and
+// slightly grows) its advantage as the cluster scales out, since per-node
+// improvements compound while the all-to-all shuffle limits the baseline.
+#include "fig7_common.hpp"
+
+using namespace iosim;
+using namespace iosim::bench;
+
+int main() {
+  print_header("Fig 7d", "adaptive pair scheduling vs cluster scale (sort)");
+
+  metrics::Table tab("adaptive vs baselines (seconds)");
+  tab.headers(outcome_headers());
+
+  std::vector<double> gains;
+  for (int hosts : {3, 4, 5, 6}) {
+    ClusterConfig cfg = paper_cluster();
+    cfg.n_hosts = hosts;
+    const auto jc = workloads::make_job(workloads::stream_sort());
+    const auto o = run_adaptive(cfg, jc);
+    print_outcome_row(tab, std::to_string(hosts) + " hosts", o);
+    gains.push_back(100.0 * (1 - o.adaptive / o.def));
+  }
+  tab.print();
+
+  std::printf("\nadaptive gain vs default by cluster scale:");
+  for (double g : gains) std::printf(" %.1f%%", g);
+  std::printf("\n");
+  print_expectation(
+      "the adaptive scheduler remains superior at every scale, with the "
+      "improvement holding or growing as hosts are added (paper Fig. 7d).");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 8 — the phases of the MapReduce job for the different benchmarks
+// (and, for sort, different data sizes).
+//
+// Shapes: wordcount's Ph1 (maps) dominates its runtime; wordcount w/o
+// combiner has the two phases nearly equal; sort's phases become cleaner
+// and more balanced as the data grows.
+#include "bench_util.hpp"
+
+using namespace iosim;
+using namespace iosim::bench;
+
+namespace {
+
+void report(metrics::Table& tab, const std::string& label, const mapred::JobConf& jc) {
+  const auto r = cluster::run_job_avg(paper_cluster(), jc, kSeeds);
+  const double total = r.seconds;
+  tab.row({label, metrics::Table::num(r.ph1_seconds, 1),
+           metrics::Table::num(r.ph2_seconds, 1), metrics::Table::num(r.ph3_seconds, 1),
+           metrics::Table::num(total, 1),
+           metrics::Table::pct(100.0 * r.ph1_seconds / total, 0),
+           metrics::Table::pct(100.0 * (r.ph2_seconds + r.ph3_seconds) / total, 0)});
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig 8", "phase durations per benchmark (default pair)");
+
+  metrics::Table tab("phases (seconds; Ph1 = maps, Ph2 = shuffle tail, Ph3 = reduce)");
+  tab.headers({"benchmark", "ph1", "ph2", "ph3", "total", "ph1 share", "ph2+3 share"});
+
+  report(tab, "wordcount", workloads::make_job(workloads::wordcount()));
+  report(tab, "wordcount w/o combiner",
+         workloads::make_job(workloads::wordcount_no_combiner()));
+  for (std::int64_t mb : {256, 512, 1024, 2048}) {
+    report(tab, "sort " + std::to_string(mb) + "MB",
+           workloads::make_job(workloads::stream_sort(), mb * mapred::kMiB));
+  }
+  tab.print();
+
+  print_expectation(
+      "wordcount is dominated by Ph1 (CPU-bound maps; the reduce side is "
+      "tiny); wordcount w/o combiner splits more evenly; sort's phase "
+      "boundary sharpens (shorter Ph2 share) as the data size grows.");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator:
+// elevator add/dispatch, the block-layer merge path, elevator switching,
+// the disk service model, and a full small job as a macro smoke number.
+#include <benchmark/benchmark.h>
+
+#include "blk/block_layer.hpp"
+#include "blk/disk_device.hpp"
+#include "cluster/runner.hpp"
+#include "iosched/scheduler.hpp"
+#include "sim/random.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace {
+
+using namespace iosim;
+using iosched::Dir;
+using iosched::Request;
+using iosched::SchedulerKind;
+
+void fill_request(Request& rq, sim::Rng& rng, std::uint64_t id) {
+  rq.id = id;
+  rq.lba = static_cast<disk::Lba>(rng.below(1u << 26));
+  rq.sectors = 88;
+  rq.dir = rng.chance(0.5) ? Dir::kRead : Dir::kWrite;
+  rq.sync = rq.dir == Dir::kRead;
+  rq.ctx = rng.below(4);
+}
+
+void BM_SchedulerAddDispatch(benchmark::State& state) {
+  const auto kind = static_cast<SchedulerKind>(state.range(0));
+  auto sched = iosched::make_scheduler(kind);
+  sim::Rng rng(1);
+  std::vector<Request> pool(1024);
+  std::uint64_t id = 0;
+  sim::Time now;
+  for (auto _ : state) {
+    // Keep ~64 requests in the queue; add one, dispatch one.
+    Request& rq = pool[id % pool.size()];
+    fill_request(rq, rng, id++);
+    sched->add(&rq, now);
+    now += sim::Time::from_us(100);
+    Request* out = sched->dispatch(now);
+    if (out == nullptr) {
+      const auto w = sched->wakeup(now);
+      if (w.has_value()) now = *w;
+      out = sched->dispatch(now);
+    }
+    if (out != nullptr) sched->on_complete(*out, now);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerAddDispatch)
+    ->Arg(static_cast<int>(SchedulerKind::kNoop))
+    ->Arg(static_cast<int>(SchedulerKind::kDeadline))
+    ->Arg(static_cast<int>(SchedulerKind::kAnticipatory))
+    ->Arg(static_cast<int>(SchedulerKind::kCfq));
+
+void BM_BlockLayerSequentialWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simr;
+    blk::DiskDevice disk(simr, disk::DiskParams{}, 1);
+    blk::BlockLayer layer(simr, disk, blk::BlockLayerConfig{});
+    for (int i = 0; i < 256; ++i) {
+      blk::Bio b;
+      b.lba = 1'000'000 + i * 64;
+      b.sectors = 64;
+      b.dir = Dir::kWrite;
+      b.sync = false;
+      b.ctx = 1;
+      layer.submit(std::move(b));
+    }
+    simr.run();
+    benchmark::DoNotOptimize(layer.counters().back_merges);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BlockLayerSequentialWrite);
+
+void BM_ElevatorSwitchDrain(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simr;
+    blk::DiskDevice disk(simr, disk::DiskParams{}, 1);
+    blk::BlockLayerConfig cfg;
+    cfg.switch_freeze = sim::Time::zero();
+    blk::BlockLayer layer(simr, disk, cfg);
+    sim::Rng rng(2);
+    for (std::int64_t i = 0; i < n; ++i) {
+      blk::Bio b;
+      b.lba = static_cast<disk::Lba>(rng.below(1u << 26)) * 8;
+      b.sectors = 8;
+      b.dir = Dir::kWrite;
+      b.sync = false;
+      b.ctx = rng.below(4);
+      layer.submit(std::move(b));
+    }
+    state.ResumeTiming();
+    layer.switch_scheduler(SchedulerKind::kDeadline);
+    benchmark::DoNotOptimize(layer.queued());
+    state.PauseTiming();
+    simr.run();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElevatorSwitchDrain)->Arg(64)->Arg(512);
+
+void BM_DiskServiceRandom(benchmark::State& state) {
+  disk::DiskModel model(disk::DiskParams{}, 3);
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    const auto lba = static_cast<disk::Lba>(rng.below(1'900'000'000));
+    benchmark::DoNotOptimize(model.service({lba, 512, false}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiskServiceRandom);
+
+void BM_SmallSortJob(benchmark::State& state) {
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = 1;
+  cfg.vms_per_host = 2;
+  const auto jc = workloads::make_job(workloads::stream_sort(), 64 * mapred::kMiB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::run_job(cfg, jc).seconds);
+  }
+}
+BENCHMARK(BM_SmallSortJob)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

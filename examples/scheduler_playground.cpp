@@ -1,0 +1,59 @@
+// Example: a single-host scheduler playground.
+//
+// Four VMs on one physical machine each run a sequential writer (the Fig. 1
+// microworkload); the program sweeps the VMM-level elevator and shows how
+// the discipline changes aggregate throughput, per-VM fairness, and the
+// disk's access pattern. A compact way to *see* why the paper's Dom0
+// scheduler choice matters before involving all of Hadoop.
+#include <cstdio>
+
+#include "metrics/table.hpp"
+#include "sim/stats.hpp"
+#include "workloads/microbench.hpp"
+
+using namespace iosim;
+using iosched::SchedulerKind;
+
+int main() {
+  metrics::Table tab("4 VMs x 256 MB sequential write on one host");
+  tab.headers({"VMM elevator", "elapsed (s)", "agg MB/s", "seq access %",
+               "per-VM fairness (Jain)"});
+
+  for (SchedulerKind vmm : {SchedulerKind::kCfq, SchedulerKind::kDeadline,
+                            SchedulerKind::kAnticipatory, SchedulerKind::kNoop}) {
+    sim::Simulator simr;
+    virt::HostConfig hc;
+    hc.dom0_blk.scheduler = vmm;
+    virt::PhysicalHost host(simr, hc, 0, 0, /*seed=*/21);
+    for (int v = 0; v < 4; ++v) host.add_vm();
+
+    // Pure streaming writers (no fsync barriers): writeback keeps a deep
+    // backlog, so the elevator's ordering quality fully shows.
+    workloads::SeqWriteParams p;
+    p.bytes_per_vm = 256LL * 1024 * 1024;
+    p.fsync_every = 0;
+    p.window = 64;
+    const auto res = workloads::run_seq_writers(simr, host, p);
+
+    // Fairness: how evenly the four writers finished.
+    std::vector<double> per_vm;
+    for (const auto& t : res.per_vm_done) per_vm.push_back(1.0 / t.sec());
+
+    const auto& model = host.disk().model();
+    const double seq_pct = 100.0 * static_cast<double>(model.sequential_accesses()) /
+                           static_cast<double>(model.total_accesses());
+    const double mb_s = 4.0 * 256.0 / res.elapsed.sec();
+
+    tab.row({iosched::to_string(vmm), metrics::Table::num(res.elapsed.sec(), 1),
+             metrics::Table::num(mb_s, 1), metrics::Table::num(seq_pct, 0),
+             metrics::Table::num(sim::jain_fairness(per_vm), 3)});
+  }
+  tab.print();
+
+  std::printf(
+      "\nReading the table: the sorting disciplines keep most accesses\n"
+      "sequential despite four interleaved writers; noop preserves arrival\n"
+      "order and pays a mechanical positioning penalty on nearly every\n"
+      "request — the effect behind the paper's Fig. 1 and Table I.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// iosim: the unit of I/O submitted *into* a block layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "iosched/request.hpp"
+
+namespace iosim::blk {
+
+using disk::Lba;
+using iosched::Dir;
+using sim::Time;
+
+/// A single I/O as issued by a task / filesystem / blkfront. The block layer
+/// turns bios into requests, merging adjacent ones exactly like the kernel's
+/// back-merge path.
+struct Bio {
+  Lba lba = 0;
+  std::int64_t sectors = 0;
+  Dir dir = Dir::kRead;
+  /// Synchronous: the issuer waits for completion (reads, O_SYNC writes).
+  bool sync = true;
+  /// Issuing context (task id in a guest, VM id in Dom0).
+  std::uint64_t ctx = 0;
+  /// Invoked exactly once when the containing request completes.
+  std::function<void(Time)> on_complete;
+};
+
+}  // namespace iosim::blk

@@ -1,0 +1,147 @@
+#include "blk/block_layer.hpp"
+
+#include <cassert>
+
+namespace iosim::blk {
+
+BlockLayer::BlockLayer(sim::Simulator& simr, RequestSink& sink, BlockLayerConfig cfg)
+    : simr_(simr), sink_(sink), cfg_(std::move(cfg)) {
+  sched_ = iosched::make_scheduler(cfg_.scheduler, cfg_.tunables);
+  sink_.set_on_complete([this](Request* rq, Time now) { on_sink_complete(rq, now); });
+  sink_.set_on_ready([this](Time) { kick(); });
+}
+
+void BlockLayer::submit(Bio bio) {
+  assert(bio.sectors > 0);
+  assert(bio.sectors <= cfg_.max_request_sectors);
+
+  // The queue is stopped during an elevator switch: arriving bios are held
+  // back and their submitters stall — the dominant component of the
+  // paper's measured switch cost.
+  if (draining_ || frozen_) {
+    held_.push_back(std::move(bio));
+    return;
+  }
+
+  ++counters_.bios_submitted;
+  const Time now = simr_.now();
+
+  // Back-merge: a queued request of the same direction/sync/context ending
+  // exactly where this bio starts grows to absorb it (the common sequential
+  // pattern; the kernel's dominant merge path).
+  if (auto it = merge_idx_.find(bio.lba); it != merge_idx_.end()) {
+    Request* rq = it->second;
+    if (rq->dir == bio.dir && rq->sync == bio.sync && rq->ctx == bio.ctx &&
+        rq->sectors + bio.sectors <= cfg_.max_request_sectors) {
+      merge_idx_.erase(it);
+      rq->sectors += bio.sectors;
+      if (bio.on_complete) rq->completions.push_back(std::move(bio.on_complete));
+      merge_idx_.emplace(rq->end(), rq);
+      sched_->note_back_merge(rq);
+      ++counters_.back_merges;
+      return;
+    }
+  }
+
+  auto rq_owned = std::make_unique<Request>();
+  Request* rq = rq_owned.get();
+  rq->id = next_rq_id_++;
+  rq->lba = bio.lba;
+  rq->sectors = bio.sectors;
+  rq->dir = bio.dir;
+  rq->sync = bio.sync;
+  rq->ctx = bio.ctx;
+  rq->submit = now;
+  if (bio.on_complete) rq->completions.push_back(std::move(bio.on_complete));
+  requests_.emplace(rq->id, std::move(rq_owned));
+  merge_idx_.emplace(rq->end(), rq);
+  sched_->add(rq, now);
+  kick();
+}
+
+void BlockLayer::switch_scheduler(SchedulerKind kind) {
+  switch_target_ = kind;
+  if (draining_) return;  // a switch is already in progress: retarget it
+  ++counters_.scheduler_switches;
+  draining_ = true;
+  // The old discipline keeps dispatching (kick() continues to run) until it
+  // and the device are empty; maybe_finish_switch() completes the swap.
+  maybe_finish_switch();
+}
+
+void BlockLayer::maybe_finish_switch() {
+  if (!draining_) return;
+  if (!sched_->empty() || in_flight_ > 0) {
+    kick();  // keep the drain moving (also re-arms idle wakeups)
+    return;
+  }
+  // Drained: install the new elevator, pay the re-init stall, then release
+  // everything that queued up behind the switch.
+  draining_ = false;
+  sched_ = iosched::make_scheduler(switch_target_, cfg_.tunables);
+  merge_idx_.clear();
+  frozen_ = true;
+  if (wakeup_ev_ != sim::kInvalidEvent) {
+    simr_.cancel(wakeup_ev_);
+    wakeup_ev_ = sim::kInvalidEvent;
+  }
+  if (freeze_ev_ != sim::kInvalidEvent) simr_.cancel(freeze_ev_);
+  freeze_ev_ = simr_.after(cfg_.switch_freeze, [this] {
+    freeze_ev_ = sim::kInvalidEvent;
+    frozen_ = false;
+    std::vector<Bio> held = std::move(held_);
+    held_.clear();
+    for (auto& bio : held) submit(std::move(bio));
+    kick();
+  });
+}
+
+void BlockLayer::arm_wakeup() {
+  const auto t = sched_->wakeup(simr_.now());
+  if (!t.has_value()) return;
+  if (wakeup_ev_ != sim::kInvalidEvent) simr_.cancel(wakeup_ev_);
+  wakeup_ev_ = simr_.at(*t, [this] {
+    wakeup_ev_ = sim::kInvalidEvent;
+    kick();
+  });
+}
+
+void BlockLayer::kick() {
+  if (frozen_) return;
+  while (sink_.can_accept()) {
+    Request* rq = sched_->dispatch(simr_.now());
+    if (rq == nullptr) {
+      if (!sched_->empty()) arm_wakeup();
+      return;
+    }
+    merge_idx_.erase(rq->end());
+    ++counters_.requests_dispatched;
+    ++in_flight_;
+    sink_.submit(rq, simr_.now());
+  }
+}
+
+void BlockLayer::on_sink_complete(Request* rq, Time now) {
+  assert(in_flight_ > 0);
+  --in_flight_;
+  ++counters_.requests_completed;
+  counters_.bytes_completed[static_cast<int>(rq->dir)] += rq->bytes();
+  sched_->on_complete(*rq, now);
+  for (auto& obs : observers_) obs(*rq, now);
+
+  // Fire waiter callbacks, then free. Callbacks may submit new bios, so the
+  // request is detached from the table first.
+  auto it = requests_.find(rq->id);
+  assert(it != requests_.end());
+  auto owned = std::move(it->second);
+  requests_.erase(it);
+  for (auto& fn : owned->completions) fn(now);
+
+  if (draining_) {
+    maybe_finish_switch();
+  } else {
+    kick();
+  }
+}
+
+}  // namespace iosim::blk

@@ -1,0 +1,76 @@
+// iosim: the physical drive as a RequestSink.
+//
+// With the default `ncq_depth = 1` the drive services exactly one request
+// at a time (the 2.6.22-era stack under study dispatched serially to SATA
+// drives; request reordering belongs to the elevator above, which is the
+// paper's subject). With `ncq_depth > 1` the drive holds several commands
+// and services the one with the shortest positioning first — a simple
+// SATF approximation of native command queueing, used by the ablation
+// benches.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "blk/request_sink.hpp"
+#include "disk/disk_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace iosim::blk {
+
+class DiskDevice final : public RequestSink {
+ public:
+  DiskDevice(sim::Simulator& simr, disk::DiskParams params, std::uint64_t seed)
+      : simr_(simr), model_(params, seed), depth_(std::max(1, params.ncq_depth)) {}
+
+  bool can_accept() const override {
+    return static_cast<int>(queued_.size()) + (busy_ ? 1 : 0) < depth_;
+  }
+
+  void submit(Request* rq, Time now) override {
+    (void)now;
+    queued_.push_back(rq);
+    if (!busy_) start_next();
+  }
+
+  const disk::DiskModel& model() const { return model_; }
+
+ private:
+  void start_next() {
+    if (busy_ || queued_.empty()) return;
+    // SATF approximation: the command whose start LBA is nearest the head.
+    // With depth 1 there is only ever one candidate.
+    auto it = queued_.begin();
+    if (queued_.size() > 1) {
+      const disk::Lba head = model_.head();
+      it = std::min_element(queued_.begin(), queued_.end(),
+                            [head](const Request* a, const Request* b) {
+                              return std::llabs(a->lba - head) <
+                                     std::llabs(b->lba - head);
+                            });
+    }
+    Request* rq = *it;
+    queued_.erase(it);
+    busy_ = true;
+    const Time svc = model_.service(
+        {rq->lba, rq->sectors, rq->dir == iosched::Dir::kWrite});
+    simr_.after(svc, [this, rq] {
+      busy_ = false;
+      const bool freed_capacity = can_accept();
+      complete(rq, simr_.now());
+      // `complete` re-enters the block layer, which kicks dispatch itself;
+      // with NCQ the explicit ready() also covers capacity freed while the
+      // layer was not the completion's owner.
+      if (freed_capacity) ready(simr_.now());
+      start_next();
+    });
+  }
+
+  sim::Simulator& simr_;
+  disk::DiskModel model_;
+  int depth_;
+  bool busy_ = false;
+  std::vector<Request*> queued_;
+};
+
+}  // namespace iosim::blk

@@ -1,0 +1,49 @@
+// iosim: downstream consumer of dispatched requests.
+//
+// A BlockLayer dispatches into a RequestSink. Two sinks exist:
+//   * DiskDevice — the physical drive (capacity 1: no NCQ, 2.6.22-era SATA),
+//   * BlkfrontRing (in virt/) — a Xen-style bounded ring that forwards guest
+//     requests into the Dom0 block layer.
+#pragma once
+
+#include <functional>
+
+#include "iosched/request.hpp"
+
+namespace iosim::blk {
+
+using iosched::Request;
+using sim::Time;
+
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+
+  /// True when the sink can take one more request right now.
+  virtual bool can_accept() const = 0;
+
+  /// Hand over a dispatched request. Only valid when can_accept() is true.
+  /// Ownership stays with the originating BlockLayer; the sink reports
+  /// completion through the handler below.
+  virtual void submit(Request* rq, Time now) = 0;
+
+  /// Completion/ready callbacks installed by the owning BlockLayer.
+  /// `on_complete` fires once per request; `on_ready` fires when the sink
+  /// transitions from full to accepting (so the layer can dispatch more).
+  void set_on_complete(std::function<void(Request*, Time)> fn) { on_complete_ = std::move(fn); }
+  void set_on_ready(std::function<void(Time)> fn) { on_ready_ = std::move(fn); }
+
+ protected:
+  void complete(Request* rq, Time now) {
+    if (on_complete_) on_complete_(rq, now);
+  }
+  void ready(Time now) {
+    if (on_ready_) on_ready_(now);
+  }
+
+ private:
+  std::function<void(Request*, Time)> on_complete_;
+  std::function<void(Time)> on_ready_;
+};
+
+}  // namespace iosim::blk

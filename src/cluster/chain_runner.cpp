@@ -1,0 +1,72 @@
+#include "cluster/chain_runner.hpp"
+
+#include <cassert>
+
+namespace iosim::cluster {
+
+namespace {
+
+/// Keeps the chain's jobs alive and starts the next one as each finishes.
+struct ChainContext {
+  Cluster* cl = nullptr;
+  std::vector<mapred::JobConf> confs;
+  ChainSetupHook setup;
+  std::uint64_t seed = 0;
+  std::vector<std::unique_ptr<mapred::Job>> jobs;
+  ChainResult result;
+
+  void start_next(const std::shared_ptr<ChainContext>& self) {
+    const auto idx = static_cast<int>(jobs.size());
+    if (idx == static_cast<int>(confs.size())) return;  // chain complete
+    jobs.push_back(std::make_unique<mapred::Job>(
+        cl->env(), confs[static_cast<std::size_t>(idx)],
+        seed ^ (0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(idx))));
+    mapred::Job* job = jobs.back().get();
+    if (setup) setup(*cl, *job, idx);
+    // Chain onto any on_done the setup hook installed.
+    auto prev = std::move(job->on_done);
+    job->on_done = [self, job, prev = std::move(prev)](sim::Time t) {
+      if (prev) prev(t);
+      self->result.jobs.push_back(job->stats());
+      self->start_next(self);
+    };
+    job->run();
+  }
+};
+
+}  // namespace
+
+ChainResult run_job_chain(const ClusterConfig& cfg,
+                          const std::vector<mapred::JobConf>& confs,
+                          const ChainSetupHook& setup) {
+  assert(!confs.empty());
+  Cluster cl(cfg);
+  auto ctx = std::make_shared<ChainContext>();
+  ctx->cl = &cl;
+  ctx->confs = confs;
+  ctx->setup = setup;
+  ctx->seed = cfg.seed;
+  ctx->start_next(ctx);
+  cl.simr().run();
+  assert(ctx->result.jobs.size() == confs.size() && "chain did not complete");
+  ctx->result.seconds = cl.simr().now().sec();
+  return ctx->result;
+}
+
+ChainResult run_job_chain_avg(const ClusterConfig& cfg,
+                              const std::vector<mapred::JobConf>& confs,
+                              int n_seeds, const ChainSetupHook& setup) {
+  assert(n_seeds > 0);
+  ChainResult acc;
+  for (int i = 0; i < n_seeds; ++i) {
+    ClusterConfig c = cfg;
+    c.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    ChainResult r = run_job_chain(c, confs, setup);
+    if (i == 0) acc.jobs = r.jobs;
+    acc.seconds += r.seconds;
+  }
+  acc.seconds /= n_seeds;
+  return acc;
+}
+
+}  // namespace iosim::cluster

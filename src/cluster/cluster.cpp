@@ -1,0 +1,47 @@
+#include "cluster/cluster.hpp"
+
+namespace iosim::cluster {
+
+Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
+  sim::Rng seeder(cfg.seed);
+
+  ClusterConfig c = cfg_;
+  // Install the initial pair without a runtime switch.
+  c.host.dom0_blk.scheduler = cfg.pair.vmm;
+  c.host.domu.guest_blk.scheduler = cfg.pair.guest;
+
+  for (int h = 0; h < cfg.n_hosts; ++h) {
+    virt::HostConfig hc = c.host;
+    if (static_cast<std::size_t>(h) < cfg.host_disk_speed.size()) {
+      const double f = cfg.host_disk_speed[static_cast<std::size_t>(h)];
+      hc.disk.outer_mb_s *= f;
+      hc.disk.inner_mb_s *= f;
+    }
+    hosts_.push_back(std::make_unique<virt::PhysicalHost>(
+        simr_, hc, h,
+        /*vm_ctx_base=*/static_cast<std::uint64_t>(h) * 100,
+        /*seed=*/seeder.next_u64()));
+    for (int v = 0; v < cfg.vms_per_host; ++v) hosts_.back()->add_vm();
+  }
+
+  net_ = std::make_unique<net::FlowNetwork>(simr_, cfg.n_hosts, cfg.net);
+  dfs_ = std::make_unique<hdfs::Hdfs>(n_vms(), cfg.vms_per_host, seeder.next_u64());
+
+  env_.simr = &simr_;
+  env_.net = net_.get();
+  env_.dfs = dfs_.get();
+  for (int h = 0; h < cfg.n_hosts; ++h) {
+    for (int v = 0; v < cfg.vms_per_host; ++v) {
+      cpus_.push_back(std::make_unique<mapred::VCpu>(simr_));
+      mapred::VmHandle vh;
+      vh.simr = &simr_;
+      vh.vm = &hosts_[static_cast<std::size_t>(h)]->vm(static_cast<std::size_t>(v));
+      vh.cpu = cpus_.back().get();
+      vh.host = h;
+      vh.global_id = h * cfg.vms_per_host + v;
+      env_.vms.push_back(vh);
+    }
+  }
+}
+
+}  // namespace iosim::cluster

@@ -1,0 +1,66 @@
+// iosim: cluster assembly — one call builds the paper's testbed (hosts,
+// VMs, vCPUs, network, HDFS) around a fresh simulator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "iosched/pair.hpp"
+#include "mapred/cluster_env.hpp"
+#include "net/flow_network.hpp"
+#include "virt/physical_host.hpp"
+
+namespace iosim::cluster {
+
+using iosched::SchedulerPair;
+
+struct ClusterConfig {
+  int n_hosts = 4;
+  int vms_per_host = 4;
+  virt::HostConfig host;
+  net::NetParams net;
+  /// Initial (VMM, guest) elevator pair, installed at construction (no
+  /// switch cost — the machine boots with it).
+  SchedulerPair pair = iosched::kDefaultPair;
+  /// Per-host disk speed factors (scales the media transfer rate); empty =
+  /// homogeneous. Shorter than n_hosts: remaining hosts get 1.0. Used to
+  /// model heterogeneous nodes — the scenario the paper names as breaking
+  /// the coarse (cluster-synchronized) meta-scheduler.
+  std::vector<double> host_disk_speed;
+  std::uint64_t seed = 1;
+};
+
+/// Owns every component of one simulated testbed. Build, wire a workload,
+/// then drive `simr().run()`.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& simr() { return simr_; }
+  mapred::ClusterEnv& env() { return env_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  int n_vms() const { return cfg_.n_hosts * cfg_.vms_per_host; }
+  std::size_t n_hosts() const { return hosts_.size(); }
+  virt::PhysicalHost& host(std::size_t i) { return *hosts_[i]; }
+
+  /// Switch the pair on every host and guest (pays the quiesce freeze on
+  /// every block layer — this is the meta-scheduler's runtime action).
+  void switch_pair(SchedulerPair p) {
+    for (auto& h : hosts_) h->set_pair(p);
+  }
+  SchedulerPair pair() const { return hosts_.front()->pair(); }
+
+ private:
+  ClusterConfig cfg_;
+  sim::Simulator simr_;
+  std::vector<std::unique_ptr<virt::PhysicalHost>> hosts_;
+  std::vector<std::unique_ptr<mapred::VCpu>> cpus_;
+  std::unique_ptr<net::FlowNetwork> net_;
+  std::unique_ptr<hdfs::Hdfs> dfs_;
+  mapred::ClusterEnv env_;
+};
+
+}  // namespace iosim::cluster

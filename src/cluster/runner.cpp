@@ -1,0 +1,50 @@
+#include "cluster/runner.hpp"
+
+#include <cassert>
+
+namespace iosim::cluster {
+
+RunResult run_job(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
+                  const SetupHook& setup) {
+  Cluster cl(cfg);
+  mapred::Job job(cl.env(), job_conf, cfg.seed ^ 0x9E3779B97F4A7C15ULL);
+  if (setup) setup(cl, job);
+  job.run();
+  cl.simr().run();
+  assert(job.done() && "job did not complete — simulation deadlock");
+
+  RunResult r;
+  r.stats = job.stats();
+  r.seconds = r.stats.elapsed().sec();
+  r.ph1_seconds = (r.stats.t_maps_done - r.stats.t_start).sec();
+  r.ph2_seconds = (r.stats.t_shuffle_done - r.stats.t_maps_done).sec();
+  r.ph3_seconds = (r.stats.t_done - r.stats.t_shuffle_done).sec();
+  r.ph23_seconds = (r.stats.t_done - r.stats.t_maps_done).sec();
+  return r;
+}
+
+RunResult run_job_avg(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
+                      int n_seeds, const SetupHook& setup) {
+  assert(n_seeds > 0);
+  RunResult acc;
+  for (int i = 0; i < n_seeds; ++i) {
+    ClusterConfig c = cfg;
+    c.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    RunResult r = run_job(c, job_conf, setup);
+    if (i == 0) acc.stats = r.stats;  // keep one representative stats block
+    acc.seconds += r.seconds;
+    acc.ph1_seconds += r.ph1_seconds;
+    acc.ph2_seconds += r.ph2_seconds;
+    acc.ph3_seconds += r.ph3_seconds;
+    acc.ph23_seconds += r.ph23_seconds;
+  }
+  const double k = 1.0 / n_seeds;
+  acc.seconds *= k;
+  acc.ph1_seconds *= k;
+  acc.ph2_seconds *= k;
+  acc.ph3_seconds *= k;
+  acc.ph23_seconds *= k;
+  return acc;
+}
+
+}  // namespace iosim::cluster

@@ -1,0 +1,39 @@
+// iosim: canonical experiment runner — build a cluster, run one MapReduce
+// job on it, return the stats. Every bench and the meta-scheduler's search
+// go through these helpers so results are comparable.
+#pragma once
+
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "mapred/job.hpp"
+
+namespace iosim::cluster {
+
+struct RunResult {
+  mapred::JobStats stats;
+  double seconds = 0.0;  // stats.elapsed(), convenience
+
+  /// Phase durations with the paper's boundaries.
+  double ph1_seconds = 0.0;  // start -> all maps done
+  double ph2_seconds = 0.0;  // maps done -> shuffle done
+  double ph3_seconds = 0.0;  // shuffle done -> job done
+  /// Two-phase view (the paper merges Ph2 into Ph3 at >= ~2 waves).
+  double ph23_seconds = 0.0;
+};
+
+/// Hook invoked after the Job is constructed but before it runs — used by
+/// the adaptive controller to subscribe to phase events, and by probes.
+using SetupHook = std::function<void(Cluster&, mapred::Job&)>;
+
+/// Run `job_conf` on a cluster built from `cfg`. The cluster boots with
+/// `cfg.pair`; `setup` may attach observers / controllers.
+RunResult run_job(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
+                  const SetupHook& setup = {});
+
+/// Average of `n_seeds` runs with seeds seed, seed+1, ... (the paper reports
+/// the average of three consecutive runs).
+RunResult run_job_avg(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
+                      int n_seeds, const SetupHook& setup = {});
+
+}  // namespace iosim::cluster

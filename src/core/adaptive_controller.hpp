@@ -1,0 +1,40 @@
+// iosim: the runtime half of the meta-scheduler — applies a PairSchedule
+// to a live cluster at the phase boundaries the detector reports.
+#pragma once
+
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "core/pair_schedule.hpp"
+#include "core/phase_detector.hpp"
+
+namespace iosim::core {
+
+class AdaptiveController {
+ public:
+  /// Attach a controller to a job about to run on `cl`. The cluster must
+  /// have been booted with `schedule.initial()` (construction-time install;
+  /// no switch cost). Subsequent phases that name a different pair trigger
+  /// `Cluster::switch_pair`, paying the elevator quiesce on every block
+  /// layer in the cluster — exactly the cost the paper's heuristic must
+  /// amortize. Returns a handle that reports how many switches happened;
+  /// the controller keeps itself alive through the job's callbacks.
+  static std::shared_ptr<AdaptiveController> attach(cluster::Cluster& cl,
+                                                    mapred::Job& job,
+                                                    PairSchedule schedule,
+                                                    PhasePlan plan);
+
+  int switches_performed() const { return switches_; }
+
+ private:
+  AdaptiveController(cluster::Cluster& cl, PairSchedule schedule)
+      : cl_(cl), schedule_(std::move(schedule)) {}
+
+  void enter_phase(int phase, sim::Time t);
+
+  cluster::Cluster& cl_;
+  PairSchedule schedule_;
+  int switches_ = 0;
+};
+
+}  // namespace iosim::core

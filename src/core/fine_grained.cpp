@@ -1,0 +1,79 @@
+#include "core/fine_grained.hpp"
+
+namespace iosim::core {
+
+std::shared_ptr<FineGrainedController> FineGrainedController::attach(
+    cluster::Cluster& cl, mapred::Job& job, FineGrainedPolicy policy,
+    SwitchPredictor predictor) {
+  auto ctl = std::shared_ptr<FineGrainedController>(new FineGrainedController(
+      cl, job, std::move(policy), std::move(predictor)));
+  cl.simr().after(ctl->policy_.sample_period,
+                  [ctl] { ctl->sample(ctl); });
+  return ctl;
+}
+
+FineGrainedController::FineGrainedController(cluster::Cluster& cl, mapred::Job& job,
+                                             FineGrainedPolicy policy,
+                                             SwitchPredictor predictor)
+    : cl_(cl), job_(job), policy_(policy), predictor_(std::move(predictor)),
+      hosts_(cl.n_hosts()) {}
+
+void FineGrainedController::sample(const std::shared_ptr<FineGrainedController>& self) {
+  if (job_.done()) return;  // stop sampling; no further events scheduled
+  ++samples_;
+  const sim::Time now = cl_.simr().now();
+
+  for (std::size_t h = 0; h < cl_.n_hosts(); ++h) {
+    auto& host = cl_.host(h);
+    HostState& st = hosts_[h];
+    const auto& c = host.dom0_layer().counters();
+    const std::int64_t reads = c.bytes_completed[0] - st.last_read_bytes;
+    const std::int64_t writes = c.bytes_completed[1] - st.last_write_bytes;
+    st.last_read_bytes = c.bytes_completed[0];
+    st.last_write_bytes = c.bytes_completed[1];
+    const std::int64_t total = reads + writes;
+    if (total <= 0) continue;  // idle host: nothing to adapt to
+
+    const double read_share = static_cast<double>(reads) / static_cast<double>(total);
+    iosched::SchedulerPair target = policy_.mixed_pair;
+    if (read_share >= policy_.read_regime_threshold) {
+      target = policy_.read_pair;
+    } else if (read_share <= policy_.write_regime_threshold) {
+      target = policy_.write_pair;
+    }
+
+    const iosched::SchedulerPair current = host.pair();
+    if (target == current) {
+      st.pending_count = 0;
+      continue;
+    }
+    // Hysteresis: confirm the regime over consecutive samples.
+    if (st.pending_count > 0 && st.pending_target == target) {
+      ++st.pending_count;
+    } else {
+      st.pending_target = target;
+      st.pending_count = 1;
+    }
+    if (st.pending_count < policy_.confirm_samples) continue;
+    if (now - st.last_switch < policy_.min_switch_gap) continue;
+
+    // Gate on the predictor: a rough remaining horizon from job progress.
+    const double progress = job_.progress();
+    const double elapsed = (now - job_.stats().t_start).sec();
+    const double remaining =
+        progress > 0.02 ? elapsed * (1.0 - progress) / progress : 600.0;
+    if (!predictor_.worthwhile(current, target, policy_.assumed_rate_gain,
+                               sim::Time::from_sec_f(remaining))) {
+      continue;
+    }
+
+    host.set_pair(target);
+    st.last_switch = now;
+    st.pending_count = 0;
+    ++total_switches_;
+  }
+
+  cl_.simr().after(policy_.sample_period, [self] { self->sample(self); });
+}
+
+}  // namespace iosim::core

@@ -1,0 +1,114 @@
+// iosim: the meta-scheduler — the paper's primary contribution.
+//
+// Given an application and a cluster, it (1) profiles the job once per
+// candidate pair to obtain per-phase scores (the paper's Fig. 6 data),
+// (2) runs Algorithm 1: phase by phase, walk the pairs in descending
+// per-phase quality and keep probing the next-best candidate with a *full
+// execution* — prefix fixed to the already-chosen pairs, suffix fixed to
+// the best single pair for all remaining phases (the paper's S_{i+1}, which
+// keeps the comparison fair under non-uniform switch costs) — until the
+// next candidate stops improving, and (3) encodes "same pair as the
+// previous phase" as a 0 / no-switch entry.
+//
+// The search issues at most P x S executions (the paper's bound); in
+// practice far fewer thanks to early termination and memoization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/runner.hpp"
+#include "core/pair_schedule.hpp"
+#include "core/phase_plan.hpp"
+
+namespace iosim::core {
+
+/// One profiling run's outcome for a single pair.
+struct ProfileEntry {
+  SchedulerPair pair;
+  double total_seconds = 0.0;
+  std::vector<double> phase_seconds;  // size = plan.count()
+};
+
+struct MetaSchedulerOptions {
+  PhasePlan plan;
+  /// Seeds averaged per execution (the paper averages 3 runs; 1 keeps the
+  /// search cheap and the simulator is deterministic anyway).
+  int seeds_per_eval = 1;
+  /// If the greedy per-phase solution ends up slower than the best single
+  /// pair (possible when switch costs dwarf the per-phase gains — short
+  /// jobs), fall back to the single-pair schedule. The profiling data is
+  /// already paid for, so the fallback is free.
+  bool fallback_to_best_single = true;
+  bool verbose = false;
+};
+
+struct MetaResult {
+  PairSchedule solution;
+  double adaptive_seconds = 0.0;      // full run with `solution`
+  cluster::RunResult adaptive_run;
+
+  double default_seconds = 0.0;       // (cfq, cfq) single pair
+  double best_single_seconds = 0.0;
+  SchedulerPair best_single;
+
+  std::vector<ProfileEntry> profile;  // all 16 single-pair runs
+  int heuristic_evaluations = 0;      // full runs beyond profiling
+  /// True when the multi-pair solution lost to the best single pair and the
+  /// fallback replaced it.
+  bool fell_back = false;
+
+  double improvement_vs_default() const {
+    return default_seconds > 0 ? 1.0 - adaptive_seconds / default_seconds : 0.0;
+  }
+  double improvement_vs_best_single() const {
+    return best_single_seconds > 0 ? 1.0 - adaptive_seconds / best_single_seconds : 0.0;
+  }
+};
+
+/// An abstract experiment the heuristic can optimize: something that can be
+/// run once per fixed pair (profiling) and once per arbitrary schedule
+/// (evaluation). The single-MapReduce-job experiment is the paper's case;
+/// the chain experiment (Pig-style, Section IV-C) reuses the same search.
+struct Experiment {
+  int phases = 2;
+  std::function<ProfileEntry(iosched::SchedulerPair)> profile;
+  std::function<cluster::RunResult(const PairSchedule&)> execute;
+};
+
+class MetaScheduler {
+ public:
+  /// The paper's experiment: one MapReduce job on one cluster.
+  MetaScheduler(cluster::ClusterConfig cluster_cfg, mapred::JobConf job_conf,
+                MetaSchedulerOptions opts);
+
+  /// A custom experiment (e.g. a job chain); `opts.plan` is ignored for the
+  /// phase count — `experiment.phases` rules.
+  MetaScheduler(Experiment experiment, MetaSchedulerOptions opts);
+
+  /// Full pipeline: profile -> Algorithm 1 -> final adaptive run.
+  MetaResult optimize();
+
+  /// Execute the experiment under `schedule` (adaptive switching applied);
+  /// exposed for benches that evaluate hand-built schedules.
+  cluster::RunResult execute(const PairSchedule& schedule) const;
+
+  /// Profiling only (Fig. 6 data).
+  std::vector<ProfileEntry> profile_all_pairs() const;
+
+ private:
+  double evaluate(const PairSchedule& schedule,
+                  std::vector<std::pair<std::string, double>>* cache) const;
+
+  Experiment exp_;
+  MetaSchedulerOptions opts_;
+};
+
+/// Build the chain experiment: `confs` run back to back, two phases per job
+/// (maps / rest), adaptive switches at every job start and maps-done
+/// boundary after the first. See cluster/chain_runner.hpp.
+Experiment make_chain_experiment(cluster::ClusterConfig cfg,
+                                 std::vector<mapred::JobConf> confs,
+                                 int seeds_per_eval = 1);
+
+}  // namespace iosim::core

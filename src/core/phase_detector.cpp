@@ -1,0 +1,25 @@
+#include "core/phase_detector.hpp"
+
+namespace iosim::core {
+
+void PhaseDetector::attach(mapred::Job& job, PhasePlan plan, PhaseCallback cb) {
+  // Phase 0 is entered right away.
+  cb(0, job.env().simr->now());
+
+  // Phase 1 entry: all maps done.
+  auto prev_maps = std::move(job.on_maps_done);
+  job.on_maps_done = [prev_maps = std::move(prev_maps), cb](Time t) {
+    if (prev_maps) prev_maps(t);
+    cb(1, t);
+  };
+
+  if (!plan.merge_shuffle_tail) {
+    auto prev_shuffle = std::move(job.on_shuffle_done);
+    job.on_shuffle_done = [prev_shuffle = std::move(prev_shuffle), cb](Time t) {
+      if (prev_shuffle) prev_shuffle(t);
+      cb(2, t);
+    };
+  }
+}
+
+}  // namespace iosim::core

@@ -1,0 +1,29 @@
+// iosim: runtime phase detection.
+//
+// Subscribes to a Job's lifecycle events and reports phase *entries*:
+// index 0 fires at job start, 1 at all-maps-done, 2 (when the plan keeps
+// three phases) at shuffle-done. Chains with any callbacks already
+// installed on the job, so probes and detectors can coexist.
+#pragma once
+
+#include <functional>
+
+#include "core/phase_plan.hpp"
+#include "mapred/job.hpp"
+
+namespace iosim::core {
+
+using sim::Time;
+
+class PhaseDetector {
+ public:
+  using PhaseCallback = std::function<void(int phase_index, Time)>;
+
+  /// Wire `cb` into `job`'s event stream. `cb(0, t)` is invoked from
+  /// job-start (synchronously when the first map is scheduled is too late
+  /// for installing the initial pair — so phase 0 entry is reported
+  /// immediately, at attach time, with the simulator's current clock).
+  static void attach(mapred::Job& job, PhasePlan plan, PhaseCallback cb);
+};
+
+}  // namespace iosim::core

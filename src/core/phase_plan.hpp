@@ -1,0 +1,38 @@
+// iosim: MapReduce phase decomposition (paper Section IV-A).
+//
+// The paper derives three resource phases from static analysis of the
+// Hadoop program:
+//   Ph1 — start        -> all maps done      (CPU + disk + network)
+//   Ph2 — maps done    -> shuffle done       (disk + network)
+//   Ph3 — shuffle done -> job done           (CPU + disk)
+// and then *merges Ph2 into Ph3* whenever the map waves make the
+// non-concurrent shuffle tail short (Table II: >= 2 waves leaves ~10% or
+// less), because the possible gain no longer covers the switch cost.
+#pragma once
+
+#include "mapred/job_conf.hpp"
+
+namespace iosim::core {
+
+struct PhasePlan {
+  /// Treat Ph2+Ph3 as a single phase (the paper's operating point at 4
+  /// waves / 8 maps per node).
+  bool merge_shuffle_tail = true;
+
+  int count() const { return merge_shuffle_tail ? 2 : 3; }
+
+  /// Waves = number of map waves per slot (Table II's formula:
+  /// blocks / (nodes * slots-per-node)).
+  static double waves(const mapred::JobConf& c, int n_vms) {
+    const double n_maps = c.n_maps(n_vms);
+    return n_maps / (static_cast<double>(n_vms) * c.map_slots);
+  }
+
+  /// The paper's rule of thumb: with >= 2 waves the shuffle tail is short
+  /// enough to merge Ph2 into Ph3.
+  static PhasePlan for_job(const mapred::JobConf& c, int n_vms) {
+    return PhasePlan{waves(c, n_vms) >= 2.0};
+  }
+};
+
+}  // namespace iosim::core

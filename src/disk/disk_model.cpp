@@ -1,0 +1,60 @@
+#include "disk/disk_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace iosim::disk {
+
+double DiskModel::rate_at(Lba lba) const {
+  const double frac =
+      static_cast<double>(lba) / static_cast<double>(p_.capacity_sectors);
+  const double mb_s = p_.outer_mb_s + (p_.inner_mb_s - p_.outer_mb_s) * frac;
+  return mb_s * 1e6;  // bytes per second
+}
+
+Time DiskModel::transfer_time(Lba lba, std::int64_t sectors) const {
+  // Use the rate at the middle of the extent; zoning varies slowly.
+  const Lba mid = lba + sectors / 2;
+  const double bytes = static_cast<double>(sectors * kSectorBytes);
+  return Time::from_sec_f(bytes / rate_at(mid));
+}
+
+Time DiskModel::seek_time(Lba distance) const {
+  assert(distance >= 0);
+  if (distance == 0) return Time::zero();
+  if (distance <= p_.near_window_sectors) return p_.near_settle;
+  // Concave sqrt curve between seek_min and seek_max: a short seek is much
+  // cheaper than a full-stroke one, but not linearly so (arm acceleration).
+  const double frac = std::sqrt(static_cast<double>(distance) /
+                                static_cast<double>(p_.capacity_sectors));
+  const Time span = p_.seek_max - p_.seek_min;
+  return p_.seek_min + span * frac;
+}
+
+Time DiskModel::service(const DiskAccess& a) {
+  assert(a.sectors > 0);
+  assert(a.lba >= 0 && a.lba + a.sectors <= p_.capacity_sectors);
+
+  Time t = p_.command_overhead;
+  const bool contiguous = head_valid_ && a.lba == head_;
+  if (contiguous) {
+    ++n_sequential_;
+    // Head already positioned at the first sector: pure media transfer.
+  } else {
+    const Lba distance = head_valid_ ? std::llabs(a.lba - head_) : p_.capacity_sectors / 3;
+    t += seek_time(distance);
+    // Rotational latency: uniformly distributed over one revolution for any
+    // access that had to reposition. (Near accesses still pay it — the
+    // platter keeps spinning during the settle.)
+    t += Time::from_sec_f(rng_.uniform() * p_.rotation_period().sec());
+  }
+  t += transfer_time(a.lba, a.sectors);
+
+  head_ = a.lba + a.sectors;
+  head_valid_ = true;
+  ++n_access_;
+  busy_ += t;
+  return t;
+}
+
+}  // namespace iosim::disk

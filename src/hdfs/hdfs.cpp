@@ -1,0 +1,61 @@
+#include "hdfs/hdfs.hpp"
+
+#include <cassert>
+
+namespace iosim::hdfs {
+
+std::vector<DfsBlock> Hdfs::create_input(int blocks_per_vm, std::int64_t block_bytes,
+                                         const AllocFn& alloc) {
+  std::vector<DfsBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(blocks_per_vm) * static_cast<std::size_t>(n_vms_));
+  const Lba sectors = (block_bytes + disk::kSectorBytes - 1) / disk::kSectorBytes;
+  int id = 0;
+  for (int round = 0; round < blocks_per_vm; ++round) {
+    for (int vm = 0; vm < n_vms_; ++vm) {
+      DfsBlock b;
+      b.id = id++;
+      b.bytes = block_bytes;
+      b.replicas.push_back({vm, alloc(vm, sectors)});
+      // Second replica on a different host when possible.
+      int other;
+      if (n_vms_ > vms_per_host_) {
+        do {
+          other = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_vms_)));
+        } while (host_of(other) == host_of(vm));
+      } else if (n_vms_ > 1) {
+        do {
+          other = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n_vms_)));
+        } while (other == vm);
+      } else {
+        other = vm;  // degenerate single-VM cluster: both replicas local
+      }
+      b.replicas.push_back({other, alloc(other, sectors)});
+      blocks.push_back(std::move(b));
+    }
+  }
+  return blocks;
+}
+
+const BlockReplica& Hdfs::pick_replica(const DfsBlock& b, int reader_vm) const {
+  assert(!b.replicas.empty());
+  for (const auto& r : b.replicas) {
+    if (r.vm == reader_vm) return r;
+  }
+  for (const auto& r : b.replicas) {
+    if (host_of(r.vm) == host_of(reader_vm)) return r;
+  }
+  return b.replicas.front();
+}
+
+int Hdfs::pick_remote_replica_vm(int writer_vm) {
+  if (n_vms_ <= 1) return writer_vm;
+  for (int tries = 0; tries < n_vms_; ++tries) {
+    const int cand = rr_cursor_++ % n_vms_;
+    if (cand == writer_vm) continue;
+    if (n_vms_ > vms_per_host_ && host_of(cand) == host_of(writer_vm)) continue;
+    return cand;
+  }
+  return (writer_vm + 1) % n_vms_;
+}
+
+}  // namespace iosim::hdfs

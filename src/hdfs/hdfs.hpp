@@ -1,0 +1,66 @@
+// iosim: HDFS block placement (Hadoop 0.19 semantics, 2 replicas).
+//
+// The namespace tracks, for every block of the job input, which VMs hold a
+// replica and at which virtual LBA. Placement follows the paper's setup:
+// data balanced across all data nodes ("each data node processes 512 MB"),
+// 2 replicas per chunk, the second replica preferring a different physical
+// host. Readers pick the local replica when one exists — which is the
+// common case for map inputs, making map-input reads mostly-local
+// sequential I/O, the pattern the paper's analysis leans on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "disk/disk_model.hpp"
+#include "sim/random.hpp"
+
+namespace iosim::hdfs {
+
+using disk::Lba;
+
+struct BlockReplica {
+  int vm = -1;       // global VM index
+  Lba vlba = 0;      // location on that VM's virtual disk
+};
+
+struct DfsBlock {
+  int id = 0;
+  std::int64_t bytes = 0;
+  std::vector<BlockReplica> replicas;
+};
+
+class Hdfs {
+ public:
+  /// `alloc` reserves `sectors` in the data zone of VM `vm` and returns the
+  /// virtual LBA (wired to DomU::alloc by the cluster builder).
+  using AllocFn = std::function<Lba(int vm, Lba sectors)>;
+
+  Hdfs(int n_vms, int vms_per_host, std::uint64_t seed)
+      : n_vms_(n_vms), vms_per_host_(vms_per_host), rng_(seed) {}
+
+  int host_of(int vm) const { return vm / vms_per_host_; }
+
+  /// Lay out the job input: `blocks_per_vm` blocks of `block_bytes` with the
+  /// primary replica on each VM in turn and the secondary on a VM of a
+  /// different host (any other VM when there is a single host).
+  std::vector<DfsBlock> create_input(int blocks_per_vm, std::int64_t block_bytes,
+                                     const AllocFn& alloc);
+
+  /// Replica a reader on `reader_vm` should use: local if present, else
+  /// same-host, else the primary.
+  const BlockReplica& pick_replica(const DfsBlock& b, int reader_vm) const;
+
+  /// Target VM for the off-node replica of a block written by `writer_vm`
+  /// (output pipeline). Prefers a different host, round-robin for balance.
+  int pick_remote_replica_vm(int writer_vm);
+
+ private:
+  int n_vms_;
+  int vms_per_host_;
+  sim::Rng rng_;
+  int rr_cursor_ = 0;
+};
+
+}  // namespace iosim::hdfs

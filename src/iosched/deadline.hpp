@@ -1,0 +1,62 @@
+// iosim: the deadline elevator.
+//
+// Faithful to the classic Linux deadline discipline: per-direction sorted
+// trees plus per-direction FIFOs with expiry (reads 500 ms, writes 5 s).
+// Dispatch runs in batches that continue in ascending-LBA order; a new batch
+// first checks the FIFO head of the chosen direction and jumps to it if its
+// deadline has passed. Reads are preferred, with a `writes_starved` bound.
+#pragma once
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "iosched/scheduler.hpp"
+
+namespace iosim::iosched {
+
+class DeadlineScheduler final : public IoScheduler {
+ public:
+  explicit DeadlineScheduler(const DeadlineTunables& tun) : tun_(tun) {}
+
+  SchedulerKind kind() const override { return SchedulerKind::kDeadline; }
+
+  void add(Request* rq, Time now) override;
+  Request* dispatch(Time now) override;
+  void on_complete(const Request&, Time) override {}
+  std::optional<Time> wakeup(Time) const override { return std::nullopt; }
+  void note_back_merge(Request*) override {}
+
+  bool empty() const override { return count_ == 0; }
+  std::size_t size() const override { return count_; }
+  std::vector<Request*> drain() override;
+
+ private:
+  using SortedQueue = std::multimap<Lba, Request*>;
+  using Fifo = std::list<Request*>;
+
+  struct Handles {
+    SortedQueue::iterator sorted_it;
+    Fifo::iterator fifo_it;
+    Time expire;  // absolute deadline
+  };
+
+  int idx(Dir d) const { return static_cast<int>(d); }
+  void remove(Request* rq);
+  Request* next_in_batch();
+  Request* start_batch(Dir d, Time now);
+
+  DeadlineTunables tun_;
+  SortedQueue sorted_[kNumDirs];
+  Fifo fifo_[kNumDirs];
+  std::unordered_map<Request*, Handles> handles_;
+  std::size_t count_ = 0;
+
+  // Batch state.
+  int batch_remaining_ = 0;
+  Dir batch_dir_ = Dir::kRead;
+  Lba batch_pos_ = 0;  // dispatch continues at first LBA >= batch_pos_
+  int starved_ = 0;    // read batches served while writes were waiting
+};
+
+}  // namespace iosim::iosched

@@ -1,0 +1,51 @@
+// iosim: block-layer request representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "disk/disk_model.hpp"
+#include "sim/time.hpp"
+
+namespace iosim::iosched {
+
+using disk::Lba;
+using sim::Time;
+
+/// Transfer direction.
+enum class Dir : std::uint8_t { kRead = 0, kWrite = 1 };
+
+inline constexpr int kNumDirs = 2;
+inline const char* to_string(Dir d) { return d == Dir::kRead ? "read" : "write"; }
+
+/// A queued block request. Created by the BlockLayer from submitted bios and
+/// owned by it for its whole life; schedulers and devices only see stable
+/// raw pointers. A request may represent several merged bios — completing
+/// the request fires every accumulated callback.
+struct Request {
+  std::uint64_t id = 0;
+
+  Lba lba = 0;
+  std::int64_t sectors = 0;
+  Dir dir = Dir::kRead;
+
+  /// Synchronous requests have a waiter: reads, and O_SYNC/flush writes.
+  /// Schedulers with anticipation/idling only idle for sync requests.
+  bool sync = true;
+
+  /// Issuing context: the "process" as the elevator sees it. Inside a guest
+  /// this is a task identifier; inside Dom0 it is the VM (blkback) id.
+  std::uint64_t ctx = 0;
+
+  /// Time the request entered the block layer (deadline bookkeeping).
+  Time submit;
+
+  /// Per-bio completion callbacks (argument: completion time).
+  std::vector<std::function<void(Time)>> completions;
+
+  Lba end() const { return lba + sectors; }
+  std::int64_t bytes() const { return sectors * disk::kSectorBytes; }
+};
+
+}  // namespace iosim::iosched

@@ -1,0 +1,43 @@
+// iosim: the environment a job executes against — VMs with their vCPUs, the
+// network, and the HDFS namespace. Built by the cluster module; consumed by
+// Job / MapTask / ReduceTask.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hdfs/hdfs.hpp"
+#include "mapred/vcpu.hpp"
+#include "net/flow_network.hpp"
+#include "virt/domu.hpp"
+
+namespace iosim::mapred {
+
+/// One TaskTracker VM.
+struct VmHandle {
+  sim::Simulator* simr = nullptr;
+  virt::DomU* vm = nullptr;
+  VCpu* cpu = nullptr;
+  int host = 0;       // physical host index (network endpoint)
+  int global_id = 0;  // dense VM index across the cluster
+};
+
+struct ClusterEnv {
+  sim::Simulator* simr = nullptr;
+  net::FlowNetwork* net = nullptr;
+  hdfs::Hdfs* dfs = nullptr;
+  std::vector<VmHandle> vms;
+
+  int n_vms() const { return static_cast<int>(vms.size()); }
+};
+
+/// Guest-level context-id scheme: every task / service gets a distinct
+/// elevator context inside its VM.
+namespace ctx {
+inline std::uint64_t map_task(int task_id) { return 10'000 + static_cast<std::uint64_t>(task_id); }
+inline std::uint64_t reduce_task(int task_id) { return 20'000 + static_cast<std::uint64_t>(task_id); }
+/// The DataNode / shuffle-server daemon of a VM (serves remote reads).
+inline std::uint64_t server(int vm) { return 30'000 + static_cast<std::uint64_t>(vm); }
+}  // namespace ctx
+
+}  // namespace iosim::mapred

@@ -1,0 +1,186 @@
+#include "mapred/job.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace iosim::mapred {
+
+Job::Job(ClusterEnv& env, JobConf conf, std::uint64_t seed)
+    : env_(env), conf_(std::move(conf)), rng_(seed) {}
+
+Job::~Job() = default;
+
+void Job::run() {
+  const int n_vms = env_.n_vms();
+  assert(n_vms > 0);
+  const auto blocks_per_vm =
+      static_cast<int>((conf_.input_bytes_per_vm + conf_.block_bytes - 1) / conf_.block_bytes);
+
+  // Lay out the input in HDFS (allocations land in each VM's data zone).
+  blocks_ = env_.dfs->create_input(
+      blocks_per_vm, conf_.block_bytes, [this](int vm_id, disk::Lba sectors) {
+        return env_.vms[static_cast<std::size_t>(vm_id)].vm->alloc(
+            virt::DiskZone::kData, sectors);
+      });
+
+  stats_.t_start = simr().now();
+  stats_.maps_total = static_cast<int>(blocks_.size());
+  stats_.reduces_total = conf_.n_reduces(n_vms);
+
+  maps_.reserve(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    maps_.push_back(std::make_unique<MapTask>(*this, static_cast<int>(i), blocks_[i],
+                                              /*vm=*/-1));
+    pending_maps_.push_back(static_cast<int>(i));
+  }
+  for (int r = 0; r < stats_.reduces_total; ++r) {
+    // Reducers are placed round-robin across VMs up to the slot budget.
+    reduces_.push_back(std::make_unique<ReduceTask>(*this, r, r % n_vms));
+  }
+
+  free_map_slots_.assign(static_cast<std::size_t>(n_vms), conf_.map_slots);
+  free_reduce_slots_.assign(static_cast<std::size_t>(n_vms), conf_.reduce_slots);
+
+  try_assign_maps();
+}
+
+void Job::try_assign_maps() {
+  const int n_vms = env_.n_vms();
+  for (int v = 0; v < n_vms; ++v) {
+    while (free_map_slots_[static_cast<std::size_t>(v)] > 0 && !pending_maps_.empty()) {
+      // Locality first: a pending map whose block has a replica here.
+      auto chosen = pending_maps_.end();
+      for (auto it = pending_maps_.begin(); it != pending_maps_.end(); ++it) {
+        for (const auto& rep : blocks_[static_cast<std::size_t>(*it)].replicas) {
+          if (rep.vm == v) {
+            chosen = it;
+            break;
+          }
+        }
+        if (chosen != pending_maps_.end()) break;
+      }
+      if (chosen == pending_maps_.end()) chosen = pending_maps_.begin();
+
+      const int map_id = *chosen;
+      pending_maps_.erase(chosen);
+      --free_map_slots_[static_cast<std::size_t>(v)];
+
+      // Re-create the task bound to its VM (placement decided at assignment).
+      maps_[static_cast<std::size_t>(map_id)] = std::make_unique<MapTask>(
+          *this, map_id, blocks_[static_cast<std::size_t>(map_id)], v);
+      MapTask* task = maps_[static_cast<std::size_t>(map_id)].get();
+      simr().after(conf_.assign_latency, [task] { task->start(); });
+    }
+  }
+}
+
+void Job::launch_reducers_if_ready() {
+  if (reducers_launched_) return;
+  const int threshold = std::max(
+      1, static_cast<int>(conf_.slowstart * static_cast<double>(stats_.maps_total)));
+  if (maps_done_ < threshold) return;
+  reducers_launched_ = true;
+
+  for (auto& rt : reduces_) {
+    const int v = rt->vm();
+    if (free_reduce_slots_[static_cast<std::size_t>(v)] <= 0) {
+      // Over-subscribed (more reducers than slots): queue behind a slot by
+      // keeping it unstarted; it will launch when a reducer on v finishes.
+      continue;
+    }
+    --free_reduce_slots_[static_cast<std::size_t>(v)];
+    ReduceTask* task = rt.get();
+    simr().after(conf_.assign_latency, [this, task] {
+      for (const auto& mo : completed_outputs_) task->map_output_ready(mo);
+      task->start();
+    });
+  }
+}
+
+void Job::map_finished(MapTask& task, MapOutput out) {
+  ++maps_done_;
+  stats_.map_input_bytes += blocks_[static_cast<std::size_t>(out.map_id)].bytes;
+  stats_.map_output_bytes += out.bytes;
+  completed_outputs_.push_back(out);
+
+  if (maps_done_ == 1) {
+    stats_.t_first_map_done = simr().now();
+    if (on_first_map_done) on_first_map_done(simr().now());
+  }
+  // Feed reducers that already started.
+  for (auto& rt : reduces_) {
+    if (rt->started()) rt->map_output_ready(out);
+  }
+
+  ++free_map_slots_[static_cast<std::size_t>(task.vm())];
+  if (maps_done_ == stats_.maps_total) {
+    stats_.t_maps_done = simr().now();
+    if (on_maps_done) on_maps_done(simr().now());
+  } else {
+    try_assign_maps();
+  }
+  launch_reducers_if_ready();
+  update_progress();
+}
+
+void Job::reducer_shuffle_finished(ReduceTask&) {
+  ++reducers_shuffle_done_;
+  if (reducers_shuffle_done_ == stats_.reduces_total) {
+    stats_.t_shuffle_done = simr().now();
+    if (on_shuffle_done) on_shuffle_done(simr().now());
+  }
+}
+
+void Job::reduce_finished(ReduceTask& task) {
+  ++reduces_done_;
+  const int v = task.vm();
+  ++free_reduce_slots_[static_cast<std::size_t>(v)];
+
+  // Launch a queued reducer waiting for this slot, if any.
+  if (reducers_launched_) {
+    for (auto& rt : reduces_) {
+      if (!rt->started() && rt->vm() == v &&
+          free_reduce_slots_[static_cast<std::size_t>(v)] > 0) {
+        --free_reduce_slots_[static_cast<std::size_t>(v)];
+        ReduceTask* t = rt.get();
+        simr().after(conf_.assign_latency, [this, t] {
+          for (const auto& mo : completed_outputs_) t->map_output_ready(mo);
+          t->start();
+        });
+        break;
+      }
+    }
+  }
+
+  update_progress();
+  if (reduces_done_ == stats_.reduces_total && !done_) {
+    done_ = true;
+    stats_.t_done = simr().now();
+    if (on_done) on_done(simr().now());
+  }
+}
+
+double Job::progress() const {
+  const double map_p =
+      stats_.maps_total > 0
+          ? static_cast<double>(maps_done_) / stats_.maps_total
+          : 1.0;
+  double red_p = 0.0;
+  if (!reduces_.empty()) {
+    for (const auto& rt : reduces_) red_p += rt->progress();
+    red_p /= static_cast<double>(reduces_.size());
+  } else {
+    red_p = 1.0;
+  }
+  return 0.5 * map_p + 0.5 * red_p;
+}
+
+void Job::update_progress() {
+  const double p = progress();
+  while (p + 1e-12 >= next_milestone_ && next_milestone_ <= 1.0 + 1e-12) {
+    stats_.milestones.push_back({next_milestone_, simr().now()});
+    next_milestone_ += 0.05;
+  }
+}
+
+}  // namespace iosim::mapred

@@ -1,0 +1,90 @@
+// iosim: the job — JobTracker scheduling, task lifecycle, progress and
+// phase events.
+//
+// One Job instance runs one MapReduce application over a ClusterEnv. It
+// lays out the input in HDFS, assigns map tasks with locality preference as
+// slots free up (producing the "waves" the paper's Table II is about),
+// launches reducers after the slow-start threshold, and publishes the
+// events the meta-scheduler's phase detector consumes: first-map-done,
+// all-maps-done (Ph1→Ph2 boundary), shuffle-done (Ph2→Ph3 boundary) and
+// job-done.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mapred/cluster_env.hpp"
+#include "mapred/job_conf.hpp"
+#include "mapred/job_stats.hpp"
+#include "mapred/map_task.hpp"
+#include "mapred/reduce_task.hpp"
+#include "sim/random.hpp"
+
+namespace iosim::mapred {
+
+class Job {
+ public:
+  Job(ClusterEnv& env, JobConf conf, std::uint64_t seed);
+  ~Job();
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Lay out input and start scheduling. The caller then drives the
+  /// simulator; `on_done` fires when the last reducer commits.
+  void run();
+
+  const JobConf& conf() const { return conf_; }
+  const JobStats& stats() const { return stats_; }
+  ClusterEnv& env() { return env_; }
+  bool done() const { return done_; }
+
+  // Phase / lifecycle observers (set before run()).
+  std::function<void(Time)> on_first_map_done;
+  std::function<void(Time)> on_maps_done;
+  std::function<void(Time)> on_shuffle_done;
+  std::function<void(Time)> on_done;
+
+  /// Hadoop-style job progress in [0,1].
+  double progress() const;
+
+ private:
+  friend class MapTask;
+  friend class ReduceTask;
+
+  void try_assign_maps();
+  void launch_reducers_if_ready();
+  void map_finished(MapTask& task, MapOutput out);
+  void reducer_shuffle_finished(ReduceTask& task);
+  void reduce_finished(ReduceTask& task);
+  void update_progress();
+
+  // Accessors used by tasks.
+  sim::Simulator& simr() { return *env_.simr; }
+  const VmHandle& vm(int i) const { return env_.vms[static_cast<std::size_t>(i)]; }
+
+  ClusterEnv& env_;
+  JobConf conf_;
+  sim::Rng rng_;
+
+  std::vector<hdfs::DfsBlock> blocks_;
+  std::vector<std::unique_ptr<MapTask>> maps_;
+  std::vector<std::unique_ptr<ReduceTask>> reduces_;
+
+  std::vector<int> pending_maps_;      // map ids not yet assigned
+  std::vector<int> free_map_slots_;    // per VM
+  std::vector<int> free_reduce_slots_; // per VM
+  int next_reduce_to_place_ = 0;
+
+  std::vector<MapOutput> completed_outputs_;
+  int maps_done_ = 0;
+  int reducers_shuffle_done_ = 0;
+  int reduces_done_ = 0;
+  bool reducers_launched_ = false;
+  bool done_ = false;
+
+  JobStats stats_;
+  double next_milestone_ = 0.05;
+};
+
+}  // namespace iosim::mapred

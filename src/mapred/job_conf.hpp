@@ -1,0 +1,77 @@
+// iosim: job configuration (Hadoop 0.19 defaults where the paper does not
+// override them).
+#pragma once
+
+#include <cstdint>
+
+#include "mapred/workload_model.hpp"
+#include "sim/time.hpp"
+
+namespace iosim::mapred {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * 1024;
+inline constexpr std::int64_t kGiB = 1024 * 1024 * 1024;
+
+struct JobConf {
+  WorkloadModel workload;
+
+  /// Input data per data node (paper default: 512 MB per VM).
+  std::int64_t input_bytes_per_vm = 512 * kMiB;
+
+  /// dfs.block.size (Hadoop 0.19 default 64 MB; one map per block).
+  std::int64_t block_bytes = 64 * kMiB;
+
+  /// Task slots per TaskTracker — the paper provisions two concurrent maps
+  /// and two reduces per single-vCPU VM.
+  int map_slots = 2;
+  int reduce_slots = 2;
+
+  /// Reduce tasks per VM (R = reducers_per_vm * n_vms).
+  int reducers_per_vm = 2;
+
+  /// Effective request size streaming through the filesystem (256 KB).
+  std::int64_t io_unit_bytes = 256 * kKiB;
+
+  /// Outstanding bios per stream: readahead depth for sequential reads and
+  /// writeback depth for async writes (2.6-era readahead kept ~1 MB in
+  /// flight for a streaming reader; pdflush pushed several MB).
+  int read_window = 4;
+  int write_window = 8;
+
+  /// Map-side sort buffer (io.sort.mb = 100) and spill threshold
+  /// (io.sort.spill.percent = 0.80).
+  std::int64_t sort_buffer_bytes = 100 * kMiB;
+  double spill_threshold = 0.80;
+  /// Accounting overhead of buffered records (keys, pointers, index arrays)
+  /// relative to raw bytes — a 64 MB map output occupies ~1.6x that in the
+  /// collect buffer, which is why real sort maps spill more than once.
+  double sort_record_overhead = 1.6;
+
+  /// Bytes of input processed per read→compute cycle inside a map task.
+  std::int64_t map_chunk_bytes = 4 * kMiB;
+
+  /// Parallel fetch threads per reducer (mapred.reduce.parallel.copies = 5).
+  int shuffle_parallel = 5;
+
+  /// In-memory shuffle budget per reducer before the in-memory merger
+  /// flushes a segment to disk. Hadoop 0.19: shuffle.input.buffer.percent
+  /// (0.70) of the 0.19-era default 64 MB task heap region available to the
+  /// copier, flushed at shuffle.merge.percent — ~40 MB effective.
+  std::int64_t shuffle_mem_bytes = 40 * kMiB;
+
+  /// Fraction of maps that must finish before reducers are scheduled
+  /// (mapred.reduce.slowstart.completed.maps).
+  double slowstart = 0.05;
+
+  /// Task scheduling latency (heartbeat + JVM reuse; 0.19-era trackers).
+  sim::Time assign_latency = sim::Time::from_ms(300);
+
+  /// Derived: number of map tasks for a cluster of `n_vms`.
+  int n_maps(int n_vms) const {
+    return static_cast<int>((input_bytes_per_vm + block_bytes - 1) / block_bytes) * n_vms;
+  }
+  int n_reduces(int n_vms) const { return reducers_per_vm * n_vms; }
+};
+
+}  // namespace iosim::mapred

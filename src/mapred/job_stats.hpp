@@ -1,0 +1,52 @@
+// iosim: timings and counters collected from one job execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace iosim::mapred {
+
+using sim::Time;
+
+/// A (progress, time) milestone; progress uses the Hadoop formula
+/// (map half + reduce half, the reduce half split evenly between shuffle,
+/// merge and reduce).
+struct Milestone {
+  double progress = 0.0;
+  Time t;
+};
+
+struct JobStats {
+  Time t_start;
+  Time t_first_map_done;
+  Time t_maps_done;
+  Time t_shuffle_done;   // last reducer finished fetching
+  Time t_done;
+
+  int maps_total = 0;
+  int reduces_total = 0;
+
+  std::int64_t map_input_bytes = 0;
+  std::int64_t map_output_bytes = 0;
+  std::int64_t shuffle_bytes = 0;
+  std::int64_t output_bytes = 0;
+  std::int64_t map_side_spill_bytes = 0;
+
+  /// Progress milestones every 5% for the Fig. 4 sub-phase analysis.
+  std::vector<Milestone> milestones;
+
+  Time elapsed() const { return t_done - t_start; }
+  /// Duration of the non-overlapped shuffle tail (paper Table II numerator).
+  Time shuffle_tail() const {
+    return t_shuffle_done > t_maps_done ? t_shuffle_done - t_maps_done : Time::zero();
+  }
+  /// "Percentage of non-concurrent shuffle" — shuffle tail relative to the
+  /// whole job (see DESIGN.md experiment notes).
+  double shuffle_tail_pct() const {
+    return 100.0 * shuffle_tail().ratio(elapsed());
+  }
+};
+
+}  // namespace iosim::mapred

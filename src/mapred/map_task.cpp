@@ -1,0 +1,166 @@
+#include "mapred/map_task.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mapred/job.hpp"
+#include "mapred/merge_op.hpp"
+#include "virt/io_stream.hpp"
+
+namespace iosim::mapred {
+
+namespace {
+sim::Time cpu_cost(double ns_per_byte, std::int64_t bytes) {
+  return sim::Time::from_ns(
+      static_cast<std::int64_t>(ns_per_byte * static_cast<double>(bytes)));
+}
+}  // namespace
+
+MapTask::MapTask(Job& job, int task_id, const hdfs::DfsBlock& block, int vm)
+    : job_(job), task_id_(task_id), block_(block), vm_(vm),
+      io_ctx_(ctx::map_task(task_id)) {}
+
+void MapTask::start() {
+  src_ = job_.env().dfs->pick_replica(block_, vm_);
+  local_ = (src_.vm == vm_);
+  read_next_chunk();
+}
+
+void MapTask::read_next_chunk() {
+  const JobConf& c = job_.conf();
+  const std::int64_t chunk =
+      std::min<std::int64_t>(c.map_chunk_bytes, block_.bytes - read_off_);
+  assert(chunk > 0);
+  const disk::Lba at = src_.vlba + read_off_ / disk::kSectorBytes;
+  read_off_ += chunk;
+
+  virt::IoStreamParams sp;
+  sp.unit_sectors = c.io_unit_bytes / disk::kSectorBytes;
+  sp.window = c.read_window;  // readahead depth
+
+  const VmHandle& me = job_.vm(vm_);
+  if (local_) {
+    virt::IoStream::run(*me.vm, io_ctx_, at, chunk, iosched::Dir::kRead,
+                        /*sync=*/true, sp,
+                        [this, chunk](sim::Time) { chunk_read(chunk); });
+  } else {
+    // Remote HDFS read: the source DataNode reads the chunk, then it crosses
+    // the network, then the mapper consumes it.
+    const VmHandle& srcvm = job_.vm(src_.vm);
+    virt::IoStream::run(
+        *srcvm.vm, ctx::server(src_.vm), at, chunk, iosched::Dir::kRead,
+        /*sync=*/true, sp, [this, chunk, &srcvm, &me](sim::Time) {
+          job_.env().net->start_flow(srcvm.host, me.host, chunk,
+                                     [this, chunk](sim::Time) { chunk_read(chunk); });
+        });
+  }
+}
+
+void MapTask::chunk_read(std::int64_t bytes) {
+  const WorkloadModel& w = job_.conf().workload;
+  job_.vm(vm_).cpu->run(cpu_cost(w.map_cpu_ns_per_byte, bytes),
+                        [this, bytes] { chunk_computed(bytes); });
+}
+
+void MapTask::chunk_computed(std::int64_t in_bytes) {
+  const JobConf& c = job_.conf();
+  buffer_ += static_cast<std::int64_t>(c.workload.map_output_ratio *
+                                       static_cast<double>(in_bytes));
+  const auto threshold = static_cast<std::int64_t>(
+      c.spill_threshold * static_cast<double>(c.sort_buffer_bytes) /
+      c.sort_record_overhead);
+  if (buffer_ >= threshold) {
+    queue_spill(buffer_);
+    buffer_ = 0;
+  }
+  if (read_off_ < block_.bytes) {
+    read_next_chunk();
+  } else {
+    end_of_input();
+  }
+}
+
+void MapTask::queue_spill(std::int64_t bytes) {
+  if (bytes <= 0) return;
+  spill_queue_ += bytes;
+  if (!spill_running_) start_spill();
+}
+
+void MapTask::start_spill() {
+  assert(spill_queue_ > 0);
+  const std::int64_t bytes = spill_queue_;
+  spill_queue_ = 0;
+  spill_running_ = true;
+
+  const JobConf& c = job_.conf();
+  const VmHandle& me = job_.vm(vm_);
+  // Sort the buffer on the vCPU, then stream the spill file out (async
+  // writeback; the mapper thread does not wait on it).
+  me.cpu->run(cpu_cost(c.workload.sort_cpu_ns_per_byte, bytes), [this, bytes, &me, &c] {
+    const disk::Lba at =
+        me.vm->alloc(virt::DiskZone::kScratch, bytes / disk::kSectorBytes + 1);
+    virt::IoStreamParams sp;
+    sp.unit_sectors = c.io_unit_bytes / disk::kSectorBytes;
+    sp.window = c.write_window;  // writeback is more aggressive than readahead
+    job_.stats_.map_side_spill_bytes += bytes;
+    virt::IoStream::run(*me.vm, io_ctx_, at, bytes, iosched::Dir::kWrite,
+                        /*sync=*/false, sp, [this, at, bytes](sim::Time) {
+                          spills_.push_back({at, bytes});
+                          spill_running_ = false;
+                          if (spill_queue_ > 0) {
+                            start_spill();
+                          } else {
+                            maybe_finish();
+                          }
+                        });
+  });
+}
+
+void MapTask::end_of_input() {
+  input_done_ = true;
+  queue_spill(buffer_);
+  buffer_ = 0;
+  maybe_finish();
+}
+
+void MapTask::maybe_finish() {
+  if (!input_done_ || spill_running_ || spill_queue_ > 0) return;
+
+  if (spills_.empty()) {
+    finish(0, 0);  // map produced no output (fully combined away)
+    return;
+  }
+  if (spills_.size() == 1) {
+    finish(spills_[0].vlba, spills_[0].bytes);  // promote the only spill
+    return;
+  }
+
+  // Multi-spill merge into the final map output file.
+  const JobConf& c = job_.conf();
+  const VmHandle& me = job_.vm(vm_);
+  std::int64_t total = 0;
+  MergeOpParams mp;
+  for (const auto& s : spills_) {
+    mp.inputs.push_back({s.vlba, s.bytes});
+    total += s.bytes;
+  }
+  mp.out_vlba = me.vm->alloc(virt::DiskZone::kScratch, total / disk::kSectorBytes + 1);
+  mp.write_ratio = 1.0;
+  mp.cpu_ns_per_byte = c.workload.sort_cpu_ns_per_byte;
+  mp.io_unit_bytes = c.io_unit_bytes;
+  mp.window = c.read_window;
+  const disk::Lba out = mp.out_vlba;
+  MergeOp::run(me, io_ctx_, std::move(mp),
+               [this, out, total](sim::Time) { finish(out, total); });
+}
+
+void MapTask::finish(disk::Lba out_vlba, std::int64_t out_bytes) {
+  MapOutput mo;
+  mo.map_id = task_id_;
+  mo.vm = vm_;
+  mo.vlba = out_vlba;
+  mo.bytes = out_bytes;
+  job_.map_finished(*this, mo);
+}
+
+}  // namespace iosim::mapred

@@ -1,0 +1,76 @@
+// iosim: a Hadoop map task.
+//
+// Lifecycle (Hadoop 0.19 semantics):
+//   read a chunk of the input block (local HDFS replica when available,
+//   remote DataNode read + network transfer otherwise)
+//   -> run the map function on the vCPU
+//   -> buffer the map output; when the io.sort buffer crosses the spill
+//      threshold, sort (CPU) and spill to local disk asynchronously
+//   -> at end of input: final spill, and if more than one spill file exists,
+//      a k-way merge pass produces the single map output file reducers pull.
+//
+// The interleaving of sync sequential reads, CPU gaps and async spill
+// writes is precisely the mixed I/O pattern the paper's Section III blames
+// for every static scheduler pair being sub-optimal somewhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdfs/hdfs.hpp"
+#include "mapred/cluster_env.hpp"
+#include "sim/time.hpp"
+
+namespace iosim::mapred {
+
+class Job;
+
+/// A completed map's output file, advertised to reducers.
+struct MapOutput {
+  int map_id = -1;
+  int vm = -1;
+  disk::Lba vlba = 0;
+  std::int64_t bytes = 0;
+};
+
+class MapTask {
+ public:
+  MapTask(Job& job, int task_id, const hdfs::DfsBlock& block, int vm);
+
+  void start();
+  int task_id() const { return task_id_; }
+  int vm() const { return vm_; }
+
+ private:
+  struct SpillFile {
+    disk::Lba vlba;
+    std::int64_t bytes;
+  };
+
+  void read_next_chunk();
+  void chunk_read(std::int64_t bytes);
+  void chunk_computed(std::int64_t in_bytes);
+  void queue_spill(std::int64_t bytes);
+  void start_spill();
+  void end_of_input();
+  void maybe_finish();
+  void finish(disk::Lba out_vlba, std::int64_t out_bytes);
+
+  Job& job_;
+  int task_id_;
+  hdfs::DfsBlock block_;
+  int vm_;
+
+  std::uint64_t io_ctx_;
+  bool local_ = true;
+  hdfs::BlockReplica src_{};
+  std::int64_t read_off_ = 0;   // bytes of input consumed so far
+
+  std::int64_t buffer_ = 0;     // un-spilled map output bytes
+  std::int64_t spill_queue_ = 0;
+  bool spill_running_ = false;
+  bool input_done_ = false;
+  std::vector<SpillFile> spills_;
+};
+
+}  // namespace iosim::mapred

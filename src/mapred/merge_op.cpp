@@ -1,0 +1,102 @@
+#include "mapred/merge_op.hpp"
+
+#include <cassert>
+
+#include "disk/disk_model.hpp"
+
+namespace iosim::mapred {
+
+void MergeOp::run(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
+                  std::function<void(sim::Time)> on_done) {
+  auto self = std::shared_ptr<MergeOp>(
+      new MergeOp(vm, io_ctx, std::move(params), std::move(on_done)));
+  if (self->total_in_ == 0) {
+    // Degenerate: nothing to merge; complete asynchronously at "now".
+    self->done_fired_ = true;
+    auto cb = std::move(self->on_done_);
+    vm.simr->after(sim::Time::zero(), [cb = std::move(cb), self, simr = vm.simr] {
+      if (cb) cb(simr->now());
+    });
+    return;
+  }
+  self->pump(self);
+}
+
+MergeOp::MergeOp(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
+                 std::function<void(sim::Time)> on_done)
+    : vm_(vm), io_ctx_(io_ctx), p_(std::move(params)), on_done_(std::move(on_done)) {
+  cursors_.reserve(p_.inputs.size());
+  for (const auto& in : p_.inputs) {
+    if (in.bytes <= 0) continue;
+    cursors_.push_back({in.vlba, in.bytes});
+    total_in_ += in.bytes;
+  }
+  out_next_ = p_.out_vlba;
+}
+
+void MergeOp::pump(std::shared_ptr<MergeOp> self) {
+  while (inflight_ < p_.window && read_issued_ < total_in_) {
+    // Pick the next non-empty input round-robin.
+    std::size_t tries = 0;
+    while (cursors_[rr_].remaining == 0 && tries < cursors_.size()) {
+      rr_ = (rr_ + 1) % cursors_.size();
+      ++tries;
+    }
+    Cursor& c = cursors_[rr_];
+    if (c.remaining == 0) break;
+    const std::int64_t unit = std::min<std::int64_t>(p_.io_unit_bytes, c.remaining);
+    const auto sectors = (unit + disk::kSectorBytes - 1) / disk::kSectorBytes;
+    const disk::Lba at = c.next;
+    c.next += sectors;
+    c.remaining -= unit;
+    rr_ = (rr_ + 1) % cursors_.size();
+    read_issued_ += unit;
+    ++inflight_;
+    vm_.vm->submit_io(io_ctx_, at, sectors, iosched::Dir::kRead, /*sync=*/true,
+                      [this, self, unit](sim::Time t) {
+                        --inflight_;
+                        unit_read_done(self, unit, t);
+                        pump(self);
+                      });
+  }
+}
+
+void MergeOp::unit_read_done(std::shared_ptr<MergeOp> self, std::int64_t unit_bytes,
+                             sim::Time) {
+  read_done_ += unit_bytes;
+  if (p_.on_progress) p_.on_progress(read_done_, total_in_);
+
+  ++cpu_write_inflight_;
+  const auto cpu = sim::Time::from_ns(
+      static_cast<std::int64_t>(p_.cpu_ns_per_byte * static_cast<double>(unit_bytes)));
+  vm_.cpu->run(cpu, [this, self, unit_bytes] {
+    // Emit output for this unit (carry fractional bytes across units).
+    write_pending_bytes_ +=
+        static_cast<std::int64_t>(p_.write_ratio * static_cast<double>(unit_bytes));
+    const std::int64_t out_unit = write_pending_bytes_;
+    write_pending_bytes_ = 0;
+    if (out_unit <= 0) {
+      --cpu_write_inflight_;
+      maybe_finish(vm_.simr->now());
+      return;
+    }
+    const auto sectors = (out_unit + disk::kSectorBytes - 1) / disk::kSectorBytes;
+    const disk::Lba at = out_next_;
+    out_next_ += sectors;
+    vm_.vm->submit_io(io_ctx_, at, sectors, iosched::Dir::kWrite, /*sync=*/false,
+                      [this, self](sim::Time t2) {
+                        --cpu_write_inflight_;
+                        maybe_finish(t2);
+                      });
+  });
+}
+
+void MergeOp::maybe_finish(sim::Time t) {
+  if (done_fired_) return;
+  if (read_done_ == total_in_ && inflight_ == 0 && cpu_write_inflight_ == 0) {
+    done_fired_ = true;
+    if (on_done_) on_done_(t);
+  }
+}
+
+}  // namespace iosim::mapred

@@ -1,0 +1,75 @@
+// iosim: a Hadoop reduce task.
+//
+// Three phases, per the paper's decomposition:
+//   shuffle — pull one partition from every finished map (up to
+//             `shuffle_parallel` concurrent fetches; source-side DataNode
+//             disk reads + a network flow; fetched bytes accumulate in a
+//             memory budget and are flushed to disk as merged segments),
+//   merge/sort — k-way merge of the on-disk segments,
+//   reduce — user function on the merged stream, output written to HDFS
+//            (local replica + pipelined remote replica).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mapred/map_task.hpp"
+
+namespace iosim::mapred {
+
+class ReduceTask {
+ public:
+  ReduceTask(Job& job, int task_id, int vm);
+
+  void start();
+  /// Called by the job whenever a map completes (or, at start, for every
+  /// already-completed map).
+  void map_output_ready(const MapOutput& mo);
+
+  int task_id() const { return task_id_; }
+  int vm() const { return vm_; }
+  bool started() const { return started_; }
+  bool shuffle_complete() const { return shuffle_complete_; }
+
+  /// Hadoop-style phase progress in [0,1]: shuffle third + merge/reduce
+  /// two-thirds (by bytes).
+  double progress() const;
+
+ private:
+  struct Segment {
+    disk::Lba vlba;
+    std::int64_t bytes;
+  };
+
+  void pump_fetches();
+  void fetch(const MapOutput& mo);
+  void fetch_arrived(std::int64_t bytes);
+  void flush_memory();
+  void maybe_shuffle_done();
+  void start_merge_reduce();
+  void part_done();
+
+  Job& job_;
+  int task_id_;
+  int vm_;
+  std::uint64_t io_ctx_;
+
+  bool started_ = false;
+  std::deque<MapOutput> fetch_queue_;
+  int active_fetches_ = 0;
+  int maps_fetched_ = 0;
+  bool shuffle_complete_ = false;
+
+  std::int64_t mem_used_ = 0;
+  std::int64_t received_ = 0;       // total shuffle bytes received
+  std::vector<Segment> segments_;   // on-disk merged segments
+  int flush_inflight_ = 0;
+
+  std::int64_t merged_ = 0;         // merge/reduce progress in bytes
+  std::int64_t merge_total_ = 0;
+  int parts_left_ = 0;              // local merge + mem CPU + replication
+  bool finished_ = false;
+};
+
+}  // namespace iosim::mapred

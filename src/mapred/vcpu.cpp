@@ -1,0 +1,71 @@
+#include "mapred/vcpu.hpp"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace iosim::mapred {
+
+namespace {
+constexpr double kEpsilonNs = 1.0;
+}
+
+void VCpu::run(Time cpu_time, std::function<void()> done) {
+  advance(simr_.now());
+  if (cpu_time <= Time::zero()) {
+    // Zero-cost burst: complete on a fresh event to keep callback ordering
+    // consistent with real bursts.
+    simr_.after(Time::zero(), std::move(done));
+    reschedule();
+    return;
+  }
+  bursts_.emplace(next_id_++,
+                  Burst{static_cast<double>(cpu_time.ns()), std::move(done)});
+  reschedule();
+}
+
+void VCpu::advance(Time now) {
+  const double dt_ns = static_cast<double>((now - last_update_).ns());
+  last_update_ = now;
+  if (dt_ns <= 0.0 || bursts_.empty()) return;
+  const double share = dt_ns / static_cast<double>(bursts_.size());
+  for (auto& [id, b] : bursts_) {
+    (void)id;
+    b.remaining_ns -= share;
+    if (b.remaining_ns < 0.0) b.remaining_ns = 0.0;
+  }
+  consumed_ += Time::from_ns(static_cast<std::int64_t>(dt_ns));
+}
+
+void VCpu::reschedule() {
+  if (ev_ != sim::kInvalidEvent) {
+    simr_.cancel(ev_);
+    ev_ = sim::kInvalidEvent;
+  }
+  if (bursts_.empty()) return;
+
+  double soonest_ns = std::numeric_limits<double>::infinity();
+  for (const auto& [id, b] : bursts_) {
+    (void)id;
+    const double t = std::max(0.0, b.remaining_ns - kEpsilonNs) *
+                     static_cast<double>(bursts_.size());
+    soonest_ns = std::min(soonest_ns, t);
+  }
+  ev_ = simr_.after(Time::from_ns(static_cast<std::int64_t>(soonest_ns) + 1), [this] {
+    ev_ = sim::kInvalidEvent;
+    advance(simr_.now());
+    std::vector<std::function<void()>> done;
+    for (auto it = bursts_.begin(); it != bursts_.end();) {
+      if (it->second.remaining_ns <= kEpsilonNs) {
+        done.push_back(std::move(it->second.done));
+        it = bursts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reschedule();
+    for (auto& fn : done) fn();
+  });
+}
+
+}  // namespace iosim::mapred

@@ -1,0 +1,53 @@
+// iosim: per-VM vCPU with processor sharing.
+//
+// Each DomU in the paper's setup has one VCPU pinned to its own physical
+// core, so there is no cross-VM CPU contention — but the two map/reduce
+// tasks *inside* a VM share that single vCPU. Bursts submitted here receive
+// an equal share of the processor (fluid approximation of the guest kernel
+// scheduler), recomputed whenever a burst starts or finishes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/simulator.hpp"
+
+namespace iosim::mapred {
+
+using sim::Time;
+
+class VCpu {
+ public:
+  explicit VCpu(sim::Simulator& simr) : simr_(simr), last_update_(simr.now()) {}
+  VCpu(const VCpu&) = delete;
+  VCpu& operator=(const VCpu&) = delete;
+
+  /// Run a burst needing `cpu_time` of dedicated-CPU work; `done` fires when
+  /// it has accumulated that much share.
+  void run(Time cpu_time, std::function<void()> done);
+
+  /// Bursts currently sharing the vCPU.
+  std::size_t active() const { return bursts_.size(); }
+
+  /// Total CPU time consumed so far (for utilization accounting).
+  Time consumed() const { return consumed_; }
+
+ private:
+  struct Burst {
+    double remaining_ns;
+    std::function<void()> done;
+  };
+
+  void advance(Time now);
+  void reschedule();
+
+  sim::Simulator& simr_;
+  Time last_update_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Burst> bursts_;
+  sim::EventId ev_ = sim::kInvalidEvent;
+  Time consumed_;
+};
+
+}  // namespace iosim::mapred

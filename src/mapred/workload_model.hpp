@@ -1,0 +1,41 @@
+// iosim: per-application cost model.
+//
+// The paper classifies MapReduce applications by their disk footprint:
+// "heavy" (big map output AND big reduce output — stream sort), "moderate"
+// (big map output only — wordcount without combiner) and "light" (neither —
+// default wordcount). These few ratios plus CPU costs per byte are all that
+// distinguishes the three benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iosim::mapred {
+
+struct WorkloadModel {
+  std::string name = "job";
+
+  /// Map output bytes per map input byte. Paper: wordcount w/o combiner
+  /// emits ~1.7x its input; sort 1.0; wordcount with combiner a few percent.
+  double map_output_ratio = 1.0;
+
+  /// Job output bytes per shuffled byte (reduce side). Sort rewrites
+  /// everything (1.0); wordcount reduces to counts (small).
+  double reduce_output_ratio = 1.0;
+
+  /// CPU cost of the map function per input byte (ns/byte). Wordcount
+  /// tokenizes and counts (expensive); sort's map is identity (cheap).
+  double map_cpu_ns_per_byte = 8.0;
+
+  /// CPU cost of sorting/combining a spill per buffered byte.
+  double sort_cpu_ns_per_byte = 4.0;
+
+  /// CPU cost of merge + reduce function per shuffled byte.
+  double reduce_cpu_ns_per_byte = 6.0;
+
+  /// Whether a combiner collapses the in-memory map output before spilling
+  /// (affects only bookkeeping; the collapse itself is map_output_ratio).
+  bool combiner = false;
+};
+
+}  // namespace iosim::mapred

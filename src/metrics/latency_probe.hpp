@@ -1,0 +1,48 @@
+// iosim: request-latency probe.
+//
+// Records the block-layer residence time (submit -> completion) of every
+// request finishing at a layer, separated by direction and sync class.
+// Complements the throughput probe: the paper's pipeline-stall arguments
+// (sync reads waiting behind writes under noop/deadline) show up here as
+// read-latency percentiles.
+#pragma once
+
+#include "blk/block_layer.hpp"
+#include "sim/stats.hpp"
+
+namespace iosim::metrics {
+
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(blk::BlockLayer& layer) {
+    layer.add_completion_observer([this](const iosched::Request& rq, sim::Time now) {
+      const double ms = (now - rq.submit).ms();
+      all_.add(ms);
+      if (rq.dir == iosched::Dir::kRead) {
+        reads_.add(ms);
+      } else {
+        writes_.add(ms);
+      }
+      if (rq.sync) sync_.add(ms);
+    });
+  }
+
+  const sim::SampleSet& all() const { return all_; }
+  const sim::SampleSet& reads() const { return reads_; }
+  const sim::SampleSet& writes() const { return writes_; }
+  const sim::SampleSet& sync() const { return sync_; }
+
+  /// Convenience percentile accessors (milliseconds).
+  double read_p50() const { return reads_.quantile(0.5); }
+  double read_p99() const { return reads_.quantile(0.99); }
+  double write_p50() const { return writes_.quantile(0.5); }
+  double write_p99() const { return writes_.quantile(0.99); }
+
+ private:
+  sim::SampleSet all_;
+  sim::SampleSet reads_;
+  sim::SampleSet writes_;
+  sim::SampleSet sync_;
+};
+
+}  // namespace iosim::metrics

@@ -1,0 +1,51 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+
+namespace iosim::metrics {
+
+void Table::print(std::FILE* out) const {
+  if (!title_.empty()) std::fprintf(out, "\n== %s ==\n", title_.c_str());
+
+  std::vector<std::size_t> width(headers_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      std::fprintf(out, "%s%-*s", i == 0 ? "" : "  ",
+                   static_cast<int>(width[i]), c.c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  std::string sep(total > 2 ? total - 2 : 0, '-');
+  std::fprintf(out, "%s\n", sep.c_str());
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto append = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += ',';
+      out += cells[i];
+    }
+    out += '\n';
+  };
+  append(headers_);
+  for (const auto& r : rows_) append(r);
+  return out;
+}
+
+}  // namespace iosim::metrics

@@ -1,0 +1,46 @@
+// iosim: aligned-text and CSV table output used by every bench binary.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace iosim::metrics {
+
+/// Minimal table builder: set headers, append rows of strings (helpers for
+/// numbers), print aligned text to stdout and/or dump CSV.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  Table& headers(std::vector<std::string> h) {
+    headers_ = std::move(h);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  static std::string num(double v, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+  static std::string pct(double v, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", precision, v);
+    return buf;
+  }
+
+  void print(std::FILE* out = stdout) const;
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iosim::metrics

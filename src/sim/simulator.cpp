@@ -1,0 +1,67 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace iosim::sim {
+
+EventId Simulator::at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // clamp: scheduling in the past runs "now"
+  const EventId id = next_id_++;
+  heap_.push(Event{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::after(Time delay, std::function<void()> fn) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent) return false;
+  if (id >= next_id_) return false;
+  // We cannot know cheaply whether the event already ran; we track only the
+  // still-pending set implicitly. Insert into the cancelled set; if the id
+  // is not in the heap anymore the entry is harmless and cleaned on pop of a
+  // matching id never happening — bounded because ids are unique.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.t > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace iosim::sim

@@ -1,0 +1,114 @@
+// iosim: small online-statistics helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace iosim::sim {
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir of raw samples with quantile queries. For the sample counts in
+/// this repo (tens of thousands) storing everything is fine and exact.
+class SampleSet {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const {
+    if (xs_.empty()) return 0.0;
+    sort_if_needed();
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(xs_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+  }
+
+  double mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
+  /// Empirical CDF evaluated at sorted sample points: pairs (x, F(x)).
+  std::vector<std::pair<double, double>> cdf() const {
+    sort_if_needed();
+    std::vector<std::pair<double, double>> out;
+    out.reserve(xs_.size());
+    const auto n = static_cast<double>(xs_.size());
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      out.emplace_back(xs_[i], static_cast<double>(i + 1) / n);
+    }
+    return out;
+  }
+
+  const std::vector<double>& raw() const { return xs_; }
+
+ private:
+  void sort_if_needed() const {
+    if (!sorted_) {
+      std::sort(xs_.begin(), xs_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+};
+
+/// Jain's fairness index over a set of allocations: (Σx)² / (n·Σx²).
+/// 1.0 = perfectly fair; 1/n = maximally unfair. Used for the Fig. 3 style
+/// "CFQ is fairer across VMs" observation.
+inline double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double s = 0.0, s2 = 0.0;
+  for (double x : xs) {
+    s += x;
+    s2 += x * x;
+  }
+  if (s2 == 0.0) return 1.0;
+  return (s * s) / (static_cast<double>(xs.size()) * s2);
+}
+
+}  // namespace iosim::sim

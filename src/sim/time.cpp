@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace iosim::sim {
+
+std::string Time::to_string() const {
+  char buf[64];
+  const std::int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", sec());
+  } else if (abs_ns >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ms());
+  } else if (abs_ns >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+}  // namespace iosim::sim

@@ -1,0 +1,78 @@
+// iosim: simulated-time strong type.
+//
+// All simulated time in the library is carried by `sim::Time`, an integer
+// count of nanoseconds since simulation start. Using a strong type (rather
+// than a bare int64_t or a floating-point second count) keeps arithmetic
+// deterministic across platforms and makes unit mistakes a compile error.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace iosim::sim {
+
+/// A point in simulated time (or a duration between two points), stored as
+/// integer nanoseconds. The same type deliberately serves both roles, like
+/// `std::chrono` would with a single rep: the simulator never needs the
+/// distinction and the code stays terse.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Construct from raw nanoseconds. Prefer the named factories below.
+  static constexpr Time from_ns(std::int64_t ns) { return Time{ns}; }
+  static constexpr Time from_us(std::int64_t us) { return Time{us * 1000}; }
+  static constexpr Time from_ms(std::int64_t ms) { return Time{ms * 1'000'000}; }
+  static constexpr Time from_sec(std::int64_t s) { return Time{s * 1'000'000'000}; }
+
+  /// Construct from a floating-point second count (rounded to the nearest
+  /// nanosecond). Used at model boundaries where rates are expressed in
+  /// seconds; internal arithmetic stays integral.
+  static constexpr Time from_sec_f(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() { return Time{std::numeric_limits<std::int64_t>::max()}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time o) const { return Time{ns_ + o.ns_}; }
+  constexpr Time operator-(Time o) const { return Time{ns_ - o.ns_}; }
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+
+  /// Scale a duration. Rounds toward zero; fine for model constants.
+  constexpr Time operator*(double f) const {
+    return Time{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+  constexpr Time operator/(std::int64_t d) const { return Time{ns_ / d}; }
+
+  /// Ratio of two durations as a double (e.g. for progress fractions).
+  constexpr double ratio(Time denom) const {
+    return denom.ns_ == 0 ? 0.0 : static_cast<double>(ns_) / static_cast<double>(denom.ns_);
+  }
+
+  /// Human-readable rendering ("12.345s", "3.2ms", ...). For logs and tables.
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+inline namespace literals {
+constexpr Time operator""_ns(unsigned long long v) { return Time::from_ns(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_us(unsigned long long v) { return Time::from_us(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::from_ms(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_sec(unsigned long long v) { return Time::from_sec(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace iosim::sim

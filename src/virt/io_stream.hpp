@@ -1,0 +1,54 @@
+// iosim: helper for issuing a large sequential transfer as a stream of
+// fixed-size bios with a bounded window of outstanding requests — the shape
+// a real process produces through readahead (reads) or writeback (writes).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "virt/domu.hpp"
+
+namespace iosim::virt {
+
+struct IoStreamParams {
+  /// Bio size (sectors). 512 sectors = 256 KB, the effective request size a
+  /// 2.6-era filesystem produced for streaming I/O.
+  std::int64_t unit_sectors = 512;
+  /// Outstanding bios: 2 for sync reads (readahead depth), larger for
+  /// writeback-style async writes.
+  int window = 2;
+};
+
+/// Fire-and-forget sequential transfer on a DomU virtual disk. The object
+/// manages its own lifetime; `on_done(t)` is invoked once after the last bio
+/// completes.
+class IoStream {
+ public:
+  /// Issue `bytes` at `vlba` for task `ctx`. Rounds the byte count up to
+  /// whole sectors.
+  static void run(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t bytes,
+                  iosched::Dir dir, bool sync, IoStreamParams params,
+                  std::function<void(sim::Time)> on_done);
+
+ private:
+  IoStream(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t sectors,
+           iosched::Dir dir, bool sync, IoStreamParams params,
+           std::function<void(sim::Time)> on_done)
+      : vm_(vm), ctx_(ctx), next_lba_(vlba), end_lba_(vlba + sectors), dir_(dir),
+        sync_(sync), p_(params), on_done_(std::move(on_done)) {}
+
+  void pump(std::shared_ptr<IoStream> self);
+
+  DomU& vm_;
+  std::uint64_t ctx_;
+  disk::Lba next_lba_;
+  disk::Lba end_lba_;
+  iosched::Dir dir_;
+  bool sync_;
+  IoStreamParams p_;
+  std::function<void(sim::Time)> on_done_;
+  int outstanding_ = 0;
+  bool done_fired_ = false;
+};
+
+}  // namespace iosim::virt

@@ -1,0 +1,33 @@
+#include "virt/physical_host.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace iosim::virt {
+
+PhysicalHost::PhysicalHost(sim::Simulator& simr, HostConfig cfg, int host_id,
+                           std::uint64_t vm_ctx_base, std::uint64_t seed)
+    : simr_(simr), cfg_(cfg), host_id_(host_id), vm_ctx_base_(vm_ctx_base) {
+  disk_ = std::make_unique<blk::DiskDevice>(simr_, cfg_.disk, seed);
+  blk::BlockLayerConfig dcfg = cfg_.dom0_blk;
+  dcfg.name = "host" + std::to_string(host_id) + "/dom0";
+  dom0_ = std::make_unique<blk::BlockLayer>(simr_, *disk_, dcfg);
+}
+
+DomU& PhysicalHost::add_vm() {
+  const auto i = static_cast<int>(vms_.size());
+  assert(i < cfg_.image_slots && "host out of disk-image slots");
+  const disk::Lba slot = cfg_.disk.capacity_sectors / cfg_.image_slots;
+  const disk::Lba base = slot * i;
+  const auto image_sectors =
+      static_cast<disk::Lba>(static_cast<double>(slot) * cfg_.image_frac);
+
+  DomUConfig vcfg = cfg_.domu;
+  vcfg.guest_blk.name =
+      "host" + std::to_string(host_id_) + "/vm" + std::to_string(i);
+  vms_.push_back(std::make_unique<DomU>(simr_, vm_ctx_base_ + static_cast<std::uint64_t>(i),
+                                        *dom0_, base, image_sectors, vcfg));
+  return *vms_.back();
+}
+
+}  // namespace iosim::virt

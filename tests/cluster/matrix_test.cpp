@@ -1,0 +1,104 @@
+// Parameterized end-to-end matrix: every workload on several cluster
+// shapes completes with conserved byte accounting and ordered phases —
+// the broad integration safety net behind the bench sweeps.
+#include <gtest/gtest.h>
+
+#include "cluster/runner.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace iosim::cluster {
+namespace {
+
+struct Shape {
+  const char* name;
+  int hosts;
+  int vms;
+  std::int64_t mb_per_vm;
+};
+
+const Shape kShapes[] = {
+    {"single_vm", 1, 1, 64},
+    {"one_host", 1, 4, 128},
+    {"two_hosts", 2, 2, 128},
+    {"wide", 3, 4, 64},
+};
+
+enum class Wl { kSort, kWordcount, kNoCombiner };
+
+class EndToEndMatrix : public ::testing::TestWithParam<std::tuple<int, Wl>> {
+ protected:
+  const Shape& shape() const { return kShapes[std::get<0>(GetParam())]; }
+  mapred::JobConf job() const {
+    mapred::WorkloadModel m;
+    switch (std::get<1>(GetParam())) {
+      case Wl::kSort: m = workloads::stream_sort(); break;
+      case Wl::kWordcount: m = workloads::wordcount(); break;
+      case Wl::kNoCombiner: m = workloads::wordcount_no_combiner(); break;
+    }
+    return workloads::make_job(m, shape().mb_per_vm * mapred::kMiB);
+  }
+  ClusterConfig cfg() const {
+    ClusterConfig c;
+    c.n_hosts = shape().hosts;
+    c.vms_per_host = shape().vms;
+    return c;
+  }
+};
+
+TEST_P(EndToEndMatrix, CompletesWithSaneAccounting) {
+  const auto jc = job();
+  const RunResult r = run_job(cfg(), jc);
+  const auto& s = r.stats;
+
+  EXPECT_GT(r.seconds, 0.0);
+  // Phase ordering.
+  EXPECT_LE(s.t_start, s.t_maps_done);
+  EXPECT_LE(s.t_maps_done, s.t_shuffle_done);
+  EXPECT_LE(s.t_shuffle_done, s.t_done);
+
+  // Input fully read.
+  const int n_vms = shape().hosts * shape().vms;
+  EXPECT_EQ(s.map_input_bytes, jc.input_bytes_per_vm * n_vms);
+  // Map output respects the workload ratio (integer truncation slack).
+  EXPECT_NEAR(static_cast<double>(s.map_output_bytes),
+              jc.workload.map_output_ratio * static_cast<double>(s.map_input_bytes),
+              0.02 * static_cast<double>(s.map_input_bytes) + 1024);
+  // Everything produced was shuffled (partition rounding slack).
+  EXPECT_LE(s.shuffle_bytes, s.map_output_bytes);
+  EXPECT_NEAR(static_cast<double>(s.shuffle_bytes),
+              static_cast<double>(s.map_output_bytes),
+              0.02 * static_cast<double>(s.map_output_bytes) +
+                  static_cast<double>(s.reduces_total) * 1024.0);
+  // Output respects the reduce ratio.
+  EXPECT_NEAR(static_cast<double>(s.output_bytes),
+              jc.workload.reduce_output_ratio * static_cast<double>(s.shuffle_bytes),
+              0.02 * static_cast<double>(s.shuffle_bytes) + 1024);
+}
+
+TEST_P(EndToEndMatrix, NoopVmmNeverFasterThanDefault) {
+  // The paper's robust ordering: FIFO at the hypervisor cannot beat CFQ
+  // with concurrent VMs (single-VM shapes are exempt: no interleaving).
+  if (shape().vms < 2) GTEST_SKIP() << "needs VM contention";
+  const auto jc = job();
+  ClusterConfig def = cfg();
+  ClusterConfig bad = cfg();
+  bad.pair = {iosched::SchedulerKind::kNoop, iosched::SchedulerKind::kCfq};
+  EXPECT_GE(run_job(bad, jc).seconds, run_job(def, jc).seconds * 0.98);
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<std::tuple<int, Wl>>& info) {
+  const char* wl = std::get<1>(info.param) == Wl::kSort
+                       ? "sort"
+                       : (std::get<1>(info.param) == Wl::kWordcount ? "wordcount"
+                                                                    : "nocombiner");
+  return std::string(kShapes[std::get<0>(info.param)].name) + "_" + wl;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EndToEndMatrix,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(std::size(kShapes))),
+                       ::testing::Values(Wl::kSort, Wl::kWordcount, Wl::kNoCombiner)),
+    matrix_name);
+
+}  // namespace
+}  // namespace iosim::cluster

@@ -1,0 +1,174 @@
+// Tests for phase planning/detection, pair schedules, and the adaptive
+// controller.
+#include <gtest/gtest.h>
+
+#include "cluster/runner.hpp"
+#include "core/adaptive_controller.hpp"
+#include "core/pair_schedule.hpp"
+#include "core/phase_detector.hpp"
+#include "core/phase_plan.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace iosim::core {
+namespace {
+
+using cluster::ClusterConfig;
+using iosched::SchedulerKind;
+using sim::Time;
+
+ClusterConfig tiny() {
+  ClusterConfig cfg;
+  cfg.n_hosts = 2;
+  cfg.vms_per_host = 2;
+  return cfg;
+}
+
+TEST(PhasePlan, WavesFormulaMatchesTableII) {
+  auto jc = workloads::make_job(workloads::stream_sort(), 512 * mapred::kMiB);
+  // 8 blocks per VM over 2 map slots = 4 waves, any VM count.
+  EXPECT_DOUBLE_EQ(PhasePlan::waves(jc, 16), 4.0);
+  EXPECT_DOUBLE_EQ(PhasePlan::waves(jc, 4), 4.0);
+  jc.input_bytes_per_vm = 128 * mapred::kMiB;
+  EXPECT_DOUBLE_EQ(PhasePlan::waves(jc, 16), 1.0);
+}
+
+TEST(PhasePlan, MergeRuleFollowsWaveCount) {
+  auto jc = workloads::make_job(workloads::stream_sort(), 512 * mapred::kMiB);
+  EXPECT_TRUE(PhasePlan::for_job(jc, 16).merge_shuffle_tail);   // 4 waves
+  EXPECT_EQ(PhasePlan::for_job(jc, 16).count(), 2);
+  jc.input_bytes_per_vm = 128 * mapred::kMiB;                    // 1 wave
+  EXPECT_FALSE(PhasePlan::for_job(jc, 16).merge_shuffle_tail);
+  EXPECT_EQ(PhasePlan::for_job(jc, 16).count(), 3);
+}
+
+TEST(PairSchedule, SingleHasNoSwitches) {
+  const auto s = PairSchedule::single({SchedulerKind::kCfq, SchedulerKind::kCfq}, 3);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_EQ(s.switches(), 0);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(s.effective(i), iosched::kDefaultPair);
+}
+
+TEST(PairSchedule, EffectiveResolvesZeros) {
+  PairSchedule s;
+  s.phases = {iosched::SchedulerPair{SchedulerKind::kAnticipatory, SchedulerKind::kCfq},
+              std::nullopt,
+              iosched::SchedulerPair{SchedulerKind::kDeadline, SchedulerKind::kDeadline}};
+  EXPECT_EQ(s.effective(0).vmm, SchedulerKind::kAnticipatory);
+  EXPECT_EQ(s.effective(1).vmm, SchedulerKind::kAnticipatory);  // the "0"
+  EXPECT_EQ(s.effective(2).vmm, SchedulerKind::kDeadline);
+  EXPECT_EQ(s.switches(), 1);
+}
+
+TEST(PairSchedule, RedundantEntryCountsAsSwitch) {
+  PairSchedule s;
+  s.phases = {iosched::kDefaultPair, iosched::SchedulerPair{SchedulerKind::kCfq,
+                                                            SchedulerKind::kCfq}};
+  // Same pair named explicitly: no *effective* transition.
+  EXPECT_EQ(s.switches(), 0);
+}
+
+TEST(PairSchedule, StringAndKeyFormats) {
+  PairSchedule s;
+  s.phases = {iosched::SchedulerPair{SchedulerKind::kAnticipatory, SchedulerKind::kCfq},
+              std::nullopt};
+  EXPECT_EQ(s.to_string(), "[(anticipatory, cfq) -> 0]");
+  EXPECT_EQ(s.key(), "ac--");
+}
+
+TEST(PhaseDetector, ReportsPhaseEntriesInOrder) {
+  cluster::Cluster cl(tiny());
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  mapred::Job job(cl.env(), jc, 3);
+  std::vector<std::pair<int, Time>> entries;
+  PhaseDetector::attach(job, PhasePlan{/*merge=*/false},
+                        [&](int ph, Time t) { entries.emplace_back(ph, t); });
+  job.run();
+  cl.simr().run();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, 0);
+  EXPECT_EQ(entries[1].first, 1);
+  EXPECT_EQ(entries[2].first, 2);
+  EXPECT_LE(entries[0].second, entries[1].second);
+  EXPECT_LE(entries[1].second, entries[2].second);
+  EXPECT_EQ(entries[1].second, job.stats().t_maps_done);
+  EXPECT_EQ(entries[2].second, job.stats().t_shuffle_done);
+}
+
+TEST(PhaseDetector, MergedPlanSkipsShuffleBoundary) {
+  cluster::Cluster cl(tiny());
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  mapred::Job job(cl.env(), jc, 3);
+  std::vector<int> phases;
+  PhaseDetector::attach(job, PhasePlan{/*merge=*/true},
+                        [&](int ph, Time) { phases.push_back(ph); });
+  job.run();
+  cl.simr().run();
+  EXPECT_EQ(phases, (std::vector<int>{0, 1}));
+}
+
+TEST(PhaseDetector, ChainsExistingCallbacks) {
+  cluster::Cluster cl(tiny());
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  mapred::Job job(cl.env(), jc, 3);
+  bool user_cb = false;
+  job.on_maps_done = [&](Time) { user_cb = true; };
+  bool detector_cb = false;
+  PhaseDetector::attach(job, PhasePlan{true}, [&](int ph, Time) {
+    if (ph == 1) detector_cb = true;
+  });
+  job.run();
+  cl.simr().run();
+  EXPECT_TRUE(user_cb);
+  EXPECT_TRUE(detector_cb);
+}
+
+TEST(AdaptiveController, SwitchesAtMapsDone) {
+  ClusterConfig cfg = tiny();
+  cfg.pair = {SchedulerKind::kAnticipatory, SchedulerKind::kAnticipatory};
+  cluster::Cluster cl(cfg);
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  mapred::Job job(cl.env(), jc, 3);
+
+  PairSchedule sched;
+  sched.phases = {cfg.pair,
+                  iosched::SchedulerPair{SchedulerKind::kDeadline, SchedulerKind::kDeadline}};
+  auto ctl = AdaptiveController::attach(cl, job, sched, PhasePlan{true});
+  job.run();
+  cl.simr().run();
+  EXPECT_TRUE(job.done());
+  EXPECT_EQ(ctl->switches_performed(), 1);
+  EXPECT_EQ(cl.pair().vmm, SchedulerKind::kDeadline);
+  EXPECT_EQ(cl.host(0).dom0_layer().counters().scheduler_switches, 1u);
+}
+
+TEST(AdaptiveController, NoSwitchForNulloptPhase) {
+  ClusterConfig cfg = tiny();
+  cluster::Cluster cl(cfg);
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  mapred::Job job(cl.env(), jc, 3);
+  auto ctl = AdaptiveController::attach(
+      cl, job, PairSchedule::single(cfg.pair, 2), PhasePlan{true});
+  job.run();
+  cl.simr().run();
+  EXPECT_EQ(ctl->switches_performed(), 0);
+  EXPECT_EQ(cl.host(0).dom0_layer().counters().scheduler_switches, 0u);
+}
+
+TEST(AdaptiveController, SwitchCostSlowsTheJob) {
+  // A schedule that switches to the SAME effective behaviour still pays the
+  // quiesce: the run must not be faster than the plain single-pair run.
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  const double plain = cluster::run_job(tiny(), jc).seconds;
+
+  PairSchedule with_switch;
+  with_switch.phases = {iosched::kDefaultPair,
+                        iosched::SchedulerPair{SchedulerKind::kCfq, SchedulerKind::kCfq}};
+  const double switched =
+      cluster::run_job(tiny(), jc, [&](cluster::Cluster& cl, mapred::Job& job) {
+        AdaptiveController::attach(cl, job, with_switch, PhasePlan{true});
+      }).seconds;
+  EXPECT_GE(switched, plain - 1e-9);
+}
+
+}  // namespace
+}  // namespace iosim::core

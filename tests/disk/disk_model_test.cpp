@@ -1,0 +1,166 @@
+#include "disk/disk_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iosim::disk {
+namespace {
+
+using sim::Time;
+
+DiskParams small_params() {
+  DiskParams p;
+  p.capacity_sectors = 1'000'000;
+  return p;
+}
+
+TEST(DiskModel, RateZoning) {
+  DiskModel d(DiskParams{}, 1);
+  const double outer = d.rate_at(0);
+  const double inner = d.rate_at(d.params().capacity_sectors - 1);
+  EXPECT_NEAR(outer, d.params().outer_mb_s * 1e6, 1e-3);
+  EXPECT_NEAR(inner, d.params().inner_mb_s * 1e6, d.params().outer_mb_s);
+  EXPECT_GT(outer, inner);
+  // Linear in between.
+  const double mid = d.rate_at(d.params().capacity_sectors / 2);
+  EXPECT_NEAR(mid, (outer + inner) / 2, outer * 0.01);
+}
+
+TEST(DiskModel, TransferTimeMatchesRate) {
+  DiskModel d(DiskParams{}, 1);
+  const std::int64_t sectors = 2048;  // 1 MB
+  const Time t = d.transfer_time(0, sectors);
+  const double expected = 1024.0 * 1024.0 / (d.params().outer_mb_s * 1e6);
+  EXPECT_NEAR(t.sec(), expected, expected * 0.02);
+}
+
+TEST(DiskModel, TransferScalesLinearly) {
+  DiskModel d(DiskParams{}, 1);
+  const Time t1 = d.transfer_time(0, 1024);
+  const Time t2 = d.transfer_time(0, 2048);
+  EXPECT_NEAR(t2.sec(), 2.0 * t1.sec(), t1.sec() * 0.05);
+}
+
+TEST(DiskModel, SeekZeroDistanceIsFree) {
+  DiskModel d(DiskParams{}, 1);
+  EXPECT_EQ(d.seek_time(0), Time::zero());
+}
+
+TEST(DiskModel, NearSeekUsesSettleTime) {
+  DiskModel d(DiskParams{}, 1);
+  EXPECT_EQ(d.seek_time(d.params().near_window_sectors), d.params().near_settle);
+  EXPECT_EQ(d.seek_time(1), d.params().near_settle);
+}
+
+TEST(DiskModel, SeekMonotoneInDistance) {
+  DiskModel d(DiskParams{}, 1);
+  Time prev = Time::zero();
+  for (Lba dist = 4096; dist < d.params().capacity_sectors; dist *= 4) {
+    const Time t = d.seek_time(dist);
+    EXPECT_GE(t, prev) << "distance " << dist;
+    EXPECT_GT(t, d.params().seek_min - Time::from_us(1));
+    EXPECT_LE(t, d.params().seek_max);
+    prev = t;
+  }
+}
+
+TEST(DiskModel, FullStrokeSeekNearMax) {
+  DiskModel d(DiskParams{}, 1);
+  const Time t = d.seek_time(d.params().capacity_sectors);
+  EXPECT_NEAR(t.ms(), d.params().seek_max.ms(), 0.1);
+}
+
+TEST(DiskModel, ContiguousAccessSkipsPositioning) {
+  DiskModel d(DiskParams{}, 1);
+  (void)d.service({1000, 512, false});  // position the head
+  const Time t = d.service({1512, 512, false});
+  // Pure transfer + command overhead, no rotation: must be well under a
+  // rotation period.
+  const Time transfer = d.transfer_time(1512, 512);
+  EXPECT_LT(t, transfer + d.params().command_overhead + Time::from_us(10));
+  EXPECT_EQ(d.sequential_accesses(), 1);
+}
+
+TEST(DiskModel, RandomAccessPaysSeekAndRotation) {
+  DiskModel d(DiskParams{}, 1);
+  (void)d.service({0, 512, false});
+  const Time t = d.service({500'000'000, 512, false});
+  // Must include at least a seek of that distance.
+  EXPECT_GT(t, d.seek_time(500'000'000));
+}
+
+TEST(DiskModel, HeadTracksLastAccess) {
+  DiskModel d(DiskParams{}, 1);
+  (void)d.service({100, 50, true});
+  EXPECT_EQ(d.head(), 150);
+  (void)d.service({150, 50, true});
+  EXPECT_EQ(d.head(), 200);
+}
+
+TEST(DiskModel, CountersAccumulate) {
+  DiskModel d(DiskParams{}, 1);
+  (void)d.service({0, 512, false});
+  (void)d.service({512, 512, false});
+  (void)d.service({999'000, 512, false});
+  EXPECT_EQ(d.total_accesses(), 3);
+  EXPECT_EQ(d.sequential_accesses(), 1);
+  EXPECT_GT(d.busy_time(), Time::zero());
+}
+
+TEST(DiskModel, DeterministicGivenSeed) {
+  DiskModel a(DiskParams{}, 99), b(DiskParams{}, 99);
+  for (int i = 0; i < 100; ++i) {
+    const Lba lba = (i * 7919) % 1'000'000;
+    EXPECT_EQ(a.service({lba, 256, i % 2 == 0}), b.service({lba, 256, i % 2 == 0}));
+  }
+}
+
+TEST(DiskModel, DifferentSeedsDifferInRotation) {
+  DiskModel a(DiskParams{}, 1), b(DiskParams{}, 2);
+  (void)a.service({0, 512, false});
+  (void)b.service({0, 512, false});
+  // Same first seek, but rotational phase differs almost surely.
+  const Time ta = a.service({900'000'000, 512, false});
+  const Time tb = b.service({900'000'000, 512, false});
+  EXPECT_NE(ta, tb);
+}
+
+TEST(DiskModel, SequentialStreamThroughputApproachesMediaRate) {
+  DiskParams p;
+  p.command_overhead = Time::zero();
+  DiskModel d(p, 1);
+  (void)d.service({0, 512, false});  // position
+  Time total = Time::zero();
+  const int n = 1000;
+  for (int i = 1; i <= n; ++i) total += d.service({i * 512, 512, false});
+  const double bytes = n * 512.0 * kSectorBytes;
+  const double rate = bytes / total.sec();
+  EXPECT_NEAR(rate, p.outer_mb_s * 1e6, p.outer_mb_s * 1e6 * 0.05);
+}
+
+class DiskSizeSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DiskSizeSweep, ServiceTimePositiveAndBounded) {
+  DiskModel d(DiskParams{}, 5);
+  const std::int64_t sectors = GetParam();
+  const Time t = d.service({12345, sectors, false});
+  EXPECT_GT(t, Time::zero());
+  // Bounded by full stroke + rotation + transfer at the inner rate + slack.
+  const double max_sec = d.params().seek_max.sec() + d.params().rotation_period().sec() +
+                         static_cast<double>(sectors * kSectorBytes) /
+                             (d.params().inner_mb_s * 1e6) +
+                         0.001;
+  EXPECT_LT(t.sec(), max_sec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DiskSizeSweep,
+                         ::testing::Values(1, 8, 88, 512, 1024, 2048, 8192));
+
+TEST(DiskModel, SmallDiskBoundsRespected) {
+  DiskModel d(small_params(), 1);
+  (void)d.service({0, 100, false});
+  (void)d.service({999'900, 100, false});  // last valid extent
+  EXPECT_EQ(d.head(), 1'000'000);
+}
+
+}  // namespace
+}  // namespace iosim::disk

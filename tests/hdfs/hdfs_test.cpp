@@ -1,0 +1,136 @@
+#include "hdfs/hdfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace iosim::hdfs {
+namespace {
+
+Hdfs::AllocFn bump_alloc(std::map<int, Lba>& cursors) {
+  return [&cursors](int vm, Lba sectors) {
+    const Lba at = cursors[vm];
+    cursors[vm] += sectors;
+    return at;
+  };
+}
+
+TEST(Hdfs, HostOf) {
+  Hdfs dfs(16, 4, 1);
+  EXPECT_EQ(dfs.host_of(0), 0);
+  EXPECT_EQ(dfs.host_of(3), 0);
+  EXPECT_EQ(dfs.host_of(4), 1);
+  EXPECT_EQ(dfs.host_of(15), 3);
+}
+
+TEST(Hdfs, CreateInputBalancedPrimaries) {
+  Hdfs dfs(8, 4, 1);
+  std::map<int, Lba> cursors;
+  const auto blocks = dfs.create_input(4, 64 << 20, bump_alloc(cursors));
+  EXPECT_EQ(blocks.size(), 32u);
+  std::map<int, int> primaries;
+  for (const auto& b : blocks) {
+    ASSERT_EQ(b.replicas.size(), 2u);
+    ++primaries[b.replicas[0].vm];
+  }
+  for (int vm = 0; vm < 8; ++vm) EXPECT_EQ(primaries[vm], 4);
+}
+
+TEST(Hdfs, SecondReplicaOnDifferentHost) {
+  Hdfs dfs(16, 4, 2);
+  std::map<int, Lba> cursors;
+  const auto blocks = dfs.create_input(8, 64 << 20, bump_alloc(cursors));
+  for (const auto& b : blocks) {
+    EXPECT_NE(dfs.host_of(b.replicas[0].vm), dfs.host_of(b.replicas[1].vm));
+  }
+}
+
+TEST(Hdfs, SingleHostReplicaOnDifferentVm) {
+  Hdfs dfs(4, 4, 3);
+  std::map<int, Lba> cursors;
+  const auto blocks = dfs.create_input(4, 64 << 20, bump_alloc(cursors));
+  for (const auto& b : blocks) {
+    EXPECT_NE(b.replicas[0].vm, b.replicas[1].vm);
+  }
+}
+
+TEST(Hdfs, SingleVmDegenerates) {
+  Hdfs dfs(1, 1, 4);
+  std::map<int, Lba> cursors;
+  const auto blocks = dfs.create_input(2, 64 << 20, bump_alloc(cursors));
+  EXPECT_EQ(blocks.size(), 2u);
+  for (const auto& b : blocks) EXPECT_EQ(b.replicas[1].vm, 0);
+}
+
+TEST(Hdfs, PickReplicaPrefersLocal) {
+  Hdfs dfs(8, 4, 5);
+  DfsBlock b;
+  b.replicas = {{3, 100}, {6, 200}};
+  EXPECT_EQ(dfs.pick_replica(b, 3).vm, 3);
+  EXPECT_EQ(dfs.pick_replica(b, 6).vm, 6);
+}
+
+TEST(Hdfs, PickReplicaPrefersSameHost) {
+  Hdfs dfs(8, 4, 5);
+  DfsBlock b;
+  b.replicas = {{1, 100}, {6, 200}};  // hosts 0 and 1
+  EXPECT_EQ(dfs.pick_replica(b, 2).vm, 1);  // reader host 0
+  EXPECT_EQ(dfs.pick_replica(b, 7).vm, 6);  // reader host 1
+}
+
+TEST(Hdfs, PickReplicaFallsBackToPrimary) {
+  Hdfs dfs(12, 4, 5);
+  DfsBlock b;
+  b.replicas = {{0, 100}, {4, 200}};  // hosts 0 and 1
+  EXPECT_EQ(dfs.pick_replica(b, 9).vm, 0);  // reader host 2: remote anyway
+}
+
+TEST(Hdfs, RemoteReplicaVmAvoidsWriterHost) {
+  Hdfs dfs(16, 4, 6);
+  for (int i = 0; i < 64; ++i) {
+    const int target = dfs.pick_remote_replica_vm(5);
+    EXPECT_NE(dfs.host_of(target), dfs.host_of(5));
+  }
+}
+
+TEST(Hdfs, RemoteReplicaRoundRobinsTargets) {
+  Hdfs dfs(16, 4, 7);
+  std::map<int, int> counts;
+  for (int i = 0; i < 120; ++i) ++counts[dfs.pick_remote_replica_vm(0)];
+  // 12 eligible VMs (3 other hosts): each should be hit ~10 times.
+  EXPECT_EQ(counts.size(), 12u);
+  for (const auto& [vm, n] : counts) {
+    (void)vm;
+    EXPECT_NEAR(n, 10, 1);
+  }
+}
+
+TEST(Hdfs, BlockIdsAreDense) {
+  Hdfs dfs(4, 4, 8);
+  std::map<int, Lba> cursors;
+  const auto blocks = dfs.create_input(3, 64 << 20, bump_alloc(cursors));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].id, static_cast<int>(i));
+    EXPECT_EQ(blocks[i].bytes, 64 << 20);
+  }
+}
+
+TEST(Hdfs, AllocationsAreSized) {
+  Hdfs dfs(2, 2, 9);
+  std::map<int, Lba> cursors;
+  const std::int64_t block_bytes = 64 << 20;
+  const auto blocks = dfs.create_input(2, block_bytes, bump_alloc(cursors));
+  // Each VM hosts some primaries and some replicas; every allocation was
+  // exactly block-sized, so cursors are multiples of the block sectors.
+  const Lba sectors = block_bytes / disk::kSectorBytes;
+  std::int64_t total = 0;
+  for (const auto& [vm, cur] : cursors) {
+    (void)vm;
+    EXPECT_EQ(cur % sectors, 0);
+    total += cur / sectors;
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(blocks.size()) * 2);
+}
+
+}  // namespace
+}  // namespace iosim::hdfs

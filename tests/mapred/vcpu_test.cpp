@@ -1,0 +1,113 @@
+#include "mapred/vcpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iosim::mapred {
+namespace {
+
+using namespace iosim::sim::literals;
+using sim::Time;
+
+TEST(VCpu, SingleBurstTakesItsCpuTime) {
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  Time done;
+  cpu.run(100_ms, [&] { done = simr.now(); });
+  simr.run();
+  EXPECT_NEAR(done.ms(), 100.0, 0.1);
+}
+
+TEST(VCpu, TwoBurstsShareTheProcessor) {
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  Time d1, d2;
+  cpu.run(100_ms, [&] { d1 = simr.now(); });
+  cpu.run(100_ms, [&] { d2 = simr.now(); });
+  simr.run();
+  // Equal share: both finish at ~200 ms.
+  EXPECT_NEAR(d1.ms(), 200.0, 1.0);
+  EXPECT_NEAR(d2.ms(), 200.0, 1.0);
+}
+
+TEST(VCpu, UnequalBurstsFinishInOrder) {
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  Time d_small, d_big;
+  cpu.run(50_ms, [&] { d_small = simr.now(); });
+  cpu.run(150_ms, [&] { d_big = simr.now(); });
+  simr.run();
+  // Shared until the small one finishes at 100 ms; the big one then runs
+  // alone: 100 + (150 - 50) = 200 ms.
+  EXPECT_NEAR(d_small.ms(), 100.0, 1.0);
+  EXPECT_NEAR(d_big.ms(), 200.0, 1.0);
+}
+
+TEST(VCpu, LateArrivalSlowsEarlierBurst) {
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  Time d1;
+  cpu.run(100_ms, [&] { d1 = simr.now(); });
+  simr.after(50_ms, [&] { cpu.run(200_ms, [] {}); });
+  simr.run();
+  // 50 ms alone (50 done) + 100 ms shared (50 done) => finish at 150 ms.
+  EXPECT_NEAR(d1.ms(), 150.0, 1.0);
+}
+
+TEST(VCpu, ZeroCostBurstCompletesImmediately) {
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  bool done = false;
+  cpu.run(Time::zero(), [&] { done = true; });
+  simr.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(simr.now(), Time::zero());
+}
+
+TEST(VCpu, ManyBurstsAllComplete) {
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    simr.after(sim::Time::from_ms(i), [&cpu, &done] {
+      cpu.run(10_ms, [&done] { ++done; });
+    });
+  }
+  simr.run();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(cpu.active(), 0u);
+}
+
+TEST(VCpu, ConsumedTracksBusyTime) {
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  cpu.run(30_ms, [] {});
+  cpu.run(30_ms, [] {});
+  simr.run();
+  EXPECT_NEAR(cpu.consumed().ms(), 60.0, 1.0);
+}
+
+TEST(VCpu, CallbackCanStartAnotherBurst) {
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  Time done;
+  cpu.run(10_ms, [&] {
+    cpu.run(10_ms, [&] { done = simr.now(); });
+  });
+  simr.run();
+  EXPECT_NEAR(done.ms(), 20.0, 0.5);
+}
+
+TEST(VCpu, TotalThroughputConserved) {
+  // N equal bursts started together finish together at N x T.
+  sim::Simulator simr;
+  VCpu cpu(simr);
+  std::vector<Time> done(8);
+  for (int i = 0; i < 8; ++i) {
+    cpu.run(25_ms, [&done, i, &simr] { done[static_cast<std::size_t>(i)] = simr.now(); });
+  }
+  simr.run();
+  for (const Time& t : done) EXPECT_NEAR(t.ms(), 200.0, 2.0);
+}
+
+}  // namespace
+}  // namespace iosim::mapred

@@ -1,0 +1,154 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace iosim::sim {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, MatchesNaiveOnRandomData) {
+  Rng r(1);
+  RunningStat s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(0, 100);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(SampleSet, EmptyQuantiles) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, QuantilesOfKnownSet) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(SampleSet, QuantileClampsArgument) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 2.0);
+}
+
+TEST(SampleSet, CdfIsMonotoneAndEndsAtOne) {
+  SampleSet s;
+  Rng r(2);
+  for (int i = 0; i < 100; ++i) s.add(r.uniform(0, 50));
+  const auto cdf = s.cdf();
+  ASSERT_EQ(cdf.size(), 100u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SampleSet, AddAfterQuantileStillSorted) {
+  SampleSet s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(JainFairness, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
+}
+
+TEST(JainFairness, MaximallyUnfair) {
+  EXPECT_NEAR(jain_fairness({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainFairness, EmptyAndZero) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 1.0);
+}
+
+TEST(JainFairness, ScaleInvariant) {
+  const std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b;
+  for (double x : a) b.push_back(x * 17.0);
+  EXPECT_NEAR(jain_fairness(a), jain_fairness(b), 1e-12);
+}
+
+TEST(JainFairness, BoundedBetweenInverseNAndOne) {
+  Rng r(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 8; ++i) xs.push_back(r.uniform(0.1, 10.0));
+    const double f = jain_fairness(xs);
+    EXPECT_GE(f, 1.0 / 8.0 - 1e-12);
+    EXPECT_LE(f, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace iosim::sim

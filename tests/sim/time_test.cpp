@@ -1,0 +1,98 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iosim::sim {
+namespace {
+
+using namespace iosim::sim::literals;
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.ns(), 0);
+  EXPECT_EQ(t, Time::zero());
+}
+
+TEST(Time, Factories) {
+  EXPECT_EQ(Time::from_ns(5).ns(), 5);
+  EXPECT_EQ(Time::from_us(5).ns(), 5'000);
+  EXPECT_EQ(Time::from_ms(5).ns(), 5'000'000);
+  EXPECT_EQ(Time::from_sec(5).ns(), 5'000'000'000);
+}
+
+TEST(Time, FromSecFRounds) {
+  EXPECT_EQ(Time::from_sec_f(1e-9).ns(), 1);
+  EXPECT_EQ(Time::from_sec_f(1.5e-9).ns(), 2);  // round to nearest
+  EXPECT_EQ(Time::from_sec_f(0.25).ns(), 250'000'000);
+  EXPECT_EQ(Time::from_sec_f(-1e-9).ns(), -1);
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ((5_ns).ns(), 5);
+  EXPECT_EQ((5_us).ns(), 5'000);
+  EXPECT_EQ((5_ms).ns(), 5'000'000);
+  EXPECT_EQ((5_sec).ns(), 5'000'000'000);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ((3_ms + 2_ms).ns(), (5_ms).ns());
+  EXPECT_EQ((3_ms - 2_ms).ns(), (1_ms).ns());
+  Time t = 1_ms;
+  t += 1_ms;
+  EXPECT_EQ(t, 2_ms);
+  t -= 500_us;
+  EXPECT_EQ(t, Time::from_us(1500));
+}
+
+TEST(Time, ScalarOps) {
+  EXPECT_EQ((10_ms * 0.5).ns(), (5_ms).ns());
+  EXPECT_EQ((10_ms / 2).ns(), (5_ms).ns());
+  EXPECT_DOUBLE_EQ((5_ms).ratio(10_ms), 0.5);
+  EXPECT_DOUBLE_EQ((5_ms).ratio(Time::zero()), 0.0);  // guard, not NaN
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(3_ms, 2_ms);
+  EXPECT_NE(1_ns, 2_ns);
+}
+
+TEST(Time, UnitAccessors) {
+  const Time t = Time::from_us(1500);
+  EXPECT_DOUBLE_EQ(t.us(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.ms(), 1.5);
+  EXPECT_DOUBLE_EQ(t.sec(), 0.0015);
+}
+
+TEST(Time, ToStringPicksUnit) {
+  EXPECT_EQ(Time::from_ns(12).to_string(), "12ns");
+  EXPECT_EQ(Time::from_us(12).to_string(), "12.000us");
+  EXPECT_EQ(Time::from_ms(12).to_string(), "12.000ms");
+  EXPECT_EQ(Time::from_sec(12).to_string(), "12.000s");
+}
+
+TEST(Time, MaxIsLarge) {
+  EXPECT_GT(Time::max(), Time::from_sec(1'000'000'000));
+}
+
+struct RatioCase {
+  std::int64_t num_ms;
+  std::int64_t den_ms;
+  double expected;
+};
+
+class TimeRatioTest : public ::testing::TestWithParam<RatioCase> {};
+
+TEST_P(TimeRatioTest, Ratio) {
+  const auto& c = GetParam();
+  EXPECT_DOUBLE_EQ(Time::from_ms(c.num_ms).ratio(Time::from_ms(c.den_ms)), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, TimeRatioTest,
+                         ::testing::Values(RatioCase{1, 2, 0.5}, RatioCase{2, 1, 2.0},
+                                           RatioCase{0, 5, 0.0}, RatioCase{5, 5, 1.0},
+                                           RatioCase{-1, 2, -0.5}));
+
+}  // namespace
+}  // namespace iosim::sim

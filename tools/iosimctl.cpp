@@ -1,0 +1,243 @@
+// iosimctl — command-line front end for the simulator.
+//
+//   iosimctl run      --workload sort --hosts 4 --vms 4 --mb 512 --pair ad
+//   iosimctl sweep    --workload sort [--seeds 3]          (all 16 pairs)
+//   iosimctl adapt    --workload sort [--phases 2|3]       (meta-scheduler)
+//   iosimctl finegrained --workload sort                   (online controller)
+//   iosimctl sysbench --vms 3 --mb 1024 --pair cc
+//   iosimctl switchcost [--mb 600]                          (Fig. 5 matrix)
+//
+// Every command prints a table; `--csv` switches to CSV for scripting.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/fine_grained.hpp"
+#include "core/meta_scheduler.hpp"
+#include "core/switch_cost.hpp"
+#include "metrics/table.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/microbench.hpp"
+
+using namespace iosim;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string str(const std::string& k, const std::string& d) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? d : it->second;
+  }
+  long num(const std::string& k, long d) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? d : std::atol(it->second.c_str());
+  }
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0) {
+      const std::string key = s.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        a.kv[key] = argv[++i];
+      } else {
+        a.kv[key] = "1";
+      }
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: iosimctl <run|sweep|adapt|finegrained|sysbench|switchcost> "
+               "[--workload sort|wordcount|wc-nocombiner] [--hosts N] [--vms N] "
+               "[--mb N] [--pair xy] [--seeds N] [--phases 2|3] [--csv]\n"
+               "pair letters: n=noop d=deadline a=anticipatory c=cfq; first "
+               "letter = VMM (Dom0), second = VM guests\n");
+  return 2;
+}
+
+mapred::JobConf workload_of(const Args& a) {
+  const std::string w = a.str("workload", "sort");
+  const auto mb = a.num("mb", 512);
+  mapred::WorkloadModel model;
+  if (w == "sort") {
+    model = workloads::stream_sort();
+  } else if (w == "wordcount" || w == "wc") {
+    model = workloads::wordcount();
+  } else if (w == "wc-nocombiner" || w == "wcnc") {
+    model = workloads::wordcount_no_combiner();
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", w.c_str());
+    std::exit(2);
+  }
+  return workloads::make_job(model, mb * mapred::kMiB);
+}
+
+cluster::ClusterConfig cluster_of(const Args& a) {
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = static_cast<int>(a.num("hosts", 4));
+  cfg.vms_per_host = static_cast<int>(a.num("vms", 4));
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  const std::string p = a.str("pair", "cc");
+  if (p.size() == 2) {
+    const auto vmm = iosched::scheduler_from_string(p.substr(0, 1));
+    const auto guest = iosched::scheduler_from_string(p.substr(1, 1));
+    if (vmm && guest) cfg.pair = {*vmm, *guest};
+  }
+  return cfg;
+}
+
+void emit(const Args& a, metrics::Table& tab) {
+  if (a.has("csv")) {
+    std::fputs(tab.to_csv().c_str(), stdout);
+  } else {
+    tab.print();
+  }
+}
+
+int cmd_run(const Args& a) {
+  const auto cfg = cluster_of(a);
+  const auto jc = workload_of(a);
+  const auto r = cluster::run_job_avg(cfg, jc, static_cast<int>(a.num("seeds", 1)));
+  metrics::Table tab("job run");
+  tab.headers({"pair", "seconds", "ph1", "ph2", "ph3", "maps", "reduces",
+               "shuffle MB", "output MB"});
+  tab.row({cfg.pair.to_string(), metrics::Table::num(r.seconds, 1),
+           metrics::Table::num(r.ph1_seconds, 1), metrics::Table::num(r.ph2_seconds, 1),
+           metrics::Table::num(r.ph3_seconds, 1), std::to_string(r.stats.maps_total),
+           std::to_string(r.stats.reduces_total),
+           metrics::Table::num(static_cast<double>(r.stats.shuffle_bytes) / 1e6, 0),
+           metrics::Table::num(static_cast<double>(r.stats.output_bytes) / 1e6, 0)});
+  Args& mut = const_cast<Args&>(a);
+  emit(mut, tab);
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  const auto base = cluster_of(a);
+  const auto jc = workload_of(a);
+  const int seeds = static_cast<int>(a.num("seeds", 1));
+  metrics::Table tab("16-pair sweep (seconds)");
+  tab.headers({"VM \\ VMM", "cfq", "deadline", "anticipatory", "noop"});
+  const iosched::SchedulerKind order[4] = {
+      iosched::SchedulerKind::kCfq, iosched::SchedulerKind::kDeadline,
+      iosched::SchedulerKind::kAnticipatory, iosched::SchedulerKind::kNoop};
+  for (auto g : order) {
+    std::vector<std::string> row{iosched::to_string(g)};
+    for (auto v : order) {
+      cluster::ClusterConfig cfg = base;
+      cfg.pair = {v, g};
+      row.push_back(metrics::Table::num(cluster::run_job_avg(cfg, jc, seeds).seconds, 1));
+    }
+    tab.row(row);
+  }
+  emit(a, tab);
+  return 0;
+}
+
+int cmd_adapt(const Args& a) {
+  const auto cfg = cluster_of(a);
+  const auto jc = workload_of(a);
+  core::MetaSchedulerOptions opts;
+  if (a.has("phases")) {
+    opts.plan = core::PhasePlan{a.num("phases", 2) == 2};
+  } else {
+    opts.plan = core::PhasePlan::for_job(jc, cfg.n_hosts * cfg.vms_per_host);
+  }
+  opts.seeds_per_eval = static_cast<int>(a.num("seeds", 1));
+  opts.verbose = a.has("verbose");
+  core::MetaScheduler ms(cfg, jc, opts);
+  const auto r = ms.optimize();
+  metrics::Table tab("meta-scheduler result");
+  tab.headers({"metric", "value"});
+  tab.row({"solution", r.solution.to_string() + (r.fell_back ? " (fallback)" : "")});
+  tab.row({"default (cfq,cfq)", metrics::Table::num(r.default_seconds, 1) + " s"});
+  tab.row({"best single", metrics::Table::num(r.best_single_seconds, 1) + " s  " +
+                              r.best_single.to_string()});
+  tab.row({"adaptive", metrics::Table::num(r.adaptive_seconds, 1) + " s"});
+  tab.row({"vs default", metrics::Table::pct(100 * r.improvement_vs_default(), 1)});
+  tab.row({"vs best single", metrics::Table::pct(100 * r.improvement_vs_best_single(), 1)});
+  tab.row({"heuristic evals", std::to_string(r.heuristic_evaluations)});
+  emit(a, tab);
+  return 0;
+}
+
+int cmd_finegrained(const Args& a) {
+  const auto cfg = cluster_of(a);
+  const auto jc = workload_of(a);
+  std::shared_ptr<core::FineGrainedController> ctl;
+  const auto r = cluster::run_job(cfg, jc, [&ctl](cluster::Cluster& cl, mapred::Job& job) {
+    ctl = core::FineGrainedController::attach(cl, job, core::FineGrainedPolicy{},
+                                              core::SwitchPredictor{2.0});
+  });
+  metrics::Table tab("fine-grained controller run");
+  tab.headers({"metric", "value"});
+  tab.row({"seconds", metrics::Table::num(r.seconds, 1)});
+  tab.row({"switches", std::to_string(ctl->total_switches())});
+  tab.row({"samples", std::to_string(ctl->samples())});
+  emit(a, tab);
+  return 0;
+}
+
+int cmd_sysbench(const Args& a) {
+  const auto cfg = cluster_of(a);
+  sim::Simulator simr;
+  virt::HostConfig hc;
+  hc.dom0_blk.scheduler = cfg.pair.vmm;
+  hc.domu.guest_blk.scheduler = cfg.pair.guest;
+  virt::PhysicalHost host(simr, hc, 0, 0, cfg.seed);
+  for (int v = 0; v < cfg.vms_per_host; ++v) host.add_vm();
+  workloads::SeqWriteParams p;
+  p.bytes_per_vm = a.num("mb", 1024) * mapred::kMiB;
+  const auto res = workloads::run_seq_writers(simr, host, p);
+  metrics::Table tab("sysbench seqwr");
+  tab.headers({"pair", "VMs", "MB/VM", "elapsed s", "agg MB/s"});
+  tab.row({cfg.pair.to_string(), std::to_string(cfg.vms_per_host),
+           std::to_string(a.num("mb", 1024)), metrics::Table::num(res.elapsed.sec(), 1),
+           metrics::Table::num(static_cast<double>(p.bytes_per_vm) * cfg.vms_per_host /
+                                   res.elapsed.sec() / 1e6,
+                               1)});
+  emit(a, tab);
+  return 0;
+}
+
+int cmd_switchcost(const Args& a) {
+  core::SwitchCostConfig cfg;
+  cfg.dd_bytes_per_vm = a.num("mb", 600) * mapred::kMiB;
+  const auto m = core::SwitchCostMatrix::measure(cfg);
+  const auto pairs = iosched::all_scheduler_pairs();
+  metrics::Table tab("switch-cost matrix (seconds)");
+  std::vector<std::string> hdr{"from \\ to"};
+  for (const auto& p : pairs) hdr.push_back(p.letters());
+  tab.headers(hdr);
+  for (const auto& x : pairs) {
+    std::vector<std::string> row{x.letters()};
+    for (const auto& y : pairs) row.push_back(metrics::Table::num(m.cost_seconds(x, y), 1));
+    tab.row(row);
+  }
+  emit(a, tab);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args a = parse(argc, argv, 2);
+  if (cmd == "run") return cmd_run(a);
+  if (cmd == "sweep") return cmd_sweep(a);
+  if (cmd == "adapt") return cmd_adapt(a);
+  if (cmd == "finegrained") return cmd_finegrained(a);
+  if (cmd == "sysbench") return cmd_sysbench(a);
+  if (cmd == "switchcost") return cmd_switchcost(a);
+  return usage();
+}
