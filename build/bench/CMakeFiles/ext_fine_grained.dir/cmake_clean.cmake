@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fine_grained.dir/ext_fine_grained.cpp.o"
+  "CMakeFiles/ext_fine_grained.dir/ext_fine_grained.cpp.o.d"
+  "ext_fine_grained"
+  "ext_fine_grained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fine_grained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_job_chain.dir/ext_job_chain.cpp.o"
+  "CMakeFiles/ext_job_chain.dir/ext_job_chain.cpp.o.d"
+  "ext_job_chain"
+  "ext_job_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_job_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sysbench_consolidation.dir/fig1_sysbench_consolidation.cpp.o"
+  "CMakeFiles/fig1_sysbench_consolidation.dir/fig1_sysbench_consolidation.cpp.o.d"
+  "fig1_sysbench_consolidation"
+  "fig1_sysbench_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sysbench_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

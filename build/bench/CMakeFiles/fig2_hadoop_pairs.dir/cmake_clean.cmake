@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hadoop_pairs.dir/fig2_hadoop_pairs.cpp.o"
+  "CMakeFiles/fig2_hadoop_pairs.dir/fig2_hadoop_pairs.cpp.o.d"
+  "fig2_hadoop_pairs"
+  "fig2_hadoop_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hadoop_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_subphase_scores.dir/fig4_subphase_scores.cpp.o"
+  "CMakeFiles/fig4_subphase_scores.dir/fig4_subphase_scores.cpp.o.d"
+  "fig4_subphase_scores"
+  "fig4_subphase_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_subphase_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

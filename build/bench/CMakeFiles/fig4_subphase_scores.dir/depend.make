@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_subphase_scores.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_switch_cost.dir/fig5_switch_cost.cpp.o"
+  "CMakeFiles/fig5_switch_cost.dir/fig5_switch_cost.cpp.o.d"
+  "fig5_switch_cost"
+  "fig5_switch_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_switch_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_phase_scores.dir/fig6_phase_scores.cpp.o"
+  "CMakeFiles/fig6_phase_scores.dir/fig6_phase_scores.cpp.o.d"
+  "fig6_phase_scores"
+  "fig6_phase_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_phase_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

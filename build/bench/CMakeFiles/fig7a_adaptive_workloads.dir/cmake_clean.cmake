@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_adaptive_workloads.dir/fig7a_adaptive_workloads.cpp.o"
+  "CMakeFiles/fig7a_adaptive_workloads.dir/fig7a_adaptive_workloads.cpp.o.d"
+  "fig7a_adaptive_workloads"
+  "fig7a_adaptive_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_adaptive_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

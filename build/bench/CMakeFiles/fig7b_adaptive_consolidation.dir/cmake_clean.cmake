@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_adaptive_consolidation.dir/fig7b_adaptive_consolidation.cpp.o"
+  "CMakeFiles/fig7b_adaptive_consolidation.dir/fig7b_adaptive_consolidation.cpp.o.d"
+  "fig7b_adaptive_consolidation"
+  "fig7b_adaptive_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_adaptive_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_adaptive_datasize.dir/fig7c_adaptive_datasize.cpp.o"
+  "CMakeFiles/fig7c_adaptive_datasize.dir/fig7c_adaptive_datasize.cpp.o.d"
+  "fig7c_adaptive_datasize"
+  "fig7c_adaptive_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_adaptive_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7d_adaptive_scale.dir/fig7d_adaptive_scale.cpp.o"
+  "CMakeFiles/fig7d_adaptive_scale.dir/fig7d_adaptive_scale.cpp.o.d"
+  "fig7d_adaptive_scale"
+  "fig7d_adaptive_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7d_adaptive_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_iosched.dir/micro_iosched.cpp.o"
+  "CMakeFiles/micro_iosched.dir/micro_iosched.cpp.o.d"
+  "micro_iosched"
+  "micro_iosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_iosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_shuffle_waves.dir/table2_shuffle_waves.cpp.o"
+  "CMakeFiles/table2_shuffle_waves.dir/table2_shuffle_waves.cpp.o.d"
+  "table2_shuffle_waves"
+  "table2_shuffle_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_shuffle_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_sort.dir/adaptive_sort.cpp.o"
+  "CMakeFiles/adaptive_sort.dir/adaptive_sort.cpp.o.d"
+  "adaptive_sort"
+  "adaptive_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_trace.dir/cluster_trace.cpp.o"
+  "CMakeFiles/cluster_trace.dir/cluster_trace.cpp.o.d"
+  "cluster_trace"
+  "cluster_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

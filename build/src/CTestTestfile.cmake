@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("disk")
+subdirs("iosched")
+subdirs("blk")
+subdirs("net")
+subdirs("virt")
+subdirs("hdfs")
+subdirs("metrics")
+subdirs("mapred")
+subdirs("workloads")
+subdirs("cluster")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_blk.dir/block_layer.cpp.o"
+  "CMakeFiles/iosim_blk.dir/block_layer.cpp.o.d"
+  "libiosim_blk.a"
+  "libiosim_blk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

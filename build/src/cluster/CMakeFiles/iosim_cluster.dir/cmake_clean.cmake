@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_cluster.dir/chain_runner.cpp.o"
+  "CMakeFiles/iosim_cluster.dir/chain_runner.cpp.o.d"
+  "CMakeFiles/iosim_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/iosim_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/iosim_cluster.dir/runner.cpp.o"
+  "CMakeFiles/iosim_cluster.dir/runner.cpp.o.d"
+  "libiosim_cluster.a"
+  "libiosim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

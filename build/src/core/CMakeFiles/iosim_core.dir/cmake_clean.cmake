@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_core.dir/adaptive_controller.cpp.o"
+  "CMakeFiles/iosim_core.dir/adaptive_controller.cpp.o.d"
+  "CMakeFiles/iosim_core.dir/fine_grained.cpp.o"
+  "CMakeFiles/iosim_core.dir/fine_grained.cpp.o.d"
+  "CMakeFiles/iosim_core.dir/meta_scheduler.cpp.o"
+  "CMakeFiles/iosim_core.dir/meta_scheduler.cpp.o.d"
+  "CMakeFiles/iosim_core.dir/phase_detector.cpp.o"
+  "CMakeFiles/iosim_core.dir/phase_detector.cpp.o.d"
+  "CMakeFiles/iosim_core.dir/switch_cost.cpp.o"
+  "CMakeFiles/iosim_core.dir/switch_cost.cpp.o.d"
+  "libiosim_core.a"
+  "libiosim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_disk.dir/disk_model.cpp.o"
+  "CMakeFiles/iosim_disk.dir/disk_model.cpp.o.d"
+  "libiosim_disk.a"
+  "libiosim_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_hdfs.dir/hdfs.cpp.o"
+  "CMakeFiles/iosim_hdfs.dir/hdfs.cpp.o.d"
+  "libiosim_hdfs.a"
+  "libiosim_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iosched/anticipatory.cpp" "src/iosched/CMakeFiles/iosim_iosched.dir/anticipatory.cpp.o" "gcc" "src/iosched/CMakeFiles/iosim_iosched.dir/anticipatory.cpp.o.d"
+  "/root/repo/src/iosched/cfq.cpp" "src/iosched/CMakeFiles/iosim_iosched.dir/cfq.cpp.o" "gcc" "src/iosched/CMakeFiles/iosim_iosched.dir/cfq.cpp.o.d"
+  "/root/repo/src/iosched/deadline.cpp" "src/iosched/CMakeFiles/iosim_iosched.dir/deadline.cpp.o" "gcc" "src/iosched/CMakeFiles/iosim_iosched.dir/deadline.cpp.o.d"
+  "/root/repo/src/iosched/factory.cpp" "src/iosched/CMakeFiles/iosim_iosched.dir/factory.cpp.o" "gcc" "src/iosched/CMakeFiles/iosim_iosched.dir/factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iosim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/iosim_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

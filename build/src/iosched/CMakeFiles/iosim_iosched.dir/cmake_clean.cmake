@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_iosched.dir/anticipatory.cpp.o"
+  "CMakeFiles/iosim_iosched.dir/anticipatory.cpp.o.d"
+  "CMakeFiles/iosim_iosched.dir/cfq.cpp.o"
+  "CMakeFiles/iosim_iosched.dir/cfq.cpp.o.d"
+  "CMakeFiles/iosim_iosched.dir/deadline.cpp.o"
+  "CMakeFiles/iosim_iosched.dir/deadline.cpp.o.d"
+  "CMakeFiles/iosim_iosched.dir/factory.cpp.o"
+  "CMakeFiles/iosim_iosched.dir/factory.cpp.o.d"
+  "libiosim_iosched.a"
+  "libiosim_iosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_iosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapred/job.cpp" "src/mapred/CMakeFiles/iosim_mapred.dir/job.cpp.o" "gcc" "src/mapred/CMakeFiles/iosim_mapred.dir/job.cpp.o.d"
+  "/root/repo/src/mapred/map_task.cpp" "src/mapred/CMakeFiles/iosim_mapred.dir/map_task.cpp.o" "gcc" "src/mapred/CMakeFiles/iosim_mapred.dir/map_task.cpp.o.d"
+  "/root/repo/src/mapred/merge_op.cpp" "src/mapred/CMakeFiles/iosim_mapred.dir/merge_op.cpp.o" "gcc" "src/mapred/CMakeFiles/iosim_mapred.dir/merge_op.cpp.o.d"
+  "/root/repo/src/mapred/reduce_task.cpp" "src/mapred/CMakeFiles/iosim_mapred.dir/reduce_task.cpp.o" "gcc" "src/mapred/CMakeFiles/iosim_mapred.dir/reduce_task.cpp.o.d"
+  "/root/repo/src/mapred/vcpu.cpp" "src/mapred/CMakeFiles/iosim_mapred.dir/vcpu.cpp.o" "gcc" "src/mapred/CMakeFiles/iosim_mapred.dir/vcpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virt/CMakeFiles/iosim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iosim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/iosim_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blk/CMakeFiles/iosim_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosched/CMakeFiles/iosim_iosched.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/iosim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

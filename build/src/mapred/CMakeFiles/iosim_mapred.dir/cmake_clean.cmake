@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_mapred.dir/job.cpp.o"
+  "CMakeFiles/iosim_mapred.dir/job.cpp.o.d"
+  "CMakeFiles/iosim_mapred.dir/map_task.cpp.o"
+  "CMakeFiles/iosim_mapred.dir/map_task.cpp.o.d"
+  "CMakeFiles/iosim_mapred.dir/merge_op.cpp.o"
+  "CMakeFiles/iosim_mapred.dir/merge_op.cpp.o.d"
+  "CMakeFiles/iosim_mapred.dir/reduce_task.cpp.o"
+  "CMakeFiles/iosim_mapred.dir/reduce_task.cpp.o.d"
+  "CMakeFiles/iosim_mapred.dir/vcpu.cpp.o"
+  "CMakeFiles/iosim_mapred.dir/vcpu.cpp.o.d"
+  "libiosim_mapred.a"
+  "libiosim_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

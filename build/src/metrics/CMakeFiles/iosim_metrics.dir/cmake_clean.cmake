@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_metrics.dir/table.cpp.o"
+  "CMakeFiles/iosim_metrics.dir/table.cpp.o.d"
+  "libiosim_metrics.a"
+  "libiosim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iosim_metrics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_net.dir/flow_network.cpp.o"
+  "CMakeFiles/iosim_net.dir/flow_network.cpp.o.d"
+  "libiosim_net.a"
+  "libiosim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/iosim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/iosim_sim.dir/time.cpp.o"
+  "CMakeFiles/iosim_sim.dir/time.cpp.o.d"
+  "libiosim_sim.a"
+  "libiosim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

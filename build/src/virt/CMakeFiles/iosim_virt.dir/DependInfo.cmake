@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/domu.cpp" "src/virt/CMakeFiles/iosim_virt.dir/domu.cpp.o" "gcc" "src/virt/CMakeFiles/iosim_virt.dir/domu.cpp.o.d"
+  "/root/repo/src/virt/io_stream.cpp" "src/virt/CMakeFiles/iosim_virt.dir/io_stream.cpp.o" "gcc" "src/virt/CMakeFiles/iosim_virt.dir/io_stream.cpp.o.d"
+  "/root/repo/src/virt/physical_host.cpp" "src/virt/CMakeFiles/iosim_virt.dir/physical_host.cpp.o" "gcc" "src/virt/CMakeFiles/iosim_virt.dir/physical_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blk/CMakeFiles/iosim_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosched/CMakeFiles/iosim_iosched.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/iosim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_virt.dir/domu.cpp.o"
+  "CMakeFiles/iosim_virt.dir/domu.cpp.o.d"
+  "CMakeFiles/iosim_virt.dir/io_stream.cpp.o"
+  "CMakeFiles/iosim_virt.dir/io_stream.cpp.o.d"
+  "CMakeFiles/iosim_virt.dir/physical_host.cpp.o"
+  "CMakeFiles/iosim_virt.dir/physical_host.cpp.o.d"
+  "libiosim_virt.a"
+  "libiosim_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosim_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/iosim_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/iosim_workloads.dir/microbench.cpp.o"
+  "CMakeFiles/iosim_workloads.dir/microbench.cpp.o.d"
+  "libiosim_workloads.a"
+  "libiosim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anticipatory_test.dir/iosched/anticipatory_test.cpp.o"
+  "CMakeFiles/anticipatory_test.dir/iosched/anticipatory_test.cpp.o.d"
+  "anticipatory_test"
+  "anticipatory_test.pdb"
+  "anticipatory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anticipatory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_layer_test.dir/blk/block_layer_test.cpp.o"
+  "CMakeFiles/block_layer_test.dir/blk/block_layer_test.cpp.o.d"
+  "block_layer_test"
+  "block_layer_test.pdb"
+  "block_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfq_test.dir/iosched/cfq_test.cpp.o"
+  "CMakeFiles/cfq_test.dir/iosched/cfq_test.cpp.o.d"
+  "cfq_test"
+  "cfq_test.pdb"
+  "cfq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

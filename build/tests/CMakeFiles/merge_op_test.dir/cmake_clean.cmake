@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_op_test.dir/mapred/merge_op_test.cpp.o"
+  "CMakeFiles/merge_op_test.dir/mapred/merge_op_test.cpp.o.d"
+  "merge_op_test"
+  "merge_op_test.pdb"
+  "merge_op_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

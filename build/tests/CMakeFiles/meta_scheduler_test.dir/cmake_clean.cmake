@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_scheduler_test.dir/core/meta_scheduler_test.cpp.o"
+  "CMakeFiles/meta_scheduler_test.dir/core/meta_scheduler_test.cpp.o.d"
+  "meta_scheduler_test"
+  "meta_scheduler_test.pdb"
+  "meta_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncq_test.dir/blk/ncq_test.cpp.o"
+  "CMakeFiles/ncq_test.dir/blk/ncq_test.cpp.o.d"
+  "ncq_test"
+  "ncq_test.pdb"
+  "ncq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

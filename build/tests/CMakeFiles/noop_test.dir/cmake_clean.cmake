@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noop_test.dir/iosched/noop_test.cpp.o"
+  "CMakeFiles/noop_test.dir/iosched/noop_test.cpp.o.d"
+  "noop_test"
+  "noop_test.pdb"
+  "noop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

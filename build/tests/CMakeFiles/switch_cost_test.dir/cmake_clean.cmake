@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_cost_test.dir/core/switch_cost_test.cpp.o"
+  "CMakeFiles/switch_cost_test.dir/core/switch_cost_test.cpp.o.d"
+  "switch_cost_test"
+  "switch_cost_test.pdb"
+  "switch_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

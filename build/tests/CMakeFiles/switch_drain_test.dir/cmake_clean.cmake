@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_drain_test.dir/blk/switch_drain_test.cpp.o"
+  "CMakeFiles/switch_drain_test.dir/blk/switch_drain_test.cpp.o.d"
+  "switch_drain_test"
+  "switch_drain_test.pdb"
+  "switch_drain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_drain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapred/vcpu_test.cpp" "tests/CMakeFiles/vcpu_test.dir/mapred/vcpu_test.cpp.o" "gcc" "tests/CMakeFiles/vcpu_test.dir/mapred/vcpu_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/iosim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/iosim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/iosim_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/iosim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/iosim_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/iosim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iosim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/blk/CMakeFiles/iosim_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosched/CMakeFiles/iosim_iosched.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/iosim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/time_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_model_test[1]_include.cmake")
+include("/root/repo/build/tests/noop_test[1]_include.cmake")
+include("/root/repo/build/tests/deadline_test[1]_include.cmake")
+include("/root/repo/build/tests/anticipatory_test[1]_include.cmake")
+include("/root/repo/build/tests/cfq_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_property_test[1]_include.cmake")
+include("/root/repo/build/tests/block_layer_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_drain_test[1]_include.cmake")
+include("/root/repo/build/tests/ncq_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_network_test[1]_include.cmake")
+include("/root/repo/build/tests/virt_test[1]_include.cmake")
+include("/root/repo/build/tests/hdfs_test[1]_include.cmake")
+include("/root/repo/build/tests/vcpu_test[1]_include.cmake")
+include("/root/repo/build/tests/job_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_op_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/meta_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/fine_grained_test[1]_include.cmake")

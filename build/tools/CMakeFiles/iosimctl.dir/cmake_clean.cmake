@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosimctl.dir/iosimctl.cpp.o"
+  "CMakeFiles/iosimctl.dir/iosimctl.cpp.o.d"
+  "iosimctl"
+  "iosimctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosimctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
