@@ -21,7 +21,8 @@ double sort_seconds(ClusterConfig cfg, SchedulerPair pair) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Ablation", "sensitivity of headline results to model/tunable choices");
 
   // (1) anticipation window: AS-VMM sort time vs antic_expire.

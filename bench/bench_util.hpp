@@ -4,12 +4,16 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/runner.hpp"
 #include "iosched/pair.hpp"
+#include "metrics/registry_table.hpp"
 #include "metrics/table.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace iosim::bench {
@@ -29,6 +33,54 @@ inline ClusterConfig paper_cluster() { return ClusterConfig{}; }
 
 /// Seeds averaged per data point (the paper averages 3 consecutive runs).
 inline constexpr int kSeeds = 3;
+
+/// Optional flight-recorder hookup for the benches: construct one at the
+/// top of main with argc/argv and every simulated run in the bench is
+/// traced / metered through the process globals.
+///
+///   ./bench/fig8_meta_scheduler --trace fig8.json --metrics
+///
+/// `--trace FILE` records a trace and writes it at exit (.csv extension
+/// selects CSV, anything else Chrome trace-event JSON); `--metrics` prints
+/// the named-metrics registry at exit.
+class Telemetry {
+ public:
+  Telemetry(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string s = argv[i];
+      if (s == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else if (s == "--metrics") {
+        metrics_.emplace();
+      }
+    }
+    if (!trace_path_.empty()) trace_.emplace();
+  }
+  ~Telemetry() {
+    if (trace_) {
+      const bool csv = trace_path_.size() >= 4 &&
+                       trace_path_.compare(trace_path_.size() - 4, 4, ".csv") == 0;
+      auto& tr = trace_->tracer();
+      if (tr.write_file(trace_path_, csv)) {
+        std::fprintf(stderr, "trace: %zu events (%llu dropped) -> %s\n", tr.size(),
+                     static_cast<unsigned long long>(tr.dropped()), trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+      }
+    }
+    if (metrics_) {
+      auto tab = metrics::registry_table(metrics_->registry());
+      tab.print();
+    }
+  }
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::optional<trace::TraceSession> trace_;
+  std::optional<trace::MetricsSession> metrics_;
+};
 
 inline void print_header(const char* id, const char* what) {
   std::printf("\n================================================================\n");

@@ -68,7 +68,8 @@ void run_scenario(metrics::Table& tab, const Scenario& sc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Extension", "fine-grained per-host control vs coarse meta-scheduler");
 
   metrics::Table tab("sort, 4 hosts x 4 VMs (seconds)");

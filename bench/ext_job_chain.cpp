@@ -11,7 +11,8 @@
 using namespace iosim;
 using namespace iosim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Extension", "Algorithm 1 over a Pig-style 3-job chain (6 phases)");
 
   const std::vector<mapred::JobConf> confs = {

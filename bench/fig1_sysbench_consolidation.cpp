@@ -34,7 +34,8 @@ double run_avg(int vms, SchedulerPair pair) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 1", "sysbench seqwr (1 GB to 16 files per VM) vs consolidation");
 
   double mean[4] = {0, 0, 0, 0};  // per VM count (index = vms)

@@ -31,7 +31,8 @@ void run_benchmark(const char* label, const mapred::WorkloadModel& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 2", "MapReduce execution time for the 16 disk pairs' schedulers");
   std::printf("testbed: 4 hosts x 4 VMs, 512 MB per data node, %d-seed averages\n", kSeeds);
 

@@ -80,7 +80,8 @@ void print_cdf_summary(const char* label, const CdfResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 3", "I/O throughput CDFs in VMM and VMs during sort (host 0)");
 
   const CdfResult cc = run_with(iosched::kDefaultPair);

@@ -27,7 +27,8 @@ std::vector<double> milestone_times(SchedulerPair pair) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 4", "per-progress-interval scores of the pairs on sort");
 
   // The paper plots a representative subset; we use the four "pure" pairs

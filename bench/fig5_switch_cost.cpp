@@ -14,7 +14,8 @@
 using namespace iosim;
 using namespace iosim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 5", "switch-cost matrix between pair states (dd methodology)");
   std::printf("measuring 16 solo runs + 256 switched runs (600 MB x 4 VMs each)...\n");
 

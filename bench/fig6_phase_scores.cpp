@@ -14,7 +14,8 @@
 using namespace iosim;
 using namespace iosim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 6", "per-phase scores of all 16 pairs on sort (profiling)");
 
   const auto jc = workloads::make_job(workloads::stream_sort());

@@ -10,7 +10,8 @@
 using namespace iosim;
 using namespace iosim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 7a", "adaptive pair scheduling across workloads");
 
   metrics::Table tab("adaptive vs baselines (seconds)");

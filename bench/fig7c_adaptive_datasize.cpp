@@ -8,7 +8,8 @@
 using namespace iosim;
 using namespace iosim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 7c", "adaptive pair scheduling vs data size (sort)");
 
   metrics::Table tab("adaptive vs baselines (seconds)");

@@ -9,7 +9,8 @@
 using namespace iosim;
 using namespace iosim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 7d", "adaptive pair scheduling vs cluster scale (sort)");
 
   metrics::Table tab("adaptive vs baselines (seconds)");

@@ -23,7 +23,8 @@ void report(metrics::Table& tab, const std::string& label, const mapred::JobConf
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Fig 8", "phase durations per benchmark (default pair)");
 
   metrics::Table tab("phases (seconds; Ph1 = maps, Ph2 = shuffle tail, Ph3 = reduce)");

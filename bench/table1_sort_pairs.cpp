@@ -15,7 +15,8 @@
 using namespace iosim;
 using namespace iosim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Table I", "sort benchmark, all 16 pairs (seconds, 3-seed average)");
 
   const auto jc = workloads::make_job(workloads::stream_sort());

@@ -15,7 +15,8 @@
 using namespace iosim;
 using namespace iosim::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  iosim::bench::Telemetry telemetry(argc, argv);
   print_header("Table II", "non-concurrent shuffle share vs map waves (sort)");
 
   const double paper_waves[] = {1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5};

@@ -1,14 +1,66 @@
 #include "blk/block_layer.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "trace/trace.hpp"
 
 namespace iosim::blk {
 
+namespace {
+bool remove_entry(std::vector<detail::ObserverList::Entry>& v, std::uint64_t id) {
+  auto it = std::find_if(v.begin(), v.end(),
+                         [id](const auto& e) { return e.id == id; });
+  if (it == v.end()) return false;
+  v.erase(it);
+  return true;
+}
+}  // namespace
+
+bool ObserverHandle::remove() {
+  auto list = list_.lock();
+  if (!list || id_ == 0) return false;
+  const bool removed = remove_entry(list->completion, id_) ||
+                       remove_entry(list->dispatch, id_);
+  id_ = 0;
+  return removed;
+}
+
+bool ObserverHandle::active() const {
+  auto list = list_.lock();
+  if (!list || id_ == 0) return false;
+  auto has = [this](const std::vector<detail::ObserverList::Entry>& v) {
+    return std::any_of(v.begin(), v.end(),
+                       [this](const auto& e) { return e.id == id_; });
+  };
+  return has(list->completion) || has(list->dispatch);
+}
+
 BlockLayer::BlockLayer(sim::Simulator& simr, RequestSink& sink, BlockLayerConfig cfg)
-    : simr_(simr), sink_(sink), cfg_(std::move(cfg)) {
+    : simr_(simr), sink_(sink), cfg_(std::move(cfg)),
+      observers_(std::make_shared<detail::ObserverList>()) {
   sched_ = iosched::make_scheduler(cfg_.scheduler, cfg_.tunables);
   sink_.set_on_complete([this](Request* rq, Time now) { on_sink_complete(rq, now); });
   sink_.set_on_ready([this](Time) { kick(); });
+  if (auto* tr = trace::tracer()) {
+    // Zero-duration installation span: the elevator this layer boots with.
+    // Runtime switches appear as B/E spans around the drain+freeze window.
+    tr->complete(tr->track(cfg_.name), tr->ids.elv_switch, tr->ids.cat_blk,
+                 simr_.now(), simr_.now(), tr->ids.target,
+                 static_cast<std::int64_t>(cfg_.scheduler));
+  }
+}
+
+ObserverHandle BlockLayer::add_completion_observer(Observer fn) {
+  const std::uint64_t id = observers_->next_id++;
+  observers_->completion.push_back({id, std::move(fn)});
+  return ObserverHandle{observers_, id};
+}
+
+ObserverHandle BlockLayer::add_dispatch_observer(Observer fn) {
+  const std::uint64_t id = observers_->next_id++;
+  observers_->dispatch.push_back({id, std::move(fn)});
+  return ObserverHandle{observers_, id};
 }
 
 void BlockLayer::submit(Bio bio) {
@@ -25,6 +77,10 @@ void BlockLayer::submit(Bio bio) {
 
   ++counters_.bios_submitted;
   const Time now = simr_.now();
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track(cfg_.name), tr->ids.bio_submit, tr->ids.cat_blk, now,
+                tr->ids.lba, bio.lba, tr->ids.sectors, bio.sectors);
+  }
 
   // Back-merge: a queued request of the same direction/sync/context ending
   // exactly where this bio starts grows to absorb it (the common sequential
@@ -39,6 +95,10 @@ void BlockLayer::submit(Bio bio) {
       merge_idx_.emplace(rq->end(), rq);
       sched_->note_back_merge(rq);
       ++counters_.back_merges;
+      if (auto* tr = trace::tracer()) {
+        tr->instant(tr->track(cfg_.name), tr->ids.bio_merge, tr->ids.cat_blk, now,
+                    tr->ids.lba, rq->lba, tr->ids.sectors, rq->sectors);
+      }
       return;
     }
   }
@@ -61,9 +121,19 @@ void BlockLayer::submit(Bio bio) {
 
 void BlockLayer::switch_scheduler(SchedulerKind kind) {
   switch_target_ = kind;
-  if (draining_) return;  // a switch is already in progress: retarget it
+  if (draining_) {
+    if (auto* tr = trace::tracer()) {
+      tr->instant(tr->track(cfg_.name), tr->ids.elv_retarget, tr->ids.cat_blk,
+                  simr_.now(), tr->ids.target, static_cast<std::int64_t>(kind));
+    }
+    return;  // a switch is already in progress: retarget it
+  }
   ++counters_.scheduler_switches;
   draining_ = true;
+  if (auto* tr = trace::tracer()) {
+    tr->begin(tr->track(cfg_.name), tr->ids.elv_switch, tr->ids.cat_blk,
+              simr_.now(), tr->ids.target, static_cast<std::int64_t>(kind));
+  }
   // The old discipline keeps dispatching (kick() continues to run) until it
   // and the device are empty; maybe_finish_switch() completes the swap.
   maybe_finish_switch();
@@ -81,6 +151,10 @@ void BlockLayer::maybe_finish_switch() {
   sched_ = iosched::make_scheduler(switch_target_, cfg_.tunables);
   merge_idx_.clear();
   frozen_ = true;
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track(cfg_.name), tr->ids.drain_done, tr->ids.cat_blk,
+                simr_.now(), tr->ids.queued, static_cast<std::int64_t>(held_.size()));
+  }
   if (wakeup_ev_ != sim::kInvalidEvent) {
     simr_.cancel(wakeup_ev_);
     wakeup_ev_ = sim::kInvalidEvent;
@@ -89,6 +163,9 @@ void BlockLayer::maybe_finish_switch() {
   freeze_ev_ = simr_.after(cfg_.switch_freeze, [this] {
     freeze_ev_ = sim::kInvalidEvent;
     frozen_ = false;
+    if (auto* tr = trace::tracer()) {
+      tr->end(tr->track(cfg_.name), tr->ids.elv_switch, simr_.now());
+    }
     std::vector<Bio> held = std::move(held_);
     held_.clear();
     for (auto& bio : held) submit(std::move(bio));
@@ -117,6 +194,12 @@ void BlockLayer::kick() {
     merge_idx_.erase(rq->end());
     ++counters_.requests_dispatched;
     ++in_flight_;
+    rq->dispatch = simr_.now();
+    // Index loop: a callback may register further observers (growing the
+    // vector); unregistering from inside a callback is not supported.
+    for (std::size_t i = 0; i < observers_->dispatch.size(); ++i) {
+      observers_->dispatch[i].fn(*this, *rq, rq->dispatch);
+    }
     sink_.submit(rq, simr_.now());
   }
 }
@@ -127,7 +210,19 @@ void BlockLayer::on_sink_complete(Request* rq, Time now) {
   ++counters_.requests_completed;
   counters_.bytes_completed[static_cast<int>(rq->dir)] += rq->bytes();
   sched_->on_complete(*rq, now);
-  for (auto& obs : observers_) obs(*rq, now);
+  if (auto* tr = trace::tracer()) {
+    const auto track = tr->track(cfg_.name);
+    const bool read = rq->dir == iosched::Dir::kRead;
+    // Whole block-layer residence (submit -> complete) ...
+    tr->complete(track, read ? tr->ids.rq_read : tr->ids.rq_write, tr->ids.cat_blk,
+                 rq->submit, now, tr->ids.lba, rq->lba, tr->ids.sectors, rq->sectors);
+    // ... and the in-device portion (dispatch -> complete).
+    tr->complete(track, tr->ids.rq_service, tr->ids.cat_blk, rq->dispatch, now,
+                 tr->ids.lba, rq->lba);
+  }
+  for (std::size_t i = 0; i < observers_->completion.size(); ++i) {
+    observers_->completion[i].fn(*this, *rq, now);
+  }
 
   // Fire waiter callbacks, then free. Callbacks may submit new bios, so the
   // request is detached from the table first.

@@ -10,11 +10,13 @@
 #pragma once
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "blk/request_sink.hpp"
 #include "disk/disk_model.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace iosim::blk {
 
@@ -35,6 +37,9 @@ class DiskDevice final : public RequestSink {
 
   const disk::DiskModel& model() const { return model_; }
 
+  /// Name of this drive's trace track ("host0/disk"); set by the owner.
+  void set_trace_name(std::string name) { trace_name_ = std::move(name); }
+
  private:
   void start_next() {
     if (busy_ || queued_.empty()) return;
@@ -52,10 +57,18 @@ class DiskDevice final : public RequestSink {
     Request* rq = *it;
     queued_.erase(it);
     busy_ = true;
+    svc_start_ = simr_.now();  // one request in service at a time
     const Time svc = model_.service(
         {rq->lba, rq->sectors, rq->dir == iosched::Dir::kWrite});
+    // Capture stays two pointers wide so std::function keeps it inline —
+    // a third word would mean a heap allocation per disk I/O.
     simr_.after(svc, [this, rq] {
       busy_ = false;
+      if (auto* tr = trace::tracer()) {
+        tr->complete(tr->track(trace_name_), tr->ids.disk_io, tr->ids.cat_disk,
+                     svc_start_, simr_.now(), tr->ids.lba, rq->lba,
+                     tr->ids.sectors, rq->sectors);
+      }
       const bool freed_capacity = can_accept();
       complete(rq, simr_.now());
       // `complete` re-enters the block layer, which kicks dispatch itself;
@@ -70,7 +83,9 @@ class DiskDevice final : public RequestSink {
   disk::DiskModel model_;
   int depth_;
   bool busy_ = false;
+  Time svc_start_;  // start of the in-service request (valid while busy_)
   std::vector<Request*> queued_;
+  std::string trace_name_ = "disk";
 };
 
 }  // namespace iosim::blk

@@ -2,7 +2,20 @@
 
 #include <cassert>
 
+#include "trace/trace.hpp"
+#include "virt/physical_host.hpp"
+
 namespace iosim::core {
+
+namespace {
+void trace_pair_switch(cluster::Cluster& cl, int phase, iosched::SchedulerPair p) {
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("core"), tr->ids.pair_switch, tr->ids.cat_core,
+                cl.simr().now(), tr->ids.index, phase, tr->ids.pair,
+                virt::PhysicalHost::pair_code(p));
+  }
+}
+}  // namespace
 
 std::shared_ptr<AdaptiveController> AdaptiveController::attach(
     cluster::Cluster& cl, mapred::Job& job, PairSchedule schedule, PhasePlan plan) {
@@ -28,10 +41,12 @@ void AdaptiveController::enter_phase(int phase, sim::Time) {
     // schedulers still costs time; the heuristic therefore encodes "same as
     // before" as 0 instead of a redundant switch. We honour an explicit
     // same-pair entry by performing the (costly) switch anyway.
+    trace_pair_switch(cl_, phase, *target);
     cl_.switch_pair(*target);
     ++switches_;
     return;
   }
+  trace_pair_switch(cl_, phase, *target);
   cl_.switch_pair(*target);
   ++switches_;
 }

@@ -1,5 +1,9 @@
 #include "core/fine_grained.hpp"
 
+#include "trace/registry.hpp"
+#include "trace/trace.hpp"
+#include "virt/physical_host.hpp"
+
 namespace iosim::core {
 
 std::shared_ptr<FineGrainedController> FineGrainedController::attach(
@@ -22,6 +26,11 @@ void FineGrainedController::sample(const std::shared_ptr<FineGrainedController>&
   if (job_.done()) return;  // stop sampling; no further events scheduled
   ++samples_;
   const sim::Time now = cl_.simr().now();
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("core"), tr->ids.fg_sample, tr->ids.cat_core, now,
+                tr->ids.index, samples_);
+  }
+  if (auto* reg = trace::registry()) reg->counter("core.fg.samples").inc();
 
   for (std::size_t h = 0; h < cl_.n_hosts(); ++h) {
     auto& host = cl_.host(h);
@@ -67,6 +76,13 @@ void FineGrainedController::sample(const std::shared_ptr<FineGrainedController>&
       continue;
     }
 
+    if (auto* tr = trace::tracer()) {
+      tr->instant(tr->track("core"), tr->ids.fg_switch, tr->ids.cat_core, now,
+                  tr->ids.host, static_cast<std::int64_t>(h), tr->ids.pair,
+                  virt::PhysicalHost::pair_code(target), tr->ids.share,
+                  static_cast<std::int64_t>(read_share * 1000.0));
+    }
+    if (auto* reg = trace::registry()) reg->counter("core.fg.switches").inc();
     host.set_pair(target);
     st.last_switch = now;
     st.pending_count = 0;

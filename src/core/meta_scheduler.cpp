@@ -7,6 +7,9 @@
 
 #include "cluster/chain_runner.hpp"
 #include "core/adaptive_controller.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace.hpp"
+#include "virt/physical_host.hpp"
 
 namespace iosim::core {
 
@@ -118,6 +121,13 @@ std::vector<ProfileEntry> MetaScheduler::profile_all_pairs() const {
   std::vector<ProfileEntry> out;
   for (const auto& p : iosched::all_scheduler_pairs()) {
     ProfileEntry e = exp_.profile(p);
+    meta_clock_ = meta_clock_ + sim::Time::from_sec_f(e.total_seconds);
+    if (auto* tr = trace::tracer()) {
+      tr->instant(tr->track("meta"), tr->ids.profile, tr->ids.cat_meta,
+                  meta_clock_, tr->ids.pair, virt::PhysicalHost::pair_code(p),
+                  tr->ids.value, static_cast<std::int64_t>(e.total_seconds * 1000.0));
+    }
+    if (auto* reg = trace::registry()) reg->counter("meta.profile_runs").inc();
     if (opts_.verbose) {
       std::printf("  profile %-28s total=%.1fs phases=[", p.to_string().c_str(),
                   e.total_seconds);
@@ -141,6 +151,12 @@ double MetaScheduler::evaluate(
     }
   }
   const double secs = exp_.execute(schedule).seconds;
+  meta_clock_ = meta_clock_ + sim::Time::from_sec_f(secs);
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("meta"), tr->ids.probe, tr->ids.cat_meta, meta_clock_,
+                tr->ids.value, static_cast<std::int64_t>(secs * 1000.0));
+  }
+  if (auto* reg = trace::registry()) reg->counter("meta.heuristic_evals").inc();
   if (cache != nullptr) cache->emplace_back(key, secs);
   return secs;
 }
@@ -256,6 +272,7 @@ MetaResult MetaScheduler::optimize() {
     res.adaptive_run = execute(res.solution);
     res.adaptive_seconds = res.adaptive_run.seconds;
     res.fell_back = true;
+    if (auto* reg = trace::registry()) reg->counter("meta.fallbacks").inc();
     if (opts_.verbose) {
       std::printf("  fell back to single pair %s (%.1fs)\n",
                   res.best_single.to_string().c_str(), res.adaptive_seconds);

@@ -102,6 +102,11 @@ class MetaScheduler {
 
   Experiment exp_;
   MetaSchedulerOptions opts_;
+  /// Profiling/probe runs each spin up a private simulator, so there is no
+  /// shared sim clock to stamp trace events with. Instead the search keeps
+  /// its own clock: the accumulated simulated seconds of every run issued so
+  /// far. Decision instants land on the "meta" track in that timebase.
+  mutable sim::Time meta_clock_ = sim::Time::zero();
 };
 
 /// Build the chain experiment: `confs` run back to back, two phases per job

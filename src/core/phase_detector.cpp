@@ -1,15 +1,28 @@
 #include "core/phase_detector.hpp"
 
+#include "trace/trace.hpp"
+
 namespace iosim::core {
+
+namespace {
+void trace_phase(int phase, Time t) {
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("core"), tr->ids.phase, tr->ids.cat_core, t,
+                tr->ids.index, phase);
+  }
+}
+}  // namespace
 
 void PhaseDetector::attach(mapred::Job& job, PhasePlan plan, PhaseCallback cb) {
   // Phase 0 is entered right away.
+  trace_phase(0, job.env().simr->now());
   cb(0, job.env().simr->now());
 
   // Phase 1 entry: all maps done.
   auto prev_maps = std::move(job.on_maps_done);
   job.on_maps_done = [prev_maps = std::move(prev_maps), cb](Time t) {
     if (prev_maps) prev_maps(t);
+    trace_phase(1, t);
     cb(1, t);
   };
 
@@ -17,6 +30,7 @@ void PhaseDetector::attach(mapred::Job& job, PhasePlan plan, PhaseCallback cb) {
     auto prev_shuffle = std::move(job.on_shuffle_done);
     job.on_shuffle_done = [prev_shuffle = std::move(prev_shuffle), cb](Time t) {
       if (prev_shuffle) prev_shuffle(t);
+      trace_phase(2, t);
       cb(2, t);
     };
   }

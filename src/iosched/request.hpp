@@ -41,6 +41,11 @@ struct Request {
   /// Time the request entered the block layer (deadline bookkeeping).
   Time submit;
 
+  /// Time the block layer handed the request to the sink (device/ring).
+  /// Set at dispatch; before that it is meaningless. Queue residence is
+  /// dispatch - submit, service time is completion - dispatch.
+  Time dispatch;
+
   /// Per-bio completion callbacks (argument: completion time).
   std::vector<std::function<void(Time)>> completions;
 

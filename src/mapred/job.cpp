@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace.hpp"
+
 namespace iosim::mapred {
+
+namespace {
+// `what` selects a pre-interned name from the *installed* tracer, which the
+// call site cannot touch before the null check.
+void job_instant(trace::Str trace::Tracer::CommonIds::* what, sim::Time t) {
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.*what, tr->ids.cat_mapred, t);
+  }
+}
+}  // namespace
 
 Job::Job(ClusterEnv& env, JobConf conf, std::uint64_t seed)
     : env_(env), conf_(std::move(conf)), rng_(seed) {}
@@ -26,6 +38,11 @@ void Job::run() {
   stats_.t_start = simr().now();
   stats_.maps_total = static_cast<int>(blocks_.size());
   stats_.reduces_total = conf_.n_reduces(n_vms);
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.job_start, tr->ids.cat_mapred,
+                stats_.t_start, tr->ids.task, stats_.maps_total, tr->ids.value,
+                stats_.reduces_total);
+  }
 
   maps_.reserve(blocks_.size());
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
@@ -105,6 +122,7 @@ void Job::map_finished(MapTask& task, MapOutput out) {
 
   if (maps_done_ == 1) {
     stats_.t_first_map_done = simr().now();
+    job_instant(&trace::Tracer::CommonIds::first_map_done, stats_.t_first_map_done);
     if (on_first_map_done) on_first_map_done(simr().now());
   }
   // Feed reducers that already started.
@@ -115,6 +133,7 @@ void Job::map_finished(MapTask& task, MapOutput out) {
   ++free_map_slots_[static_cast<std::size_t>(task.vm())];
   if (maps_done_ == stats_.maps_total) {
     stats_.t_maps_done = simr().now();
+    job_instant(&trace::Tracer::CommonIds::maps_done, stats_.t_maps_done);
     if (on_maps_done) on_maps_done(simr().now());
   } else {
     try_assign_maps();
@@ -127,6 +146,7 @@ void Job::reducer_shuffle_finished(ReduceTask&) {
   ++reducers_shuffle_done_;
   if (reducers_shuffle_done_ == stats_.reduces_total) {
     stats_.t_shuffle_done = simr().now();
+    job_instant(&trace::Tracer::CommonIds::shuffle_done, stats_.t_shuffle_done);
     if (on_shuffle_done) on_shuffle_done(simr().now());
   }
 }
@@ -156,6 +176,7 @@ void Job::reduce_finished(ReduceTask& task) {
   if (reduces_done_ == stats_.reduces_total && !done_) {
     done_ = true;
     stats_.t_done = simr().now();
+    job_instant(&trace::Tracer::CommonIds::job_done, stats_.t_done);
     if (on_done) on_done(simr().now());
   }
 }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include <string>
+
 #include "mapred/job.hpp"
 #include "mapred/merge_op.hpp"
+#include "trace/trace.hpp"
 #include "virt/io_stream.hpp"
 
 namespace iosim::mapred {
@@ -21,6 +24,7 @@ MapTask::MapTask(Job& job, int task_id, const hdfs::DfsBlock& block, int vm)
       io_ctx_(ctx::map_task(task_id)) {}
 
 void MapTask::start() {
+  t_start_ = job_.simr().now();
   src_ = job_.env().dfs->pick_replica(block_, vm_);
   local_ = (src_.vm == vm_);
   read_next_chunk();
@@ -155,6 +159,11 @@ void MapTask::maybe_finish() {
 }
 
 void MapTask::finish(disk::Lba out_vlba, std::int64_t out_bytes) {
+  if (auto* tr = trace::tracer()) {
+    tr->complete(tr->track("tasks/vm" + std::to_string(vm_)), tr->ids.map_span,
+                 tr->ids.cat_mapred, t_start_, job_.simr().now(), tr->ids.task,
+                 task_id_, tr->ids.bytes, out_bytes);
+  }
   MapOutput mo;
   mo.map_id = task_id_;
   mo.vm = vm_;

@@ -62,6 +62,7 @@ class MapTask {
   int vm_;
 
   std::uint64_t io_ctx_;
+  sim::Time t_start_ = sim::Time::zero();  // set when the task starts running
   bool local_ = true;
   hdfs::BlockReplica src_{};
   std::int64_t read_off_ = 0;   // bytes of input consumed so far

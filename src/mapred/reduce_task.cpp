@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "mapred/job.hpp"
 #include "mapred/merge_op.hpp"
+#include "trace/trace.hpp"
 #include "virt/io_stream.hpp"
 
 namespace iosim::mapred {
@@ -21,6 +23,7 @@ ReduceTask::ReduceTask(Job& job, int task_id, int vm)
 
 void ReduceTask::start() {
   started_ = true;
+  t_start_ = job_.simr().now();
   pump_fetches();
   maybe_shuffle_done();  // degenerate: zero maps
 }
@@ -111,6 +114,12 @@ void ReduceTask::maybe_shuffle_done() {
   if (maps_fetched_ < job_.stats().maps_total) return;
   if (active_fetches_ > 0 || flush_inflight_ > 0) return;
   shuffle_complete_ = true;
+  t_shuffle_done_ = job_.simr().now();
+  if (auto* tr = trace::tracer()) {
+    tr->complete(tr->track("tasks/vm" + std::to_string(vm_)), tr->ids.shuffle_span,
+                 tr->ids.cat_mapred, t_start_, t_shuffle_done_, tr->ids.task,
+                 task_id_, tr->ids.bytes, received_);
+  }
   job_.reducer_shuffle_finished(*this);
   start_merge_reduce();
 }
@@ -187,6 +196,11 @@ void ReduceTask::part_done() {
   if (--parts_left_ == 0) {
     finished_ = true;
     merged_ = merge_total_;
+    if (auto* tr = trace::tracer()) {
+      tr->complete(tr->track("tasks/vm" + std::to_string(vm_)), tr->ids.reduce_span,
+                   tr->ids.cat_mapred, t_shuffle_done_, job_.simr().now(),
+                   tr->ids.task, task_id_, tr->ids.bytes, merge_total_);
+    }
     job_.update_progress();
     job_.reduce_finished(*this);
   }

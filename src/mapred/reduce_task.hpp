@@ -54,6 +54,8 @@ class ReduceTask {
   int task_id_;
   int vm_;
   std::uint64_t io_ctx_;
+  sim::Time t_start_ = sim::Time::zero();         // task start
+  sim::Time t_shuffle_done_ = sim::Time::zero();  // shuffle phase end
 
   bool started_ = false;
   std::deque<MapOutput> fetch_queue_;

@@ -5,6 +5,9 @@
 // Complements the throughput probe: the paper's pipeline-stall arguments
 // (sync reads waiting behind writes under noop/deadline) show up here as
 // read-latency percentiles.
+//
+// The probe unregisters its observer on destruction (handle-based removal),
+// so it may be destroyed before or after the layer it watches.
 #pragma once
 
 #include "blk/block_layer.hpp"
@@ -15,17 +18,21 @@ namespace iosim::metrics {
 class LatencyProbe {
  public:
   explicit LatencyProbe(blk::BlockLayer& layer) {
-    layer.add_completion_observer([this](const iosched::Request& rq, sim::Time now) {
-      const double ms = (now - rq.submit).ms();
-      all_.add(ms);
-      if (rq.dir == iosched::Dir::kRead) {
-        reads_.add(ms);
-      } else {
-        writes_.add(ms);
-      }
-      if (rq.sync) sync_.add(ms);
-    });
+    handle_ = layer.add_completion_observer(
+        [this](const blk::BlockLayer&, const iosched::Request& rq, sim::Time now) {
+          const double ms = (now - rq.submit).ms();
+          all_.add(ms);
+          if (rq.dir == iosched::Dir::kRead) {
+            reads_.add(ms);
+          } else {
+            writes_.add(ms);
+          }
+          if (rq.sync) sync_.add(ms);
+        });
   }
+  ~LatencyProbe() { handle_.remove(); }
+  LatencyProbe(const LatencyProbe&) = delete;
+  LatencyProbe& operator=(const LatencyProbe&) = delete;
 
   const sim::SampleSet& all() const { return all_; }
   const sim::SampleSet& reads() const { return reads_; }
@@ -39,6 +46,7 @@ class LatencyProbe {
   double write_p99() const { return writes_.quantile(0.99); }
 
  private:
+  blk::ObserverHandle handle_;
   sim::SampleSet all_;
   sim::SampleSet reads_;
   sim::SampleSet writes_;

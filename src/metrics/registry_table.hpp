@@ -1,0 +1,14 @@
+// iosim: render a trace::Registry as a metrics::Table (the flush path for
+// `--metrics` in iosimctl and the bench telemetry helper).
+#pragma once
+
+#include "metrics/table.hpp"
+#include "trace/registry.hpp"
+
+namespace iosim::metrics {
+
+/// One row per registered metric, in first-touch order. Counters report
+/// their value; gauges their last value; histograms count/mean/p50/p99/max.
+Table registry_table(const trace::Registry& reg, std::string title = "metrics");
+
+}  // namespace iosim::metrics

@@ -18,12 +18,18 @@ using sim::Time;
 
 class ThroughputProbe {
  public:
-  /// Attach to `layer`; every request completion is recorded.
+  /// Attach to `layer`; every request completion is recorded. The observer
+  /// is unregistered on destruction, so the probe and the layer may die in
+  /// either order.
   explicit ThroughputProbe(blk::BlockLayer& layer) {
-    layer.add_completion_observer([this](const iosched::Request& rq, Time now) {
-      trace_.push_back({now, rq.bytes()});
-    });
+    handle_ = layer.add_completion_observer(
+        [this](const blk::BlockLayer&, const iosched::Request& rq, Time now) {
+          trace_.push_back({now, rq.bytes()});
+        });
   }
+  ~ThroughputProbe() { handle_.remove(); }
+  ThroughputProbe(const ThroughputProbe&) = delete;
+  ThroughputProbe& operator=(const ThroughputProbe&) = delete;
 
   /// Total bytes observed.
   std::int64_t total_bytes() const {
@@ -67,6 +73,7 @@ class ThroughputProbe {
     Time t;
     std::int64_t bytes;
   };
+  blk::ObserverHandle handle_;
   std::vector<Entry> trace_;
 };
 

@@ -9,6 +9,7 @@ PhysicalHost::PhysicalHost(sim::Simulator& simr, HostConfig cfg, int host_id,
                            std::uint64_t vm_ctx_base, std::uint64_t seed)
     : simr_(simr), cfg_(cfg), host_id_(host_id), vm_ctx_base_(vm_ctx_base) {
   disk_ = std::make_unique<blk::DiskDevice>(simr_, cfg_.disk, seed);
+  disk_->set_trace_name("host" + std::to_string(host_id) + "/disk");
   blk::BlockLayerConfig dcfg = cfg_.dom0_blk;
   dcfg.name = "host" + std::to_string(host_id) + "/dom0";
   dom0_ = std::make_unique<blk::BlockLayer>(simr_, *disk_, dcfg);
@@ -27,6 +28,11 @@ DomU& PhysicalHost::add_vm() {
       "host" + std::to_string(host_id_) + "/vm" + std::to_string(i);
   vms_.push_back(std::make_unique<DomU>(simr_, vm_ctx_base_ + static_cast<std::uint64_t>(i),
                                         *dom0_, base, image_sectors, vcfg));
+  if (auto* tr = trace::tracer()) {
+    // Consolidation event: one more VM sharing this host's disk.
+    tr->instant(tr->track("host" + std::to_string(host_id_)), tr->ids.vm_boot,
+                tr->ids.cat_virt, simr_.now(), tr->ids.index, i);
+  }
   return *vms_.back();
 }
 

@@ -6,6 +6,7 @@
 
 #include "blk/disk_device.hpp"
 #include "iosched/pair.hpp"
+#include "trace/trace.hpp"
 #include "virt/domu.hpp"
 
 namespace iosim::virt {
@@ -46,8 +47,17 @@ class PhysicalHost {
   }
   /// Apply a (VMM, guest) pair to this host — the paper's primitive.
   void set_pair(SchedulerPair p) {
+    if (auto* tr = trace::tracer()) {
+      tr->instant(tr->track("host" + std::to_string(host_id_)), tr->ids.pair_switch,
+                  tr->ids.cat_virt, simr_.now(), tr->ids.pair, pair_code(p));
+    }
     set_vmm_scheduler(p.vmm);
     set_guest_schedulers(p.guest);
+  }
+
+  /// Dense encoding of a pair for trace arguments: vmm * 4 + guest.
+  static std::int64_t pair_code(SchedulerPair p) {
+    return static_cast<std::int64_t>(p.vmm) * 4 + static_cast<std::int64_t>(p.guest);
   }
   SchedulerPair pair() const {
     return {dom0_->scheduler_kind(),

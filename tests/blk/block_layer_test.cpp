@@ -178,7 +178,7 @@ TEST(BlockLayer, ObserversSeeEveryCompletion) {
   Rig r;
   int observed = 0;
   std::int64_t observed_bytes = 0;
-  r.layer.add_completion_observer([&](const iosched::Request& rq, Time) {
+  r.layer.add_completion_observer([&](const blk::BlockLayer&, const iosched::Request& rq, Time) {
     ++observed;
     observed_bytes += rq.bytes();
   });
@@ -229,6 +229,56 @@ TEST(DiskDevice, ServicesOneRequestAtATime) {
   simr.run();
   EXPECT_TRUE(completed);
   EXPECT_TRUE(dev.can_accept());
+}
+
+TEST(BlockLayer, DispatchObserverSeesEveryDispatchWithLayerIdentity) {
+  BlockLayerConfig cfg;
+  cfg.name = "rig0";
+  Rig r(SchedulerKind::kNoop, cfg);
+  int dispatched = 0;
+  std::string seen_name;
+  r.layer.add_dispatch_observer(
+      [&](const BlockLayer& l, const iosched::Request& rq, Time) {
+        ++dispatched;
+        seen_name = l.name();
+        EXPECT_GE(rq.dispatch, rq.submit);
+      });
+  for (int i = 0; i < 10; ++i) r.submit(i * 9000, 128, Dir::kWrite, false, 1);
+  r.simr.run();
+  EXPECT_EQ(static_cast<std::uint64_t>(dispatched),
+            r.layer.counters().requests_dispatched);
+  EXPECT_EQ(seen_name, "rig0");
+}
+
+TEST(BlockLayer, RemovedObserverStopsReceivingEvents) {
+  Rig r;
+  int calls = 0;
+  auto handle = r.layer.add_completion_observer(
+      [&](const BlockLayer&, const iosched::Request&, Time) { ++calls; });
+  r.submit(0, 64, Dir::kRead, true, 1);
+  r.simr.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(handle.active());
+  EXPECT_TRUE(handle.remove());
+  EXPECT_FALSE(handle.active());
+  r.submit(64, 64, Dir::kRead, true, 1);
+  r.simr.run();
+  EXPECT_EQ(calls, 1);  // no delivery after removal
+  EXPECT_FALSE(handle.remove());  // second remove is a no-op
+}
+
+TEST(BlockLayer, ObserverHandleOutlivingLayerIsSafe) {
+  ObserverHandle handle;
+  {
+    Rig r;
+    handle = r.layer.add_completion_observer(
+        [](const BlockLayer&, const iosched::Request&, Time) {});
+    EXPECT_TRUE(handle.active());
+  }
+  // Layer (and its observer list) destroyed: the handle must not touch
+  // freed memory — remove() degrades to a no-op.
+  EXPECT_FALSE(handle.active());
+  EXPECT_FALSE(handle.remove());
 }
 
 }  // namespace

@@ -61,7 +61,7 @@ TEST(DomU, Dom0SeesVmContext) {
   HostRig r(2);
   std::set<std::uint64_t> ctxs;
   r.host.dom0_layer().add_completion_observer(
-      [&](const iosched::Request& rq, Time) { ctxs.insert(rq.ctx); });
+      [&](const blk::BlockLayer&, const iosched::Request& rq, Time) { ctxs.insert(rq.ctx); });
   r.host.vm(0).submit_io(1, 0, 88, Dir::kRead, true, {});
   r.host.vm(1).submit_io(2, 0, 88, Dir::kRead, true, {});
   r.simr.run();
@@ -73,7 +73,7 @@ TEST(DomU, VmsMapToDisjointPhysicalExtents) {
   HostRig r(2);
   std::vector<disk::Lba> lbas;
   r.host.dom0_layer().add_completion_observer(
-      [&](const iosched::Request& rq, Time) { lbas.push_back(rq.lba); });
+      [&](const blk::BlockLayer&, const iosched::Request& rq, Time) { lbas.push_back(rq.lba); });
   r.host.vm(0).submit_io(1, 0, 88, Dir::kRead, true, {});
   r.host.vm(1).submit_io(1, 0, 88, Dir::kRead, true, {});
   r.simr.run();

@@ -12,12 +12,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/fine_grained.hpp"
 #include "core/meta_scheduler.hpp"
+#include "core/phase_detector.hpp"
 #include "core/switch_cost.hpp"
+#include "metrics/iostat_sampler.hpp"
+#include "metrics/registry_table.hpp"
 #include "metrics/table.hpp"
+#include "trace/registry.hpp"
+#include "trace/trace.hpp"
 #include "workloads/benchmarks.hpp"
 #include "workloads/microbench.hpp"
 
@@ -58,11 +66,80 @@ int usage() {
   std::fprintf(stderr,
                "usage: iosimctl <run|sweep|adapt|finegrained|sysbench|switchcost> "
                "[--workload sort|wordcount|wc-nocombiner] [--hosts N] [--vms N] "
-               "[--mb N] [--pair xy] [--seeds N] [--phases 2|3] [--csv]\n"
+               "[--mb N] [--pair xy] [--seeds N] [--phases 2|3] [--csv] "
+               "[--trace FILE] [--metrics]\n"
                "pair letters: n=noop d=deadline a=anticipatory c=cfq; first "
-               "letter = VMM (Dom0), second = VM guests\n");
+               "letter = VMM (Dom0), second = VM guests\n"
+               "--trace FILE   record a flight-recorder trace of the run; "
+               "FILE ending in .csv selects CSV, anything else Chrome "
+               "trace-event JSON (chrome://tracing / ui.perfetto.dev)\n"
+               "--metrics      collect the named-metrics registry and print it "
+               "after the run\n");
   return 2;
 }
+
+/// RAII wrapper for --trace / --metrics: installs the global tracer and/or
+/// registry for the duration of a command, then writes the trace file and
+/// prints the registry table on the way out.
+class Telemetry {
+ public:
+  explicit Telemetry(const Args& a)
+      : trace_path_(a.str("trace", "")), want_metrics_(a.has("metrics")) {
+    if (!trace_path_.empty()) trace_.emplace();
+    if (want_metrics_) metrics_.emplace();
+  }
+  ~Telemetry() {
+    if (trace_) {
+      const bool csv = trace_path_.size() >= 4 &&
+                       trace_path_.compare(trace_path_.size() - 4, 4, ".csv") == 0;
+      auto& tr = trace_->tracer();
+      if (tr.write_file(trace_path_, csv)) {
+        std::fprintf(stderr, "trace: %zu events (%llu dropped) -> %s\n", tr.size(),
+                     static_cast<unsigned long long>(tr.dropped()), trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+      }
+    }
+    if (metrics_) {
+      auto tab = metrics::registry_table(metrics_->registry());
+      tab.print();
+    }
+  }
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  bool active() const { return trace_.has_value() || metrics_.has_value(); }
+
+  /// SetupHook add-on: attach an iostat sampler to every Dom0 and guest
+  /// block layer of the cluster, stopping when the job completes. The
+  /// sampler must outlive the run, so it parks in `samplers_`.
+  void attach_sampler(cluster::Cluster& cl, mapred::Job& job) {
+    if (!active()) return;
+    auto s = std::make_shared<metrics::IostatSampler>(cl.simr());
+    for (std::size_t h = 0; h < cl.n_hosts(); ++h) {
+      auto& host = cl.host(h);
+      s->watch(host.dom0_layer());
+      for (std::size_t v = 0; v < host.vm_count(); ++v) s->watch(host.vm(v).layer());
+    }
+    s->stop_when([&job] { return job.done(); });
+    s->start();
+    samplers_.push_back(std::move(s));
+  }
+
+  /// iostat summary of the last run (multi-seed runs keep only the last).
+  void print_iostat() const {
+    if (samplers_.empty()) return;
+    auto tab = samplers_.back()->table();
+    tab.print();
+  }
+
+ private:
+  std::string trace_path_;
+  bool want_metrics_;
+  std::optional<trace::TraceSession> trace_;
+  std::optional<trace::MetricsSession> metrics_;
+  std::vector<std::shared_ptr<metrics::IostatSampler>> samplers_;
+};
 
 mapred::JobConf workload_of(const Args& a) {
   const std::string w = a.str("workload", "sort");
@@ -106,7 +183,19 @@ void emit(const Args& a, metrics::Table& tab) {
 int cmd_run(const Args& a) {
   const auto cfg = cluster_of(a);
   const auto jc = workload_of(a);
-  const auto r = cluster::run_job_avg(cfg, jc, static_cast<int>(a.num("seeds", 1)));
+  Telemetry tel(a);
+  const auto plan = core::PhasePlan::for_job(jc, cfg.n_hosts * cfg.vms_per_host);
+  const auto r = cluster::run_job_avg(
+      cfg, jc, static_cast<int>(a.num("seeds", 1)),
+      [&tel, plan](cluster::Cluster& cl, mapred::Job& job) {
+        if (tel.active()) {
+          // Observation only: phase-transition instants on the trace without
+          // any switching (the adaptive commands do the switching).
+          core::PhaseDetector::attach(job, plan, [](int, sim::Time) {});
+        }
+        tel.attach_sampler(cl, job);
+      });
+  tel.print_iostat();
   metrics::Table tab("job run");
   tab.headers({"pair", "seconds", "ph1", "ph2", "ph3", "maps", "reduces",
                "shuffle MB", "output MB"});
@@ -154,6 +243,7 @@ int cmd_adapt(const Args& a) {
   }
   opts.seeds_per_eval = static_cast<int>(a.num("seeds", 1));
   opts.verbose = a.has("verbose");
+  Telemetry tel(a);
   core::MetaScheduler ms(cfg, jc, opts);
   const auto r = ms.optimize();
   metrics::Table tab("meta-scheduler result");
@@ -173,11 +263,15 @@ int cmd_adapt(const Args& a) {
 int cmd_finegrained(const Args& a) {
   const auto cfg = cluster_of(a);
   const auto jc = workload_of(a);
+  Telemetry tel(a);
   std::shared_ptr<core::FineGrainedController> ctl;
-  const auto r = cluster::run_job(cfg, jc, [&ctl](cluster::Cluster& cl, mapred::Job& job) {
-    ctl = core::FineGrainedController::attach(cl, job, core::FineGrainedPolicy{},
-                                              core::SwitchPredictor{2.0});
-  });
+  const auto r =
+      cluster::run_job(cfg, jc, [&ctl, &tel](cluster::Cluster& cl, mapred::Job& job) {
+        ctl = core::FineGrainedController::attach(cl, job, core::FineGrainedPolicy{},
+                                                  core::SwitchPredictor{2.0});
+        tel.attach_sampler(cl, job);
+      });
+  tel.print_iostat();
   metrics::Table tab("fine-grained controller run");
   tab.headers({"metric", "value"});
   tab.row({"seconds", metrics::Table::num(r.seconds, 1)});
