@@ -10,6 +10,7 @@ namespace iosim::blk {
 
 using disk::Lba;
 using iosched::Dir;
+using iosched::IoStatus;
 using sim::Time;
 
 /// A single I/O as issued by a task / filesystem / blkfront. The block layer
@@ -23,8 +24,9 @@ struct Bio {
   bool sync = true;
   /// Issuing context (task id in a guest, VM id in Dom0).
   std::uint64_t ctx = 0;
-  /// Invoked exactly once when the containing request completes.
-  std::function<void(Time)> on_complete;
+  /// Invoked exactly once when the containing request completes, with the
+  /// request's outcome (kOk unless the device failed the request).
+  std::function<void(Time, IoStatus)> on_complete;
 };
 
 }  // namespace iosim::blk

@@ -208,6 +208,13 @@ void BlockLayer::on_sink_complete(Request* rq, Time now) {
   assert(in_flight_ > 0);
   --in_flight_;
   ++counters_.requests_completed;
+  if (rq->status != iosched::IoStatus::kOk) {
+    ++counters_.requests_failed;
+    if (auto* tr = trace::tracer()) {
+      tr->instant(tr->track(cfg_.name), tr->ids.io_error, tr->ids.cat_blk, now,
+                  tr->ids.lba, rq->lba, tr->ids.sectors, rq->sectors);
+    }
+  }
   counters_.bytes_completed[static_cast<int>(rq->dir)] += rq->bytes();
   sched_->on_complete(*rq, now);
   if (auto* tr = trace::tracer()) {
@@ -230,7 +237,7 @@ void BlockLayer::on_sink_complete(Request* rq, Time now) {
   assert(it != requests_.end());
   auto owned = std::move(it->second);
   requests_.erase(it);
-  for (auto& fn : owned->completions) fn(now);
+  for (auto& fn : owned->completions) fn(now, owned->status);
 
   if (draining_) {
     maybe_finish_switch();

@@ -87,6 +87,8 @@ struct BlockLayerCounters {
   std::uint64_t back_merges = 0;
   std::uint64_t requests_dispatched = 0;
   std::uint64_t requests_completed = 0;
+  /// Requests completed with IoStatus::kError (included in completed).
+  std::uint64_t requests_failed = 0;
   std::int64_t bytes_completed[iosched::kNumDirs] = {0, 0};
   std::uint64_t scheduler_switches = 0;
 };

@@ -15,6 +15,7 @@
 
 #include "blk/request_sink.hpp"
 #include "disk/disk_model.hpp"
+#include "fault/fault_injector.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 
@@ -22,8 +23,13 @@ namespace iosim::blk {
 
 class DiskDevice final : public RequestSink {
  public:
-  DiskDevice(sim::Simulator& simr, disk::DiskParams params, std::uint64_t seed)
-      : simr_(simr), model_(params, seed), depth_(std::max(1, params.ncq_depth)) {}
+  /// `faults` (optional) is consulted per command for fail-slow inflation
+  /// and error injection; `host_id` selects which host-targeted fault specs
+  /// apply to this drive.
+  DiskDevice(sim::Simulator& simr, disk::DiskParams params, std::uint64_t seed,
+             fault::FaultInjector* faults = nullptr, int host_id = 0)
+      : simr_(simr), model_(params, seed), depth_(std::max(1, params.ncq_depth)),
+        faults_(faults), host_id_(host_id) {}
 
   bool can_accept() const override {
     return static_cast<int>(queued_.size()) + (busy_ ? 1 : 0) < depth_;
@@ -58,8 +64,18 @@ class DiskDevice final : public RequestSink {
     queued_.erase(it);
     busy_ = true;
     svc_start_ = simr_.now();  // one request in service at a time
-    const Time svc = model_.service(
+    Time svc = model_.service(
         {rq->lba, rq->sectors, rq->dir == iosched::Dir::kWrite});
+    if (faults_ != nullptr) {
+      svc = faults_->inflate_service(host_id_, svc);
+      // The outcome is decided (and stamped on the request) up front so the
+      // completion capture stays small; a failed command still occupies the
+      // drive for its full service time — the firmware retries the medium
+      // before reporting the error.
+      if (faults_->io_should_fail(host_id_, rq->lba, rq->sectors)) {
+        rq->status = iosched::IoStatus::kError;
+      }
+    }
     // Capture stays two pointers wide so std::function keeps it inline —
     // a third word would mean a heap allocation per disk I/O.
     simr_.after(svc, [this, rq] {
@@ -82,6 +98,8 @@ class DiskDevice final : public RequestSink {
   sim::Simulator& simr_;
   disk::DiskModel model_;
   int depth_;
+  fault::FaultInjector* faults_;
+  int host_id_;
   bool busy_ = false;
   Time svc_start_;  // start of the in-service request (valid while busy_)
   std::vector<Request*> queued_;

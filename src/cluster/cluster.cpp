@@ -10,6 +10,17 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   c.host.dom0_blk.scheduler = cfg.pair.vmm;
   c.host.domu.guest_blk.scheduler = cfg.pair.guest;
 
+  // A fault-free cluster constructs no injector at all: every consumer keeps
+  // its nullptr fast path and the event stream is bit-identical to builds
+  // that predate fault injection. The injector draws its seed from the same
+  // seeder position whether or not the plan is empty would NOT hold here —
+  // so the draw only happens when a plan exists; fault-free runs see the
+  // exact pre-fault seed sequence.
+  if (!cfg.faults.empty()) {
+    faults_ = std::make_unique<fault::FaultInjector>(simr_, cfg.faults,
+                                                     seeder.next_u64());
+  }
+
   for (int h = 0; h < cfg.n_hosts; ++h) {
     virt::HostConfig hc = c.host;
     if (static_cast<std::size_t>(h) < cfg.host_disk_speed.size()) {
@@ -20,7 +31,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
     hosts_.push_back(std::make_unique<virt::PhysicalHost>(
         simr_, hc, h,
         /*vm_ctx_base=*/static_cast<std::uint64_t>(h) * 100,
-        /*seed=*/seeder.next_u64()));
+        /*seed=*/seeder.next_u64(), faults_.get()));
     for (int v = 0; v < cfg.vms_per_host; ++v) hosts_.back()->add_vm();
   }
 
@@ -30,6 +41,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   env_.simr = &simr_;
   env_.net = net_.get();
   env_.dfs = dfs_.get();
+  env_.faults = faults_.get();
   for (int h = 0; h < cfg.n_hosts; ++h) {
     for (int v = 0; v < cfg.vms_per_host; ++v) {
       cpus_.push_back(std::make_unique<mapred::VCpu>(simr_));
@@ -42,6 +54,23 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
       env_.vms.push_back(vh);
     }
   }
+}
+
+bool Cluster::try_switch_pair(SchedulerPair p) {
+  if (faults_ == nullptr) {
+    switch_pair(p);
+    return true;
+  }
+  const auto verdict = faults_->switch_command();
+  if (!verdict.ok) return false;
+  if (verdict.delay > sim::Time::zero()) {
+    // The command was accepted but the actuation path (e.g. sysfs write
+    // fanned out over a slow management network) lags; the pair lands later.
+    simr_.after(verdict.delay, [this, p] { switch_pair(p); });
+    return true;
+  }
+  switch_pair(p);
+  return true;
 }
 
 }  // namespace iosim::cluster

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "iosched/pair.hpp"
 #include "mapred/cluster_env.hpp"
 #include "net/flow_network.hpp"
@@ -27,6 +28,9 @@ struct ClusterConfig {
   /// model heterogeneous nodes — the scenario the paper names as breaking
   /// the coarse (cluster-synchronized) meta-scheduler.
   std::vector<double> host_disk_speed;
+  /// Faults to inject during the run; empty = fault-free (no injector is
+  /// even constructed, so behavior is bit-identical to pre-fault builds).
+  fault::FaultPlan faults;
   std::uint64_t seed = 1;
 };
 
@@ -48,14 +52,27 @@ class Cluster {
 
   /// Switch the pair on every host and guest (pays the quiesce freeze on
   /// every block layer — this is the meta-scheduler's runtime action).
+  /// Unconditional: bypasses fault injection. Controllers should prefer
+  /// try_switch_pair.
   void switch_pair(SchedulerPair p) {
     for (auto& h : hosts_) h->set_pair(p);
   }
+
+  /// Issue the switch command through the fault layer. Returns false when
+  /// the command fails (the old pair stays installed on every host — the
+  /// caller owns retry policy). A delayed command returns true and lands
+  /// after the injected latency. Without an injector this is switch_pair.
+  bool try_switch_pair(SchedulerPair p);
+
   SchedulerPair pair() const { return hosts_.front()->pair(); }
+
+  /// The fault injector, or null for a fault-free cluster.
+  fault::FaultInjector* faults() { return faults_.get(); }
 
  private:
   ClusterConfig cfg_;
   sim::Simulator simr_;
+  std::unique_ptr<fault::FaultInjector> faults_;
   std::vector<std::unique_ptr<virt::PhysicalHost>> hosts_;
   std::vector<std::unique_ptr<mapred::VCpu>> cpus_;
   std::unique_ptr<net::FlowNetwork> net_;

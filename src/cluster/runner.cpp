@@ -11,10 +11,13 @@ RunResult run_job(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
   if (setup) setup(cl, job);
   job.run();
   cl.simr().run();
-  assert(job.done() && "job did not complete — simulation deadlock");
+  assert((job.done() || job.failed()) &&
+         "job neither completed nor aborted — simulation deadlock");
 
   RunResult r;
   r.stats = job.stats();
+  r.failed = job.failed();
+  r.failure = job.failure();
   r.seconds = r.stats.elapsed().sec();
   r.ph1_seconds = (r.stats.t_maps_done - r.stats.t_start).sec();
   r.ph2_seconds = (r.stats.t_shuffle_done - r.stats.t_maps_done).sec();
@@ -32,6 +35,10 @@ RunResult run_job_avg(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
     c.seed = cfg.seed + static_cast<std::uint64_t>(i);
     RunResult r = run_job(c, job_conf, setup);
     if (i == 0) acc.stats = r.stats;  // keep one representative stats block
+    if (r.failed && !acc.failed) {
+      acc.failed = true;
+      acc.failure = r.failure;
+    }
     acc.seconds += r.seconds;
     acc.ph1_seconds += r.ph1_seconds;
     acc.ph2_seconds += r.ph2_seconds;

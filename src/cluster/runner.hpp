@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "cluster/cluster.hpp"
 #include "mapred/job.hpp"
@@ -13,6 +14,12 @@ namespace iosim::cluster {
 struct RunResult {
   mapred::JobStats stats;
   double seconds = 0.0;  // stats.elapsed(), convenience
+
+  /// Set when the job aborted (fault injection exhausted a task's attempt
+  /// budget or killed every replica of a block); `failure` carries the
+  /// job's diagnostic and `seconds` measures start -> abort.
+  bool failed = false;
+  std::string failure;
 
   /// Phase durations with the paper's boundaries.
   double ph1_seconds = 0.0;  // start -> all maps done

@@ -1,5 +1,6 @@
 #include "core/adaptive_controller.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "trace/trace.hpp"
@@ -32,23 +33,44 @@ std::shared_ptr<AdaptiveController> AdaptiveController::attach(
 }
 
 void AdaptiveController::enter_phase(int phase, sim::Time) {
+  ++epoch_;  // supersede any retry still pending for the previous phase
   if (phase == 0) return;  // installed at boot
   if (phase >= schedule_.count()) return;
   const auto& target = schedule_.phases[static_cast<std::size_t>(phase)];
   if (!target.has_value()) return;  // "0": keep current pair, no switch
-  if (*target == cl_.pair()) {
-    // The paper found that re-issuing the switch command for the *same*
-    // schedulers still costs time; the heuristic therefore encodes "same as
-    // before" as 0 instead of a redundant switch. We honour an explicit
-    // same-pair entry by performing the (costly) switch anyway.
-    trace_pair_switch(cl_, phase, *target);
-    cl_.switch_pair(*target);
+  // The paper found that re-issuing the switch command for the *same*
+  // schedulers still costs time; the heuristic therefore encodes "same as
+  // before" as 0 instead of a redundant switch. We honour an explicit
+  // same-pair entry by performing the (costly) switch anyway.
+  attempt_switch(phase, *target, /*failures=*/0);
+}
+
+void AdaptiveController::attempt_switch(int phase, iosched::SchedulerPair target,
+                                        int failures) {
+  if (cl_.try_switch_pair(target)) {
+    trace_pair_switch(cl_, phase, target);
     ++switches_;
     return;
   }
-  trace_pair_switch(cl_, phase, *target);
-  cl_.switch_pair(*target);
-  ++switches_;
+  // Command rejected: the old pair stays installed on every host. Retry with
+  // capped exponential backoff unless a newer phase supersedes the target
+  // before the timer fires.
+  ++switch_failures_;
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("core"), tr->ids.switch_fail, tr->ids.cat_core,
+                cl_.simr().now(), tr->ids.index, phase, tr->ids.attempt,
+                failures + 1);
+  }
+  if (failures >= kMaxRetries) return;  // budget exhausted: keep the old pair
+  const sim::Time delay =
+      std::min(kRetryCap, kRetryBase * static_cast<double>(std::int64_t{1} << std::min(failures, 3)));
+  const int issued_epoch = epoch_;
+  auto self = shared_from_this();
+  cl_.simr().after(delay, [self, phase, target, failures, issued_epoch] {
+    if (self->epoch_ != issued_epoch) return;  // superseded by a newer phase
+    ++self->switch_retries_;
+    self->attempt_switch(phase, target, failures + 1);
+  });
 }
 
 }  // namespace iosim::core

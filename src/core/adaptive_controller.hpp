@@ -1,5 +1,12 @@
 // iosim: the runtime half of the meta-scheduler — applies a PairSchedule
 // to a live cluster at the phase boundaries the detector reports.
+//
+// Failure semantics: the switch command travels through the cluster's fault
+// layer (Cluster::try_switch_pair). A failed command leaves the old pair
+// installed and is retried with capped exponential backoff; a retry is
+// abandoned the moment a newer phase boundary arrives (its target pair has
+// been superseded). The controller therefore degrades gracefully: the job
+// keeps running under the previous pair until a retry lands.
 #pragma once
 
 #include <memory>
@@ -10,12 +17,12 @@
 
 namespace iosim::core {
 
-class AdaptiveController {
+class AdaptiveController : public std::enable_shared_from_this<AdaptiveController> {
  public:
   /// Attach a controller to a job about to run on `cl`. The cluster must
   /// have been booted with `schedule.initial()` (construction-time install;
   /// no switch cost). Subsequent phases that name a different pair trigger
-  /// `Cluster::switch_pair`, paying the elevator quiesce on every block
+  /// a cluster-wide switch, paying the elevator quiesce on every block
   /// layer in the cluster — exactly the cost the paper's heuristic must
   /// amortize. Returns a handle that reports how many switches happened;
   /// the controller keeps itself alive through the job's callbacks.
@@ -25,16 +32,36 @@ class AdaptiveController {
                                                     PhasePlan plan);
 
   int switches_performed() const { return switches_; }
+  /// Switch commands rejected by the fault layer (each schedules a retry).
+  int switch_failures() const { return switch_failures_; }
+  /// Retries that were actually issued (abandoned ones don't count).
+  int switch_retries() const { return switch_retries_; }
+
+  /// First retry delay after a failed switch command; doubles per failure up
+  /// to 8x. Kept short relative to phase lengths so a transient management-
+  /// plane fault rarely costs a whole phase.
+  static constexpr sim::Time kRetryBase = sim::Time::from_ms(500);
+  static constexpr sim::Time kRetryCap = sim::Time::from_sec(4);
+  /// Retry budget per phase target. A management plane that is still down
+  /// after this many attempts is treated as gone for the phase: the old
+  /// pair stays installed and the job simply runs on without switching.
+  static constexpr int kMaxRetries = 8;
 
  private:
   AdaptiveController(cluster::Cluster& cl, PairSchedule schedule)
       : cl_(cl), schedule_(std::move(schedule)) {}
 
   void enter_phase(int phase, sim::Time t);
+  void attempt_switch(int phase, iosched::SchedulerPair target, int failures);
 
   cluster::Cluster& cl_;
   PairSchedule schedule_;
   int switches_ = 0;
+  int switch_failures_ = 0;
+  int switch_retries_ = 0;
+  /// Monotone epoch: bumped at every phase boundary; pending retries carry
+  /// the epoch they were issued under and go inert when it is stale.
+  int epoch_ = 0;
 };
 
 }  // namespace iosim::core

@@ -1,0 +1,247 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iosim::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kTransientError: return "transient";
+    case FaultKind::kLatentSector: return "lse";
+    case FaultKind::kFailSlow: return "failslow";
+    case FaultKind::kVmOutage: return "vmdown";
+    case FaultKind::kSwitchFail: return "switchfail";
+    case FaultKind::kSwitchDelay: return "switchdelay";
+  }
+  return "?";
+}
+
+namespace {
+
+void set_error(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+}
+
+bool parse_double(std::string_view v, double* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const std::string s(v);
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_int(std::string_view v, long long* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const std::string s(v);
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_seconds(std::string_view v, sim::Time* out) {
+  double secs = 0.0;
+  if (!parse_double(v, &secs) || secs < 0.0) return false;
+  *out = sim::Time::from_sec_f(secs);
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<FaultSpec> FaultPlan::parse_spec(std::string_view text,
+                                               std::string* error) {
+  text = trim(text);
+  const auto colon = text.find(':');
+  const std::string_view kind_name = trim(text.substr(0, colon));
+
+  FaultSpec s;
+  if (kind_name == "transient") {
+    s.kind = FaultKind::kTransientError;
+  } else if (kind_name == "lse") {
+    s.kind = FaultKind::kLatentSector;
+  } else if (kind_name == "failslow") {
+    s.kind = FaultKind::kFailSlow;
+  } else if (kind_name == "vmdown") {
+    s.kind = FaultKind::kVmOutage;
+  } else if (kind_name == "switchfail") {
+    s.kind = FaultKind::kSwitchFail;
+  } else if (kind_name == "switchdelay") {
+    s.kind = FaultKind::kSwitchDelay;
+  } else {
+    set_error(error, "unknown fault kind '" + std::string(kind_name) + "'");
+    return std::nullopt;
+  }
+
+  bool saw_lba = false, saw_p = false, saw_factor = false, saw_delay = false;
+  std::string_view rest = colon == std::string_view::npos ? std::string_view{}
+                                                          : text.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view kv = trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      set_error(error, "expected key=value, got '" + std::string(kv) + "'");
+      return std::nullopt;
+    }
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view val = kv.substr(eq + 1);
+
+    auto bad_value = [&] {
+      set_error(error, "bad value for '" + std::string(key) + "': '" +
+                           std::string(val) + "'");
+      return std::nullopt;
+    };
+    const bool disk_fault = s.kind == FaultKind::kTransientError ||
+                            s.kind == FaultKind::kLatentSector ||
+                            s.kind == FaultKind::kFailSlow;
+
+    if (key == "from") {
+      if (!parse_seconds(val, &s.from)) return bad_value();
+    } else if (key == "until") {
+      if (!parse_seconds(val, &s.until)) return bad_value();
+    } else if (key == "host" && disk_fault) {
+      long long h = 0;
+      if (!parse_int(val, &h) || h < -1) return bad_value();
+      s.host = static_cast<int>(h);
+    } else if (key == "vm" && s.kind == FaultKind::kVmOutage) {
+      long long v = 0;
+      if (!parse_int(val, &v) || v < 0) return bad_value();
+      s.vm = static_cast<int>(v);
+    } else if (key == "p" && (s.kind == FaultKind::kTransientError ||
+                              s.kind == FaultKind::kSwitchFail)) {
+      if (!parse_double(val, &s.probability) || s.probability < 0.0 ||
+          s.probability > 1.0) {
+        return bad_value();
+      }
+      saw_p = true;
+    } else if (key == "factor" && s.kind == FaultKind::kFailSlow) {
+      if (!parse_double(val, &s.factor) || s.factor < 1.0) return bad_value();
+      saw_factor = true;
+    } else if (key == "delay" && s.kind == FaultKind::kSwitchDelay) {
+      if (!parse_seconds(val, &s.delay)) return bad_value();
+      saw_delay = true;
+    } else if (key == "lba" && s.kind == FaultKind::kLatentSector) {
+      const auto dash = val.find('-');
+      long long a = 0, b = 0;
+      if (dash == std::string_view::npos || !parse_int(val.substr(0, dash), &a) ||
+          !parse_int(val.substr(dash + 1), &b) || a < 0 || b <= a) {
+        return bad_value();
+      }
+      s.lba_begin = a;
+      s.lba_end = b;
+      saw_lba = true;
+    } else {
+      set_error(error, "key '" + std::string(key) + "' does not apply to '" +
+                           std::string(kind_name) + "'");
+      return std::nullopt;
+    }
+  }
+
+  if (s.until <= s.from) {
+    set_error(error, "empty window: until <= from in '" + std::string(text) + "'");
+    return std::nullopt;
+  }
+  if (s.kind == FaultKind::kLatentSector && !saw_lba) {
+    set_error(error, "lse requires lba=A-B");
+    return std::nullopt;
+  }
+  if (s.kind == FaultKind::kFailSlow && !saw_factor) {
+    set_error(error, "failslow requires factor=F");
+    return std::nullopt;
+  }
+  if (s.kind == FaultKind::kSwitchDelay && !saw_delay) {
+    set_error(error, "switchdelay requires delay=S");
+    return std::nullopt;
+  }
+  if (s.kind == FaultKind::kVmOutage && s.vm < 0) {
+    set_error(error, "vmdown requires vm=V");
+    return std::nullopt;
+  }
+  if (s.kind == FaultKind::kTransientError && !saw_p) {
+    set_error(error, "transient requires p=P");
+    return std::nullopt;
+  }
+  if (s.kind == FaultKind::kSwitchFail && !saw_p) {
+    set_error(error, "switchfail requires p=P");
+    return std::nullopt;
+  }
+  return s;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view text,
+                                          std::string* error) {
+  FaultPlan plan;
+  while (!text.empty()) {
+    auto sep = text.find_first_of(";\n");
+    std::string_view item = text.substr(0, sep);
+    text = sep == std::string_view::npos ? std::string_view{} : text.substr(sep + 1);
+    if (auto hash = item.find('#'); hash != std::string_view::npos) {
+      item = item.substr(0, hash);
+    }
+    item = trim(item);
+    if (item.empty()) continue;
+    auto spec = parse_spec(item, error);
+    if (!spec.has_value()) return std::nullopt;
+    plan.specs.push_back(*spec);
+  }
+  return plan;
+}
+
+std::string FaultSpec::to_string() const {
+  char buf[192];
+  std::string out = fault::to_string(kind);
+  switch (kind) {
+    case FaultKind::kTransientError:
+      std::snprintf(buf, sizeof buf, ":host=%d,p=%g", host, probability);
+      break;
+    case FaultKind::kLatentSector:
+      std::snprintf(buf, sizeof buf, ":host=%d,lba=%lld-%lld", host,
+                    static_cast<long long>(lba_begin),
+                    static_cast<long long>(lba_end));
+      break;
+    case FaultKind::kFailSlow:
+      std::snprintf(buf, sizeof buf, ":host=%d,factor=%g", host, factor);
+      break;
+    case FaultKind::kVmOutage:
+      std::snprintf(buf, sizeof buf, ":vm=%d", vm);
+      break;
+    case FaultKind::kSwitchFail:
+      std::snprintf(buf, sizeof buf, ":p=%g", probability);
+      break;
+    case FaultKind::kSwitchDelay:
+      std::snprintf(buf, sizeof buf, ":delay=%g", delay.sec());
+      break;
+  }
+  out += buf;
+  if (from > sim::Time::zero()) {
+    std::snprintf(buf, sizeof buf, ",from=%g", from.sec());
+    out += buf;
+  }
+  if (until < sim::Time::max()) {
+    std::snprintf(buf, sizeof buf, ",until=%g", until.sec());
+    out += buf;
+  }
+  return out;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& s : specs) {
+    if (!out.empty()) out += ';';
+    out += s.to_string();
+  }
+  return out;
+}
+
+}  // namespace iosim::fault

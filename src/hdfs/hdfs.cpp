@@ -37,25 +37,45 @@ std::vector<DfsBlock> Hdfs::create_input(int blocks_per_vm, std::int64_t block_b
 }
 
 const BlockReplica& Hdfs::pick_replica(const DfsBlock& b, int reader_vm) const {
-  assert(!b.replicas.empty());
+  const auto* r = pick_replica_if(b, reader_vm, [](int) { return true; });
+  assert(r != nullptr && "block has no replicas");
+  return *r;
+}
+
+const BlockReplica* Hdfs::pick_replica_if(const DfsBlock& b, int reader_vm,
+                                          const std::function<bool(int)>& alive) const {
   for (const auto& r : b.replicas) {
-    if (r.vm == reader_vm) return r;
+    if (r.vm == reader_vm && alive(r.vm)) return &r;
   }
   for (const auto& r : b.replicas) {
-    if (host_of(r.vm) == host_of(reader_vm)) return r;
+    if (host_of(r.vm) == host_of(reader_vm) && alive(r.vm)) return &r;
   }
-  return b.replicas.front();
+  for (const auto& r : b.replicas) {
+    if (alive(r.vm)) return &r;
+  }
+  return nullptr;
 }
 
 int Hdfs::pick_remote_replica_vm(int writer_vm) {
-  if (n_vms_ <= 1) return writer_vm;
+  return pick_remote_replica_vm(writer_vm, [](int) { return true; });
+}
+
+int Hdfs::pick_remote_replica_vm(int writer_vm,
+                                 const std::function<bool(int)>& alive) {
+  if (n_vms_ <= 1) return alive(writer_vm) ? writer_vm : -1;
   for (int tries = 0; tries < n_vms_; ++tries) {
     const int cand = rr_cursor_++ % n_vms_;
     if (cand == writer_vm) continue;
+    if (!alive(cand)) continue;
     if (n_vms_ > vms_per_host_ && host_of(cand) == host_of(writer_vm)) continue;
     return cand;
   }
-  return (writer_vm + 1) % n_vms_;
+  // Rack preference can't be met — take any live VM other than the writer.
+  for (int off = 1; off < n_vms_; ++off) {
+    const int cand = (writer_vm + off) % n_vms_;
+    if (alive(cand)) return cand;
+  }
+  return -1;
 }
 
 }  // namespace iosim::hdfs

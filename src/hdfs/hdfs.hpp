@@ -52,9 +52,20 @@ class Hdfs {
   /// same-host, else the primary.
   const BlockReplica& pick_replica(const DfsBlock& b, int reader_vm) const;
 
+  /// Failure-aware variant: same local > same-host > primary preference, but
+  /// only over replicas whose VM satisfies `alive`. Returns nullptr when
+  /// every replica is dead — the caller must surface the loss (a real DFS
+  /// client reports BlockMissingException; a job aborts with a diagnostic).
+  const BlockReplica* pick_replica_if(const DfsBlock& b, int reader_vm,
+                                      const std::function<bool(int)>& alive) const;
+
   /// Target VM for the off-node replica of a block written by `writer_vm`
   /// (output pipeline). Prefers a different host, round-robin for balance.
   int pick_remote_replica_vm(int writer_vm);
+
+  /// Failure-aware variant: skips VMs failing `alive`. Returns -1 when no
+  /// eligible live VM exists (caller falls back to a local-only write).
+  int pick_remote_replica_vm(int writer_vm, const std::function<bool(int)>& alive);
 
  private:
   int n_vms_;

@@ -19,6 +19,14 @@ enum class Dir : std::uint8_t { kRead = 0, kWrite = 1 };
 inline constexpr int kNumDirs = 2;
 inline const char* to_string(Dir d) { return d == Dir::kRead ? "read" : "write"; }
 
+/// Completion status of a request/bio. Every completion callback in the
+/// stack carries one; without fault injection it is always kOk.
+enum class IoStatus : std::uint8_t { kOk = 0, kError = 1 };
+
+inline const char* to_string(IoStatus s) {
+  return s == IoStatus::kOk ? "ok" : "error";
+}
+
 /// A queued block request. Created by the BlockLayer from submitted bios and
 /// owned by it for its whole life; schedulers and devices only see stable
 /// raw pointers. A request may represent several merged bios — completing
@@ -46,8 +54,13 @@ struct Request {
   /// dispatch - submit, service time is completion - dispatch.
   Time dispatch;
 
-  /// Per-bio completion callbacks (argument: completion time).
-  std::vector<std::function<void(Time)>> completions;
+  /// Outcome, set by the sink before it completes the request. A merged
+  /// request fails as a whole — every bio it absorbed sees kError, like the
+  /// kernel failing all bios of a failed request.
+  IoStatus status = IoStatus::kOk;
+
+  /// Per-bio completion callbacks (arguments: completion time, outcome).
+  std::vector<std::function<void(Time, IoStatus)>> completions;
 
   Lba end() const { return lba + sectors; }
   std::int64_t bytes() const { return sectors * disk::kSectorBytes; }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "hdfs/hdfs.hpp"
 #include "mapred/vcpu.hpp"
 #include "net/flow_network.hpp"
@@ -26,9 +27,13 @@ struct ClusterEnv {
   sim::Simulator* simr = nullptr;
   net::FlowNetwork* net = nullptr;
   hdfs::Hdfs* dfs = nullptr;
+  /// Fault injector, or null when the cluster runs fault-free.
+  fault::FaultInjector* faults = nullptr;
   std::vector<VmHandle> vms;
 
   int n_vms() const { return static_cast<int>(vms.size()); }
+  /// Whether VM `vm` is currently up (always true without fault injection).
+  bool vm_alive(int vm) const { return faults == nullptr || !faults->vm_down(vm); }
 };
 
 /// Guest-level context-id scheme: every task / service gets a distinct

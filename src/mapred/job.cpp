@@ -50,13 +50,28 @@ void Job::run() {
                                               /*vm=*/-1));
     pending_maps_.push_back(static_cast<int>(i));
   }
+  spec_maps_.resize(blocks_.size());
+  map_done_flags_.assign(blocks_.size(), 0);
+  map_running_.assign(blocks_.size(), 0);
+  map_failures_.assign(blocks_.size(), 0);
   for (int r = 0; r < stats_.reduces_total; ++r) {
     // Reducers are placed round-robin across VMs up to the slot budget.
     reduces_.push_back(std::make_unique<ReduceTask>(*this, r, r % n_vms));
   }
+  reduce_failures_.assign(static_cast<std::size_t>(stats_.reduces_total), 0);
+  reduce_shuffle_counted_.assign(static_cast<std::size_t>(stats_.reduces_total), 0);
 
   free_map_slots_.assign(static_cast<std::size_t>(n_vms), conf_.map_slots);
   free_reduce_slots_.assign(static_cast<std::size_t>(n_vms), conf_.reduce_slots);
+
+  if (env_.faults != nullptr) {
+    // The JobTracker loses heartbeats from a dead TaskTracker: running
+    // attempts there are declared failed, and the VM is masked from the
+    // scheduler until it reports back in.
+    env_.faults->on_vm_down([this](int v, sim::Time) { handle_vm_down(v); });
+    env_.faults->on_vm_up([this](int v, sim::Time) { handle_vm_up(v); });
+  }
+  if (conf_.speculative_execution) schedule_speculation_scan();
 
   try_assign_maps();
 }
@@ -64,6 +79,7 @@ void Job::run() {
 void Job::try_assign_maps() {
   const int n_vms = env_.n_vms();
   for (int v = 0; v < n_vms; ++v) {
+    if (!env_.vm_alive(v)) continue;
     while (free_map_slots_[static_cast<std::size_t>(v)] > 0 && !pending_maps_.empty()) {
       // Locality first: a pending map whose block has a replica here.
       auto chosen = pending_maps_.end();
@@ -83,9 +99,11 @@ void Job::try_assign_maps() {
       --free_map_slots_[static_cast<std::size_t>(v)];
 
       // Re-create the task bound to its VM (placement decided at assignment).
-      maps_[static_cast<std::size_t>(map_id)] = std::make_unique<MapTask>(
-          *this, map_id, blocks_[static_cast<std::size_t>(map_id)], v);
-      MapTask* task = maps_[static_cast<std::size_t>(map_id)].get();
+      const auto idx = static_cast<std::size_t>(map_id);
+      maps_[idx] = std::make_unique<MapTask>(*this, map_id, blocks_[idx], v,
+                                             /*attempt=*/map_failures_[idx] + 1);
+      ++map_running_[idx];
+      MapTask* task = maps_[idx].get();
       simr().after(conf_.assign_latency, [task] { task->start(); });
     }
   }
@@ -99,6 +117,7 @@ void Job::launch_reducers_if_ready() {
   reducers_launched_ = true;
 
   for (auto& rt : reduces_) {
+    if (!rt) continue;
     const int v = rt->vm();
     if (free_reduce_slots_[static_cast<std::size_t>(v)] <= 0) {
       // Over-subscribed (more reducers than slots): queue behind a slot by
@@ -115,8 +134,35 @@ void Job::launch_reducers_if_ready() {
 }
 
 void Job::map_finished(MapTask& task, MapOutput out) {
+  if (failed_) return;
+  const int id = out.map_id;
+  const auto idx = static_cast<std::size_t>(id);
+  --map_running_[idx];
+  ++free_map_slots_[static_cast<std::size_t>(task.vm())];
+
+  if (map_done_flags_[idx]) {
+    // Photo finish: the other copy committed in the same event batch. The
+    // later copy's output is discarded, Hadoop-style.
+    retire_map_attempt(task);
+    return;
+  }
+  map_done_flags_[idx] = 1;
+  map_dur_sum_ += simr().now() - task.t_start();
+
+  // Winner takes first: cancel the losing copy, free its slot.
+  auto cancel_copy = [this](std::unique_ptr<MapTask>& holder) {
+    if (!holder || !holder->running()) return;
+    MapTask* loser = holder.get();
+    loser->cancel();
+    --map_running_[static_cast<std::size_t>(loser->task_id())];
+    ++free_map_slots_[static_cast<std::size_t>(loser->vm())];
+    retired_maps_.push_back(std::move(holder));
+  };
+  if (spec_maps_[idx] && spec_maps_[idx].get() != &task) cancel_copy(spec_maps_[idx]);
+  if (maps_[idx] && maps_[idx].get() != &task) cancel_copy(maps_[idx]);
+
   ++maps_done_;
-  stats_.map_input_bytes += blocks_[static_cast<std::size_t>(out.map_id)].bytes;
+  stats_.map_input_bytes += blocks_[idx].bytes;
   stats_.map_output_bytes += out.bytes;
   completed_outputs_.push_back(out);
 
@@ -127,10 +173,9 @@ void Job::map_finished(MapTask& task, MapOutput out) {
   }
   // Feed reducers that already started.
   for (auto& rt : reduces_) {
-    if (rt->started()) rt->map_output_ready(out);
+    if (rt && rt->started()) rt->map_output_ready(out);
   }
 
-  ++free_map_slots_[static_cast<std::size_t>(task.vm())];
   if (maps_done_ == stats_.maps_total) {
     stats_.t_maps_done = simr().now();
     job_instant(&trace::Tracer::CommonIds::maps_done, stats_.t_maps_done);
@@ -142,7 +187,63 @@ void Job::map_finished(MapTask& task, MapOutput out) {
   update_progress();
 }
 
-void Job::reducer_shuffle_finished(ReduceTask&) {
+void Job::map_attempt_failed(MapTask& task) {
+  const int id = task.task_id();
+  const auto idx = static_cast<std::size_t>(id);
+  --map_running_[idx];
+  ++free_map_slots_[static_cast<std::size_t>(task.vm())];
+  ++stats_.map_attempts_failed;
+  const bool spec = task.speculative();
+  const int failed_vm = task.vm();
+  retire_map_attempt(task);
+  if (failed_ || done_ || map_done_flags_[idx]) return;
+
+  auto requeue_after = [this, id](sim::Time delay) {
+    simr().after(delay, [this, id] {
+      const auto i = static_cast<std::size_t>(id);
+      if (failed_ || done_ || map_done_flags_[i] || map_running_[i] > 0) return;
+      if (map_pending(id)) return;
+      pending_maps_.push_back(id);
+      try_assign_maps();
+    });
+  };
+
+  if (spec) {
+    // A lost speculative copy does not burn the attempt budget; but if the
+    // primary already failed too, it owns nothing anymore — re-queue here.
+    if (map_running_[idx] == 0 && !map_pending(id)) {
+      requeue_after(backoff_delay(std::max(1, map_failures_[idx])));
+    }
+    return;
+  }
+
+  const int fails = ++map_failures_[idx];
+  if (fails >= conf_.max_task_attempts) {
+    abort_job("map " + std::to_string(id) + " failed " + std::to_string(fails) +
+              " attempts (last on vm" + std::to_string(failed_vm) + ")");
+    return;
+  }
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.task_retry, tr->ids.cat_mapred,
+                simr().now(), tr->ids.task, id, tr->ids.attempt, fails + 1);
+  }
+  if (map_running_[idx] == 0) requeue_after(backoff_delay(fails));
+}
+
+void Job::map_input_lost(MapTask& task) {
+  const int id = task.task_id();
+  task.cancel();
+  --map_running_[static_cast<std::size_t>(id)];
+  ++free_map_slots_[static_cast<std::size_t>(task.vm())];
+  retire_map_attempt(task);
+  abort_job("map " + std::to_string(id) +
+            " input block unreachable: every replica is on a dead VM");
+}
+
+void Job::reducer_shuffle_finished(ReduceTask& task) {
+  const auto idx = static_cast<std::size_t>(task.task_id());
+  if (reduce_shuffle_counted_[idx]) return;  // re-attempt of a counted reducer
+  reduce_shuffle_counted_[idx] = 1;
   ++reducers_shuffle_done_;
   if (reducers_shuffle_done_ == stats_.reduces_total) {
     stats_.t_shuffle_done = simr().now();
@@ -152,6 +253,7 @@ void Job::reducer_shuffle_finished(ReduceTask&) {
 }
 
 void Job::reduce_finished(ReduceTask& task) {
+  if (failed_) return;
   ++reduces_done_;
   const int v = task.vm();
   ++free_reduce_slots_[static_cast<std::size_t>(v)];
@@ -159,7 +261,7 @@ void Job::reduce_finished(ReduceTask& task) {
   // Launch a queued reducer waiting for this slot, if any.
   if (reducers_launched_) {
     for (auto& rt : reduces_) {
-      if (!rt->started() && rt->vm() == v &&
+      if (rt && !rt->started() && rt->vm() == v &&
           free_reduce_slots_[static_cast<std::size_t>(v)] > 0) {
         --free_reduce_slots_[static_cast<std::size_t>(v)];
         ReduceTask* t = rt.get();
@@ -181,6 +283,197 @@ void Job::reduce_finished(ReduceTask& task) {
   }
 }
 
+void Job::reduce_attempt_failed(ReduceTask& task) {
+  const int id = task.task_id();
+  const auto idx = static_cast<std::size_t>(id);
+  ++free_reduce_slots_[static_cast<std::size_t>(task.vm())];
+  ++stats_.reduce_attempts_failed;
+  if (reduces_[idx].get() == &task) {
+    retired_reduces_.push_back(std::move(reduces_[idx]));
+  }
+  if (failed_ || done_) return;
+
+  const int fails = ++reduce_failures_[idx];
+  if (fails >= conf_.max_task_attempts) {
+    abort_job("reduce " + std::to_string(id) + " failed " + std::to_string(fails) +
+              " attempts (last on vm" + std::to_string(task.vm()) + ")");
+    return;
+  }
+
+  // Place the re-attempt on the same VM unless it is down.
+  int v = task.vm();
+  if (!env_.vm_alive(v)) {
+    const int n = env_.n_vms();
+    for (int i = 1; i <= n; ++i) {
+      const int cand = (v + i) % n;
+      if (env_.vm_alive(cand)) {
+        v = cand;
+        break;
+      }
+    }
+  }
+  reduces_[idx] = std::make_unique<ReduceTask>(*this, id, v, fails + 1);
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.task_retry, tr->ids.cat_mapred,
+                simr().now(), tr->ids.task, 100'000 + id, tr->ids.attempt,
+                fails + 1);
+  }
+  simr().after(backoff_delay(fails), [this, id] {
+    const auto i = static_cast<std::size_t>(id);
+    if (failed_ || done_) return;
+    ReduceTask* rt = reduces_[i].get();
+    if (rt == nullptr || rt->started()) return;
+    const auto vi = static_cast<std::size_t>(rt->vm());
+    if (free_reduce_slots_[vi] <= 0) return;  // the slot-free scan launches it
+    --free_reduce_slots_[vi];
+    simr().after(conf_.assign_latency, [this, rt] {
+      if (failed_ || done_) return;
+      for (const auto& mo : completed_outputs_) rt->map_output_ready(mo);
+      rt->start();
+    });
+  });
+}
+
+sim::Time Job::backoff_delay(int failures) const {
+  sim::Time d = conf_.retry_backoff;
+  for (int i = 1; i < failures && d < conf_.retry_backoff_cap; ++i) d = d * 2.0;
+  return std::min(d, conf_.retry_backoff_cap);
+}
+
+void Job::retire_map_attempt(MapTask& task) {
+  const auto idx = static_cast<std::size_t>(task.task_id());
+  if (maps_[idx].get() == &task) {
+    retired_maps_.push_back(std::move(maps_[idx]));
+  } else if (spec_maps_[idx].get() == &task) {
+    retired_maps_.push_back(std::move(spec_maps_[idx]));
+  }
+}
+
+void Job::abort_job(std::string reason) {
+  if (done_ || failed_) return;
+  failed_ = true;
+  failure_ = std::move(reason);
+  stats_.failed = true;
+  stats_.t_done = simr().now();
+  job_instant(&trace::Tracer::CommonIds::job_failed, stats_.t_done);
+  // Everything still running goes inert; outstanding completions find the
+  // cancelled flag and return. The objects stay owned (graveyard semantics
+  // apply to the whole roster now).
+  for (auto& m : maps_) {
+    if (m) m->cancel();
+  }
+  for (auto& s : spec_maps_) {
+    if (s) s->cancel();
+  }
+  for (auto& r : reduces_) {
+    if (r) r->cancel();
+  }
+  pending_maps_.clear();
+  if (on_failed) on_failed(stats_.t_done, failure_);
+}
+
+void Job::handle_vm_down(int v) {
+  if (done_ || failed_) return;
+  // Collect first: fail_attempt() reshuffles the task containers.
+  std::vector<MapTask*> dead_maps;
+  for (auto& m : maps_) {
+    if (m && m->running() && m->vm() == v) dead_maps.push_back(m.get());
+  }
+  for (auto& s : spec_maps_) {
+    if (s && s->running() && s->vm() == v) dead_maps.push_back(s.get());
+  }
+  std::vector<ReduceTask*> dead_reduces;
+  for (auto& r : reduces_) {
+    if (r && r->started() && !r->finished() && r->vm() == v) {
+      dead_reduces.push_back(r.get());
+    }
+  }
+  for (auto* t : dead_maps) t->fail_attempt();
+  for (auto* t : dead_reduces) t->fail_attempt();
+}
+
+void Job::handle_vm_up(int) {
+  if (done_ || failed_) return;
+  try_assign_maps();  // fresh capacity (and unmasked replicas)
+}
+
+void Job::schedule_speculation_scan() {
+  simr().after(conf_.speculative_period, [this] {
+    if (done_ || failed_) return;
+    speculation_scan();
+    schedule_speculation_scan();
+  });
+}
+
+void Job::speculation_scan() {
+  // Hadoop's heuristic, reduced to its core: once enough maps have finished
+  // to trust the mean, any running map slower than `slowdown` times the mean
+  // gets a second copy on another VM.
+  if (maps_done_ >= stats_.maps_total) return;
+  if (maps_done_ < conf_.speculative_min_finished) return;
+  const auto mean = sim::Time::from_ns(map_dur_sum_.ns() / maps_done_);
+  const auto threshold = mean * conf_.speculative_slowdown;
+  const auto now = simr().now();
+  for (int id = 0; id < stats_.maps_total; ++id) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (map_done_flags_[idx] || map_running_[idx] != 1) continue;
+    MapTask* t = maps_[idx].get();
+    if (t == nullptr || !t->running()) continue;  // the live copy is speculative
+    if (now - t->t_start() <= threshold) continue;
+    launch_speculative_map(id);
+  }
+}
+
+void Job::launch_speculative_map(int map_id) {
+  const auto idx = static_cast<std::size_t>(map_id);
+  MapTask* primary = maps_[idx].get();
+  int v = -1;
+  for (int i = 0; i < env_.n_vms(); ++i) {
+    if (i == primary->vm() || !env_.vm_alive(i)) continue;
+    if (free_map_slots_[static_cast<std::size_t>(i)] <= 0) continue;
+    v = i;
+    break;
+  }
+  if (v < 0) return;  // no spare capacity — try again next scan
+  --free_map_slots_[static_cast<std::size_t>(v)];
+  ++map_running_[idx];
+  if (spec_maps_[idx]) retired_maps_.push_back(std::move(spec_maps_[idx]));
+  spec_maps_[idx] = std::make_unique<MapTask>(*this, map_id, blocks_[idx], v,
+                                              primary->attempt(), /*speculative=*/true);
+  ++stats_.maps_speculated;
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.task_speculate, tr->ids.cat_mapred,
+                simr().now(), tr->ids.task, map_id, tr->ids.value, v);
+  }
+  MapTask* t = spec_maps_[idx].get();
+  simr().after(conf_.assign_latency, [t] { t->start(); });
+}
+
+bool Job::map_pending(int map_id) const {
+  return std::find(pending_maps_.begin(), pending_maps_.end(), map_id) !=
+         pending_maps_.end();
+}
+
+void Job::note_hdfs_failover(int map_id, int from_vm, int) {
+  ++stats_.hdfs_failovers;
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.hdfs_failover, tr->ids.cat_mapred,
+                simr().now(), tr->ids.task, map_id, tr->ids.value, from_vm);
+  }
+}
+
+void Job::note_fetch_retry(int reduce_id, int map_id) {
+  ++stats_.fetch_retries;
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.fetch_retry, tr->ids.cat_mapred,
+                simr().now(), tr->ids.task, reduce_id, tr->ids.value, map_id);
+  }
+}
+
+void Job::note_replica_write_lost(int) {
+  ++stats_.replica_writes_lost;
+}
+
 double Job::progress() const {
   const double map_p =
       stats_.maps_total > 0
@@ -188,7 +481,9 @@ double Job::progress() const {
           : 1.0;
   double red_p = 0.0;
   if (!reduces_.empty()) {
-    for (const auto& rt : reduces_) red_p += rt->progress();
+    for (const auto& rt : reduces_) {
+      if (rt) red_p += rt->progress();
+    }
     red_p /= static_cast<double>(reduces_.size());
   } else {
     red_p = 1.0;

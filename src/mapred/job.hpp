@@ -8,10 +8,25 @@
 // events the meta-scheduler's phase detector consumes: first-map-done,
 // all-maps-done (Ph1→Ph2 boundary), shuffle-done (Ph2→Ph3 boundary) and
 // job-done.
+//
+// Failure handling (Hadoop 0.19 semantics, engaged only when the cluster
+// injects faults — a healthy run never touches these paths):
+//   * a failed task attempt is retried with capped exponential backoff, up
+//     to max_task_attempts; exhausting attempts aborts the job with a
+//     diagnostic (failed() / failure()),
+//   * map input reads fail over across HDFS replicas; the job aborts only
+//     when every replica of a block is on a dead VM,
+//   * VM outages kill the attempts placed on the VM (they are retried
+//     elsewhere) and mask the VM from the scheduler until it returns,
+//   * optional speculative execution re-runs straggling maps on a second
+//     VM; the first copy to finish wins and the loser is cancelled.
+// Cancelled/failed attempts are parked in a graveyard so callbacks still in
+// flight observe the `cancelled` flag instead of a dangling pointer.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mapred/cluster_env.hpp"
@@ -38,12 +53,16 @@ class Job {
   const JobStats& stats() const { return stats_; }
   ClusterEnv& env() { return env_; }
   bool done() const { return done_; }
+  /// Whether the job aborted; the diagnostic is in failure().
+  bool failed() const { return failed_; }
+  const std::string& failure() const { return failure_; }
 
   // Phase / lifecycle observers (set before run()).
   std::function<void(Time)> on_first_map_done;
   std::function<void(Time)> on_maps_done;
   std::function<void(Time)> on_shuffle_done;
   std::function<void(Time)> on_done;
+  std::function<void(Time, const std::string&)> on_failed;
 
   /// Hadoop-style job progress in [0,1].
   double progress() const;
@@ -55,9 +74,26 @@ class Job {
   void try_assign_maps();
   void launch_reducers_if_ready();
   void map_finished(MapTask& task, MapOutput out);
-  void reducer_shuffle_finished(ReduceTask& task);
+  void map_attempt_failed(MapTask& task);
+  void map_input_lost(MapTask& task);
   void reduce_finished(ReduceTask& task);
+  void reduce_attempt_failed(ReduceTask& task);
+  void reducer_shuffle_finished(ReduceTask& task);
   void update_progress();
+
+  // Failure-path plumbing.
+  Time backoff_delay(int failures) const;
+  void retire_map_attempt(MapTask& task);
+  void abort_job(std::string reason);
+  void handle_vm_down(int vm);
+  void handle_vm_up(int vm);
+  void schedule_speculation_scan();
+  void speculation_scan();
+  void launch_speculative_map(int map_id);
+  bool map_pending(int map_id) const;
+  void note_hdfs_failover(int map_id, int from_vm, int to_vm);
+  void note_fetch_retry(int reduce_id, int map_id);
+  void note_replica_write_lost(int reduce_id);
 
   // Accessors used by tasks.
   sim::Simulator& simr() { return *env_.simr; }
@@ -68,13 +104,25 @@ class Job {
   sim::Rng rng_;
 
   std::vector<hdfs::DfsBlock> blocks_;
-  std::vector<std::unique_ptr<MapTask>> maps_;
-  std::vector<std::unique_ptr<ReduceTask>> reduces_;
+  std::vector<std::unique_ptr<MapTask>> maps_;        // current primary attempt
+  std::vector<std::unique_ptr<MapTask>> spec_maps_;   // speculative copy, if any
+  std::vector<std::unique_ptr<ReduceTask>> reduces_;  // current attempt per id
+
+  // Graveyard: cancelled/failed attempts stay alive here until the job is
+  // destroyed, so completions still in the event queue find a live object.
+  std::vector<std::unique_ptr<MapTask>> retired_maps_;
+  std::vector<std::unique_ptr<ReduceTask>> retired_reduces_;
 
   std::vector<int> pending_maps_;      // map ids not yet assigned
   std::vector<int> free_map_slots_;    // per VM
   std::vector<int> free_reduce_slots_; // per VM
   int next_reduce_to_place_ = 0;
+
+  std::vector<char> map_done_flags_;   // per map id: committed output exists
+  std::vector<int> map_running_;       // per map id: live attempt count (0..2)
+  std::vector<int> map_failures_;      // per map id: failed (non-spec) attempts
+  std::vector<int> reduce_failures_;   // per reduce id
+  std::vector<char> reduce_shuffle_counted_;  // per reduce id
 
   std::vector<MapOutput> completed_outputs_;
   int maps_done_ = 0;
@@ -82,6 +130,9 @@ class Job {
   int reduces_done_ = 0;
   bool reducers_launched_ = false;
   bool done_ = false;
+  bool failed_ = false;
+  std::string failure_;
+  Time map_dur_sum_ = Time::zero();    // total runtime of finished maps
 
   JobStats stats_;
   double next_milestone_ = 0.05;

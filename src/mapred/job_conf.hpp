@@ -67,6 +67,36 @@ struct JobConf {
   /// Task scheduling latency (heartbeat + JVM reuse; 0.19-era trackers).
   sim::Time assign_latency = sim::Time::from_ms(300);
 
+  // --- failure handling (mapred.map.max.attempts-style semantics) ---
+
+  /// Attempts per task before the job aborts (mapred.map.max.attempts = 4).
+  int max_task_attempts = 4;
+  /// Re-execution delay after a failed attempt, doubled per attempt up to
+  /// the cap: min(retry_backoff_cap, retry_backoff * 2^(failures-1)).
+  sim::Time retry_backoff = sim::Time::from_sec(1);
+  sim::Time retry_backoff_cap = sim::Time::from_sec(30);
+  /// Shuffle fetch retries per map output before the reduce attempt fails.
+  int max_fetch_retries = 8;
+  /// Input-read failovers per map attempt before the attempt fails (the
+  /// DFSClient's bounded block-fetch retries). Without a bound, two
+  /// replicas that both sit behind a high-error-rate disk would ping-pong
+  /// the read forever instead of surfacing a task failure.
+  int max_read_failovers = 8;
+
+  // --- speculative execution (mapred.map.tasks.speculative.execution) ---
+
+  /// Off by default: a healthy run stays byte-identical with or without the
+  /// straggler scan (the scan itself perturbs nothing, but keeping the
+  /// default conservative matches the repo's determinism-first posture).
+  bool speculative_execution = false;
+  /// A running map is a straggler once its elapsed time exceeds this factor
+  /// times the mean duration of finished maps.
+  double speculative_slowdown = 1.5;
+  /// Straggler scan period.
+  sim::Time speculative_period = sim::Time::from_sec(5);
+  /// Minimum finished maps before the mean is trusted.
+  int speculative_min_finished = 3;
+
   /// Derived: number of map tasks for a cluster of `n_vms`.
   int n_maps(int n_vms) const {
     return static_cast<int>((input_bytes_per_vm + block_bytes - 1) / block_bytes) * n_vms;

@@ -34,6 +34,17 @@ struct JobStats {
   std::int64_t output_bytes = 0;
   std::int64_t map_side_spill_bytes = 0;
 
+  // Failure-path counters (all zero on a fault-free run).
+  int map_attempts_failed = 0;
+  int reduce_attempts_failed = 0;
+  int maps_speculated = 0;       // speculative map copies launched
+  int hdfs_failovers = 0;        // reads redirected to a surviving replica
+  int fetch_retries = 0;         // shuffle fetches re-queued after a failure
+  int replica_writes_lost = 0;   // output replicas dropped (pipeline failure)
+  /// Set when the job aborted (task out of attempts / data unavailable);
+  /// the diagnostic lives in Job::failure().
+  bool failed = false;
+
   /// Progress milestones every 5% for the Fig. 4 sub-phase analysis.
   std::vector<Milestone> milestones;
 

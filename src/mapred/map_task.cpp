@@ -19,13 +19,26 @@ sim::Time cpu_cost(double ns_per_byte, std::int64_t bytes) {
 }
 }  // namespace
 
-MapTask::MapTask(Job& job, int task_id, const hdfs::DfsBlock& block, int vm)
-    : job_(job), task_id_(task_id), block_(block), vm_(vm),
-      io_ctx_(ctx::map_task(task_id)) {}
+MapTask::MapTask(Job& job, int task_id, const hdfs::DfsBlock& block, int vm,
+                 int attempt, bool speculative)
+    : job_(job), task_id_(task_id), block_(block), vm_(vm), attempt_(attempt),
+      speculative_(speculative), io_ctx_(ctx::map_task(task_id)) {}
 
 void MapTask::start() {
+  if (cancelled_) return;
+  running_ = true;
   t_start_ = job_.simr().now();
-  src_ = job_.env().dfs->pick_replica(block_, vm_);
+  auto& env = job_.env();
+  const auto* r = env.dfs->pick_replica_if(
+      block_, vm_, [&env](int v) { return env.vm_alive(v); });
+  if (r == nullptr) {
+    // Every replica of the input block is on a dead VM: the data is gone for
+    // as long as the outage lasts. Surface it as a lost-block abort (the
+    // DFSClient's BlockMissingException) rather than burning attempts.
+    job_.map_input_lost(*this);
+    return;
+  }
+  src_ = *r;
   local_ = (src_.vm == vm_);
   read_next_chunk();
 }
@@ -46,24 +59,64 @@ void MapTask::read_next_chunk() {
   if (local_) {
     virt::IoStream::run(*me.vm, io_ctx_, at, chunk, iosched::Dir::kRead,
                         /*sync=*/true, sp,
-                        [this, chunk](sim::Time) { chunk_read(chunk); });
+                        [this, chunk](sim::Time, iosched::IoStatus st) {
+                          if (cancelled_) return;
+                          if (st != iosched::IoStatus::kOk) {
+                            read_failed(chunk);
+                            return;
+                          }
+                          chunk_read(chunk);
+                        });
   } else {
     // Remote HDFS read: the source DataNode reads the chunk, then it crosses
     // the network, then the mapper consumes it.
     const VmHandle& srcvm = job_.vm(src_.vm);
     virt::IoStream::run(
         *srcvm.vm, ctx::server(src_.vm), at, chunk, iosched::Dir::kRead,
-        /*sync=*/true, sp, [this, chunk, &srcvm, &me](sim::Time) {
+        /*sync=*/true, sp, [this, chunk, &srcvm, &me](sim::Time, iosched::IoStatus st) {
+          if (cancelled_) return;
+          if (st != iosched::IoStatus::kOk) {
+            read_failed(chunk);
+            return;
+          }
           job_.env().net->start_flow(srcvm.host, me.host, chunk,
-                                     [this, chunk](sim::Time) { chunk_read(chunk); });
+                                     [this, chunk](sim::Time) {
+                                       if (cancelled_) return;
+                                       chunk_read(chunk);
+                                     });
         });
   }
+}
+
+void MapTask::read_failed(std::int64_t chunk) {
+  // Put the chunk back, then retry it against a different surviving replica
+  // (DFSClient marks the bad DataNode dead for this block and re-fetches).
+  read_off_ -= chunk;
+  if (++read_failovers_ > job_.conf().max_read_failovers) {
+    fail_attempt();  // both replicas keep erroring: stop ping-ponging
+    return;
+  }
+  const int bad_vm = src_.vm;
+  auto& env = job_.env();
+  const auto* r = env.dfs->pick_replica_if(
+      block_, vm_, [&env, bad_vm](int v) { return v != bad_vm && env.vm_alive(v); });
+  if (r == nullptr) {
+    fail_attempt();  // no other source: burn the attempt
+    return;
+  }
+  job_.note_hdfs_failover(task_id_, src_.vm, r->vm);
+  src_ = *r;
+  local_ = (src_.vm == vm_);
+  read_next_chunk();
 }
 
 void MapTask::chunk_read(std::int64_t bytes) {
   const WorkloadModel& w = job_.conf().workload;
   job_.vm(vm_).cpu->run(cpu_cost(w.map_cpu_ns_per_byte, bytes),
-                        [this, bytes] { chunk_computed(bytes); });
+                        [this, bytes] {
+                          if (cancelled_) return;
+                          chunk_computed(bytes);
+                        });
 }
 
 void MapTask::chunk_computed(std::int64_t in_bytes) {
@@ -101,6 +154,7 @@ void MapTask::start_spill() {
   // Sort the buffer on the vCPU, then stream the spill file out (async
   // writeback; the mapper thread does not wait on it).
   me.cpu->run(cpu_cost(c.workload.sort_cpu_ns_per_byte, bytes), [this, bytes, &me, &c] {
+    if (cancelled_) return;
     const disk::Lba at =
         me.vm->alloc(virt::DiskZone::kScratch, bytes / disk::kSectorBytes + 1);
     virt::IoStreamParams sp;
@@ -108,7 +162,12 @@ void MapTask::start_spill() {
     sp.window = c.write_window;  // writeback is more aggressive than readahead
     job_.stats_.map_side_spill_bytes += bytes;
     virt::IoStream::run(*me.vm, io_ctx_, at, bytes, iosched::Dir::kWrite,
-                        /*sync=*/false, sp, [this, at, bytes](sim::Time) {
+                        /*sync=*/false, sp, [this, at, bytes](sim::Time, iosched::IoStatus st) {
+                          if (cancelled_) return;
+                          if (st != iosched::IoStatus::kOk) {
+                            fail_attempt();  // lost spill file: local disk error
+                            return;
+                          }
                           spills_.push_back({at, bytes});
                           spill_running_ = false;
                           if (spill_queue_ > 0) {
@@ -155,10 +214,19 @@ void MapTask::maybe_finish() {
   mp.window = c.read_window;
   const disk::Lba out = mp.out_vlba;
   MergeOp::run(me, io_ctx_, std::move(mp),
-               [this, out, total](sim::Time) { finish(out, total); });
+               [this, out, total](sim::Time, iosched::IoStatus st) {
+                 if (cancelled_) return;
+                 if (st != iosched::IoStatus::kOk) {
+                   fail_attempt();
+                   return;
+                 }
+                 finish(out, total);
+               });
 }
 
 void MapTask::finish(disk::Lba out_vlba, std::int64_t out_bytes) {
+  if (cancelled_) return;
+  running_ = false;
   if (auto* tr = trace::tracer()) {
     tr->complete(tr->track("tasks/vm" + std::to_string(vm_)), tr->ids.map_span,
                  tr->ids.cat_mapred, t_start_, job_.simr().now(), tr->ids.task,
@@ -170,6 +238,17 @@ void MapTask::finish(disk::Lba out_vlba, std::int64_t out_bytes) {
   mo.vlba = out_vlba;
   mo.bytes = out_bytes;
   job_.map_finished(*this, mo);
+}
+
+void MapTask::fail_attempt() {
+  if (cancelled_) return;
+  cancel();
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.task_fail, tr->ids.cat_mapred,
+                job_.simr().now(), tr->ids.task, task_id_, tr->ids.attempt,
+                attempt_);
+  }
+  job_.map_attempt_failed(*this);
 }
 
 }  // namespace iosim::mapred

@@ -12,6 +12,15 @@
 // The interleaving of sync sequential reads, CPU gaps and async spill
 // writes is precisely the mixed I/O pattern the paper's Section III blames
 // for every static scheduler pair being sub-optimal somewhere.
+//
+// Failure semantics: one MapTask object is one *attempt*. An input-read
+// error first fails over to a surviving replica (DFSClient behavior); when
+// no other replica is usable — or a spill/merge write fails — the attempt
+// reports failure to the job, which owns retry/backoff/abort policy. A
+// cancelled attempt (lost speculation race, VM outage, job abort) goes
+// inert: every pending callback checks `cancelled_` and returns. The job
+// keeps cancelled attempts alive in a graveyard so in-flight captures of
+// `this` stay valid.
 #pragma once
 
 #include <cstdint>
@@ -35,11 +44,23 @@ struct MapOutput {
 
 class MapTask {
  public:
-  MapTask(Job& job, int task_id, const hdfs::DfsBlock& block, int vm);
+  MapTask(Job& job, int task_id, const hdfs::DfsBlock& block, int vm,
+          int attempt = 1, bool speculative = false);
 
   void start();
   int task_id() const { return task_id_; }
   int vm() const { return vm_; }
+  int attempt() const { return attempt_; }
+  bool speculative() const { return speculative_; }
+  bool running() const { return running_; }
+  sim::Time t_start() const { return t_start_; }
+
+  /// Go inert: all pending completions become no-ops. Idempotent.
+  void cancel() { cancelled_ = true; running_ = false; }
+
+  /// Fail this attempt (traces task_fail and reports to the job). Used
+  /// internally on I/O errors and by the job when the hosting VM dies.
+  void fail_attempt();
 
  private:
   struct SpillFile {
@@ -48,6 +69,7 @@ class MapTask {
   };
 
   void read_next_chunk();
+  void read_failed(std::int64_t chunk);
   void chunk_read(std::int64_t bytes);
   void chunk_computed(std::int64_t in_bytes);
   void queue_spill(std::int64_t bytes);
@@ -60,17 +82,22 @@ class MapTask {
   int task_id_;
   hdfs::DfsBlock block_;
   int vm_;
+  int attempt_;
+  bool speculative_;
 
   std::uint64_t io_ctx_;
   sim::Time t_start_ = sim::Time::zero();  // set when the task starts running
   bool local_ = true;
   hdfs::BlockReplica src_{};
   std::int64_t read_off_ = 0;   // bytes of input consumed so far
+  int read_failovers_ = 0;      // failed reads this attempt (bounded)
 
   std::int64_t buffer_ = 0;     // un-spilled map output bytes
   std::int64_t spill_queue_ = 0;
   bool spill_running_ = false;
   bool input_done_ = false;
+  bool running_ = false;
+  bool cancelled_ = false;
   std::vector<SpillFile> spills_;
 };
 

@@ -7,7 +7,7 @@
 namespace iosim::mapred {
 
 void MergeOp::run(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
-                  std::function<void(sim::Time)> on_done) {
+                  std::function<void(sim::Time, iosched::IoStatus)> on_done) {
   auto self = std::shared_ptr<MergeOp>(
       new MergeOp(vm, io_ctx, std::move(params), std::move(on_done)));
   if (self->total_in_ == 0) {
@@ -15,7 +15,7 @@ void MergeOp::run(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params
     self->done_fired_ = true;
     auto cb = std::move(self->on_done_);
     vm.simr->after(sim::Time::zero(), [cb = std::move(cb), self, simr = vm.simr] {
-      if (cb) cb(simr->now());
+      if (cb) cb(simr->now(), iosched::IoStatus::kOk);
     });
     return;
   }
@@ -23,7 +23,7 @@ void MergeOp::run(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params
 }
 
 MergeOp::MergeOp(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
-                 std::function<void(sim::Time)> on_done)
+                 std::function<void(sim::Time, iosched::IoStatus)> on_done)
     : vm_(vm), io_ctx_(io_ctx), p_(std::move(params)), on_done_(std::move(on_done)) {
   cursors_.reserve(p_.inputs.size());
   for (const auto& in : p_.inputs) {
@@ -35,7 +35,7 @@ MergeOp::MergeOp(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
 }
 
 void MergeOp::pump(std::shared_ptr<MergeOp> self) {
-  while (inflight_ < p_.window && read_issued_ < total_in_) {
+  while (!failed_ && inflight_ < p_.window && read_issued_ < total_in_) {
     // Pick the next non-empty input round-robin.
     std::size_t tries = 0;
     while (cursors_[rr_].remaining == 0 && tries < cursors_.size()) {
@@ -53,8 +53,13 @@ void MergeOp::pump(std::shared_ptr<MergeOp> self) {
     read_issued_ += unit;
     ++inflight_;
     vm_.vm->submit_io(io_ctx_, at, sectors, iosched::Dir::kRead, /*sync=*/true,
-                      [this, self, unit](sim::Time t) {
+                      [this, self, unit](sim::Time t, iosched::IoStatus st) {
                         --inflight_;
+                        if (st != iosched::IoStatus::kOk) {
+                          failed_ = true;
+                          maybe_finish(t);
+                          return;
+                        }
                         unit_read_done(self, unit, t);
                         pump(self);
                       });
@@ -75,7 +80,7 @@ void MergeOp::unit_read_done(std::shared_ptr<MergeOp> self, std::int64_t unit_by
         static_cast<std::int64_t>(p_.write_ratio * static_cast<double>(unit_bytes));
     const std::int64_t out_unit = write_pending_bytes_;
     write_pending_bytes_ = 0;
-    if (out_unit <= 0) {
+    if (out_unit <= 0 || failed_) {
       --cpu_write_inflight_;
       maybe_finish(vm_.simr->now());
       return;
@@ -84,8 +89,9 @@ void MergeOp::unit_read_done(std::shared_ptr<MergeOp> self, std::int64_t unit_by
     const disk::Lba at = out_next_;
     out_next_ += sectors;
     vm_.vm->submit_io(io_ctx_, at, sectors, iosched::Dir::kWrite, /*sync=*/false,
-                      [this, self](sim::Time t2) {
+                      [this, self](sim::Time t2, iosched::IoStatus st) {
                         --cpu_write_inflight_;
+                        if (st != iosched::IoStatus::kOk) failed_ = true;
                         maybe_finish(t2);
                       });
   });
@@ -93,9 +99,13 @@ void MergeOp::unit_read_done(std::shared_ptr<MergeOp> self, std::int64_t unit_by
 
 void MergeOp::maybe_finish(sim::Time t) {
   if (done_fired_) return;
-  if (read_done_ == total_in_ && inflight_ == 0 && cpu_write_inflight_ == 0) {
+  const bool drained = inflight_ == 0 && cpu_write_inflight_ == 0;
+  if ((failed_ && drained) ||
+      (read_done_ == total_in_ && drained)) {
     done_fired_ = true;
-    if (on_done_) on_done_(t);
+    if (on_done_) {
+      on_done_(t, failed_ ? iosched::IoStatus::kError : iosched::IoStatus::kOk);
+    }
   }
 }
 

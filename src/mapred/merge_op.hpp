@@ -39,11 +39,12 @@ struct MergeOpParams {
 };
 
 /// Fire-and-forget; `on_done` runs after every read, burst and write has
-/// completed. Lifetime is self-managed.
+/// completed. Lifetime is self-managed. A failed read or write stops new
+/// issue, drains what is outstanding, and reports kError once.
 class MergeOp {
  public:
   static void run(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
-                  std::function<void(sim::Time)> on_done);
+                  std::function<void(sim::Time, iosched::IoStatus)> on_done);
 
  private:
   struct Cursor {
@@ -52,7 +53,7 @@ class MergeOp {
   };
 
   MergeOp(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
-          std::function<void(sim::Time)> on_done);
+          std::function<void(sim::Time, iosched::IoStatus)> on_done);
 
   void pump(std::shared_ptr<MergeOp> self);
   void unit_read_done(std::shared_ptr<MergeOp> self, std::int64_t unit_bytes, sim::Time t);
@@ -61,7 +62,7 @@ class MergeOp {
   VmHandle vm_;
   std::uint64_t io_ctx_;
   MergeOpParams p_;
-  std::function<void(sim::Time)> on_done_;
+  std::function<void(sim::Time, iosched::IoStatus)> on_done_;
 
   std::vector<Cursor> cursors_;
   std::size_t rr_ = 0;            // round-robin input cursor
@@ -72,6 +73,7 @@ class MergeOp {
   disk::Lba out_next_ = 0;
   int inflight_ = 0;              // reads in the window
   int cpu_write_inflight_ = 0;    // units in CPU/write stages
+  bool failed_ = false;           // stop issuing; drain and report kError
   bool done_fired_ = false;
 };
 

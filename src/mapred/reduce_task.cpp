@@ -18,10 +18,12 @@ sim::Time cpu_cost(double ns_per_byte, std::int64_t bytes) {
 }
 }  // namespace
 
-ReduceTask::ReduceTask(Job& job, int task_id, int vm)
-    : job_(job), task_id_(task_id), vm_(vm), io_ctx_(ctx::reduce_task(task_id)) {}
+ReduceTask::ReduceTask(Job& job, int task_id, int vm, int attempt)
+    : job_(job), task_id_(task_id), vm_(vm), attempt_(attempt),
+      io_ctx_(ctx::reduce_task(task_id)) {}
 
 void ReduceTask::start() {
+  if (cancelled_) return;
   started_ = true;
   t_start_ = job_.simr().now();
   pump_fetches();
@@ -29,6 +31,7 @@ void ReduceTask::start() {
 }
 
 void ReduceTask::map_output_ready(const MapOutput& mo) {
+  if (cancelled_) return;
   fetch_queue_.push_back(mo);
   if (started_) pump_fetches();
 }
@@ -50,7 +53,18 @@ void ReduceTask::fetch(const MapOutput& mo) {
   const std::int64_t part = mo.bytes / R;
   if (part <= 0) {
     // Nothing to move; account the fetch as instantaneous bookkeeping.
-    job_.simr().after(sim::Time::zero(), [this] { fetch_arrived(0); });
+    job_.simr().after(sim::Time::zero(), [this] {
+      if (cancelled_) return;
+      fetch_arrived(0);
+    });
+    return;
+  }
+  if (!job_.env().vm_alive(mo.vm)) {
+    // Source TaskTracker is down: connection refused, retry later.
+    job_.simr().after(sim::Time::zero(), [this, mo] {
+      if (cancelled_) return;
+      fetch_failed(mo);
+    });
     return;
   }
   const disk::Lba off =
@@ -66,10 +80,18 @@ void ReduceTask::fetch(const MapOutput& mo) {
   // a same-host source), then arrival processing.
   virt::IoStream::run(*srcvm.vm, ctx::server(mo.vm), mo.vlba + off, part,
                       iosched::Dir::kRead, /*sync=*/true, sp,
-                      [this, part, &srcvm, &me](sim::Time) {
+                      [this, part, mo, &srcvm, &me](sim::Time, iosched::IoStatus st) {
+                        if (cancelled_) return;
+                        if (st != iosched::IoStatus::kOk) {
+                          fetch_failed(mo);
+                          return;
+                        }
                         job_.env().net->start_flow(
                             srcvm.host, me.host, part,
-                            [this, part](sim::Time) { fetch_arrived(part); });
+                            [this, part](sim::Time) {
+                              if (cancelled_) return;
+                              fetch_arrived(part);
+                            });
                       });
 }
 
@@ -86,6 +108,26 @@ void ReduceTask::fetch_arrived(std::int64_t bytes) {
   job_.update_progress();
 }
 
+void ReduceTask::fetch_failed(const MapOutput& mo) {
+  --active_fetches_;
+  if (fetch_fail_counts_.size() <= static_cast<std::size_t>(mo.map_id)) {
+    fetch_fail_counts_.resize(static_cast<std::size_t>(mo.map_id) + 1, 0);
+  }
+  const int fails = ++fetch_fail_counts_[static_cast<std::size_t>(mo.map_id)];
+  job_.note_fetch_retry(task_id_, mo.map_id);
+  if (fails > job_.conf().max_fetch_retries) {
+    fail_attempt();
+    return;
+  }
+  // Hadoop's copier backs off per failed host; model it per map output.
+  job_.simr().after(job_.backoff_delay(fails), [this, mo] {
+    if (cancelled_) return;
+    fetch_queue_.push_back(mo);
+    pump_fetches();
+  });
+  pump_fetches();  // keep the other copier threads busy meanwhile
+}
+
 void ReduceTask::flush_memory() {
   // In-memory merge: the buffered segments are merged and written out as a
   // single on-disk segment (async stream).
@@ -95,13 +137,19 @@ void ReduceTask::flush_memory() {
   mem_used_ = 0;
   ++flush_inflight_;
   me.cpu->run(cpu_cost(c.workload.sort_cpu_ns_per_byte, bytes), [this, bytes, &me, &c] {
+    if (cancelled_) return;
     const disk::Lba at =
         me.vm->alloc(virt::DiskZone::kScratch, bytes / disk::kSectorBytes + 1);
     virt::IoStreamParams sp;
     sp.unit_sectors = c.io_unit_bytes / disk::kSectorBytes;
     sp.window = c.write_window;
     virt::IoStream::run(*me.vm, io_ctx_, at, bytes, iosched::Dir::kWrite,
-                        /*sync=*/false, sp, [this, at, bytes](sim::Time) {
+                        /*sync=*/false, sp, [this, at, bytes](sim::Time, iosched::IoStatus st) {
+                          if (cancelled_) return;
+                          if (st != iosched::IoStatus::kOk) {
+                            fail_attempt();  // lost shuffle segment on disk
+                            return;
+                          }
                           segments_.push_back({at, bytes});
                           --flush_inflight_;
                           maybe_shuffle_done();
@@ -152,29 +200,54 @@ void ReduceTask::start_merge_reduce() {
     mp.io_unit_bytes = c.io_unit_bytes;
     mp.window = c.read_window;
     mp.on_progress = [this](std::int64_t done, std::int64_t) {
+      if (cancelled_) return;
       merged_ = done;
       job_.update_progress();
     };
-    MergeOp::run(me, io_ctx_, std::move(mp), [this](sim::Time) { part_done(); });
+    MergeOp::run(me, io_ctx_, std::move(mp), [this](sim::Time, iosched::IoStatus st) {
+      if (cancelled_) return;
+      if (st != iosched::IoStatus::kOk) {
+        fail_attempt();
+        return;
+      }
+      part_done();
+    });
   } else {
     merged_ = 0;
-    job_.simr().after(sim::Time::zero(), [this] { part_done(); });
+    job_.simr().after(sim::Time::zero(), [this] {
+      if (cancelled_) return;
+      part_done();
+    });
   }
 
   // Part 2: reduce function over the in-memory remainder.
   if (mem_in > 0) {
     me.cpu->run(cpu_cost(c.workload.reduce_cpu_ns_per_byte, mem_in),
-                [this] { part_done(); });
+                [this] {
+                  if (cancelled_) return;
+                  part_done();
+                });
   } else {
-    job_.simr().after(sim::Time::zero(), [this] { part_done(); });
+    job_.simr().after(sim::Time::zero(), [this] {
+      if (cancelled_) return;
+      part_done();
+    });
   }
 
-  // Part 3: output replication (HDFS second replica).
-  if (out_total > 0 && job_.env().n_vms() > 1) {
-    const int replica_vm = job_.env().dfs->pick_remote_replica_vm(vm_);
+  // Part 3: output replication (HDFS second replica). A dead or failing
+  // replica target degrades to a local-only write (pipeline recovery) —
+  // the job completes; durability is what suffers.
+  auto& env = job_.env();
+  const int replica_vm =
+      out_total > 0 && env.n_vms() > 1
+          ? env.dfs->pick_remote_replica_vm(
+                vm_, [&env](int v) { return env.vm_alive(v); })
+          : -1;
+  if (replica_vm >= 0) {
     const VmHandle& rv = job_.vm(replica_vm);
     job_.env().net->start_flow(
         me.host, rv.host, out_total, [this, &rv, out_total, &c, replica_vm](sim::Time) {
+          if (cancelled_) return;
           const disk::Lba at = rv.vm->alloc(virt::DiskZone::kData,
                                             out_total / disk::kSectorBytes + 1);
           virt::IoStreamParams sp;
@@ -182,10 +255,20 @@ void ReduceTask::start_merge_reduce() {
           sp.window = c.write_window;
           virt::IoStream::run(*rv.vm, ctx::server(replica_vm), at, out_total,
                               iosched::Dir::kWrite, /*sync=*/false, sp,
-                              [this](sim::Time) { part_done(); });
+                              [this](sim::Time, iosched::IoStatus st) {
+                                if (cancelled_) return;
+                                if (st != iosched::IoStatus::kOk) {
+                                  job_.note_replica_write_lost(task_id_);
+                                }
+                                part_done();
+                              });
         });
   } else {
-    job_.simr().after(sim::Time::zero(), [this] { part_done(); });
+    if (out_total > 0 && env.n_vms() > 1) job_.note_replica_write_lost(task_id_);
+    job_.simr().after(sim::Time::zero(), [this] {
+      if (cancelled_) return;
+      part_done();
+    });
   }
 
   job_.stats_.output_bytes += out_total;
@@ -204,6 +287,17 @@ void ReduceTask::part_done() {
     job_.update_progress();
     job_.reduce_finished(*this);
   }
+}
+
+void ReduceTask::fail_attempt() {
+  if (cancelled_) return;
+  cancel();
+  if (auto* tr = trace::tracer()) {
+    tr->instant(tr->track("mapred"), tr->ids.task_fail, tr->ids.cat_mapred,
+                job_.simr().now(), tr->ids.task, 100'000 + task_id_,
+                tr->ids.attempt, attempt_);
+  }
+  job_.reduce_attempt_failed(*this);
 }
 
 double ReduceTask::progress() const {

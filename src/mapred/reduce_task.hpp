@@ -8,6 +8,14 @@
 //   merge/sort — k-way merge of the on-disk segments,
 //   reduce — user function on the merged stream, output written to HDFS
 //            (local replica + pipelined remote replica).
+//
+// Failure semantics: one ReduceTask object is one *attempt*. A failed
+// shuffle fetch is re-queued with exponential backoff (Hadoop's fetch
+// retry), up to `max_fetch_retries` per map output, after which the attempt
+// fails. Disk errors during flush/merge fail the attempt. A failed remote
+// output-replica write is dropped, not fatal (HDFS pipeline recovery keeps
+// the local copy). Cancelled attempts go inert via the `cancelled_` flag;
+// the job's graveyard keeps the object alive for in-flight captures.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +28,7 @@ namespace iosim::mapred {
 
 class ReduceTask {
  public:
-  ReduceTask(Job& job, int task_id, int vm);
+  ReduceTask(Job& job, int task_id, int vm, int attempt = 1);
 
   void start();
   /// Called by the job whenever a map completes (or, at start, for every
@@ -29,8 +37,17 @@ class ReduceTask {
 
   int task_id() const { return task_id_; }
   int vm() const { return vm_; }
+  int attempt() const { return attempt_; }
   bool started() const { return started_; }
   bool shuffle_complete() const { return shuffle_complete_; }
+  bool finished() const { return finished_; }
+
+  /// Go inert: all pending completions become no-ops. Idempotent.
+  void cancel() { cancelled_ = true; }
+
+  /// Fail this attempt (traces task_fail and reports to the job). Used
+  /// internally on I/O errors and by the job when the hosting VM dies.
+  void fail_attempt();
 
   /// Hadoop-style phase progress in [0,1]: shuffle third + merge/reduce
   /// two-thirds (by bytes).
@@ -45,6 +62,7 @@ class ReduceTask {
   void pump_fetches();
   void fetch(const MapOutput& mo);
   void fetch_arrived(std::int64_t bytes);
+  void fetch_failed(const MapOutput& mo);
   void flush_memory();
   void maybe_shuffle_done();
   void start_merge_reduce();
@@ -53,12 +71,15 @@ class ReduceTask {
   Job& job_;
   int task_id_;
   int vm_;
+  int attempt_;
   std::uint64_t io_ctx_;
   sim::Time t_start_ = sim::Time::zero();         // task start
   sim::Time t_shuffle_done_ = sim::Time::zero();  // shuffle phase end
 
   bool started_ = false;
+  bool cancelled_ = false;
   std::deque<MapOutput> fetch_queue_;
+  std::vector<int> fetch_fail_counts_;  // per map id, lazily sized
   int active_fetches_ = 0;
   int maps_fetched_ = 0;
   bool shuffle_complete_ = false;

@@ -49,6 +49,7 @@ Tracer::Tracer(TracerConfig cfg) {
   ids.cat_core = intern("core");
   ids.cat_mapred = intern("mapred");
   ids.cat_meta = intern("meta");
+  ids.cat_fault = intern("fault");
   ids.rq_read = intern("rq read");
   ids.rq_write = intern("rq write");
   ids.rq_service = intern("rq service");
@@ -73,6 +74,17 @@ Tracer::Tracer(TracerConfig cfg) {
   ids.maps_done = intern("maps done");
   ids.shuffle_done = intern("shuffle done");
   ids.job_done = intern("job done");
+  ids.fault = intern("fault on");
+  ids.io_error = intern("io error");
+  ids.vm_down = intern("vm down");
+  ids.vm_up = intern("vm up");
+  ids.switch_fail = intern("switch fail");
+  ids.task_fail = intern("task fail");
+  ids.task_retry = intern("task retry");
+  ids.task_speculate = intern("task speculate");
+  ids.hdfs_failover = intern("hdfs failover");
+  ids.fetch_retry = intern("fetch retry");
+  ids.job_failed = intern("job failed");
   ids.lba = intern("lba");
   ids.sectors = intern("sectors");
   ids.value = intern("value");
@@ -87,15 +99,23 @@ Tracer::Tracer(TracerConfig cfg) {
   ids.in_flight = intern("in_flight");
   ids.read_mb_s = intern("read MB/s");
   ids.write_mb_s = intern("write MB/s");
+  ids.attempt = intern("attempt");
 
   // Rare structural events survive ring overflow: a multi-million-event bio
   // flood must not push the handful of switch / phase / lifecycle markers
-  // out of the flight recorder.
+  // out of the flight recorder. Fault-injection and task-retry/speculation
+  // markers join them — a trace of a faulted run must still show what was
+  // injected and how the runtime recovered after the bio flood wraps the
+  // ring (a sustained error storm falls back to the ring once the pinned
+  // store fills; see TracerConfig::pinned_capacity).
   for (Str s : {ids.elv_switch, ids.elv_retarget, ids.drain_done, ids.phase,
                 ids.pair_switch, ids.fg_switch, ids.fg_sample, ids.probe,
                 ids.profile, ids.vm_boot, ids.map_span, ids.shuffle_span,
                 ids.reduce_span, ids.job_start, ids.first_map_done,
-                ids.maps_done, ids.shuffle_done, ids.job_done}) {
+                ids.maps_done, ids.shuffle_done, ids.job_done, ids.fault,
+                ids.io_error, ids.vm_down, ids.vm_up, ids.switch_fail,
+                ids.task_fail, ids.task_retry, ids.task_speculate,
+                ids.hdfs_failover, ids.fetch_retry, ids.job_failed}) {
     pin_name(s);
   }
 }

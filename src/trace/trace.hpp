@@ -133,14 +133,17 @@ class Tracer {
   /// Pre-interned names for the hot instrumentation sites, so call sites
   /// avoid a hash lookup per string per event.
   struct CommonIds {
-    Str cat_blk, cat_disk, cat_virt, cat_core, cat_mapred, cat_meta;
+    Str cat_blk, cat_disk, cat_virt, cat_core, cat_mapred, cat_meta, cat_fault;
     Str rq_read, rq_write, rq_service, bio_submit, bio_merge;
     Str elv_switch, elv_retarget, drain_done, disk_io;
     Str phase, pair_switch, fg_switch, fg_sample, probe, profile, vm_boot;
     Str map_span, shuffle_span, reduce_span;
     Str job_start, first_map_done, maps_done, shuffle_done, job_done;
+    Str fault, io_error, vm_down, vm_up, switch_fail;
+    Str task_fail, task_retry, task_speculate, hdfs_failover, fetch_retry;
+    Str job_failed;
     Str lba, sectors, value, index, pair, host, task, bytes, target, share;
-    Str queued, in_flight, read_mb_s, write_mb_s;
+    Str queued, in_flight, read_mb_s, write_mb_s, attempt;
   };
   CommonIds ids;
 

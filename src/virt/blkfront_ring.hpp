@@ -61,7 +61,10 @@ class BlkfrontRing final : public blk::RequestSink {
         bio.dir = rq->dir;
         bio.sync = rq->sync;
         bio.ctx = vm_ctx_;
-        bio.on_complete = [this, rq, remaining](Time) {
+        bio.on_complete = [this, rq, remaining](Time, blk::IoStatus st) {
+          // Any failed segment fails the whole guest request (blkback
+          // reports one status per ring request).
+          if (st != blk::IoStatus::kOk) rq->status = st;
           simr_.after(p_.hop_latency, [this, rq, remaining] {
             --outstanding_;
             if (--*remaining == 0) {

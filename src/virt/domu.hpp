@@ -42,9 +42,11 @@ class DomU {
   Lba image_sectors() const { return image_sectors_; }
 
   /// Submit one guest-level I/O. `ctx` identifies the issuing task inside
-  /// the guest (the guest elevator's "process").
+  /// the guest (the guest elevator's "process"). The callback receives the
+  /// completion time and the outcome (kError when the physical command
+  /// failed — propagated up through the split-driver ring).
   void submit_io(std::uint64_t ctx, Lba vlba, std::int64_t sectors, Dir dir,
-                 bool sync, std::function<void(sim::Time)> on_complete);
+                 bool sync, std::function<void(sim::Time, iosched::IoStatus)> on_complete);
 
   /// Allocate `sectors` in the given zone of the virtual disk. Returns the
   /// starting virtual LBA. Wraps around within the zone when exhausted

@@ -8,7 +8,7 @@ namespace iosim::virt {
 
 void IoStream::run(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t bytes,
                    iosched::Dir dir, bool sync, IoStreamParams params,
-                   std::function<void(sim::Time)> on_done) {
+                   std::function<void(sim::Time, iosched::IoStatus)> on_done) {
   assert(bytes > 0);
   const auto sectors =
       (bytes + disk::kSectorBytes - 1) / disk::kSectorBytes;
@@ -19,18 +19,22 @@ void IoStream::run(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t byt
 }
 
 void IoStream::pump(std::shared_ptr<IoStream> self) {
-  while (outstanding_ < p_.window && next_lba_ < end_lba_) {
+  while (!failed_ && outstanding_ < p_.window && next_lba_ < end_lba_) {
     const disk::Lba lba = next_lba_;
     const std::int64_t n = std::min<std::int64_t>(p_.unit_sectors, end_lba_ - lba);
     next_lba_ += n;
     ++outstanding_;
-    vm_.submit_io(ctx_, lba, n, dir_, sync_, [this, self](sim::Time t) {
+    vm_.submit_io(ctx_, lba, n, dir_, sync_,
+                  [this, self](sim::Time t, iosched::IoStatus st) {
       --outstanding_;
-      if (next_lba_ < end_lba_) {
+      if (st != iosched::IoStatus::kOk) failed_ = true;
+      if (!failed_ && next_lba_ < end_lba_) {
         pump(self);
       } else if (outstanding_ == 0 && !done_fired_) {
         done_fired_ = true;
-        if (on_done_) on_done_(t);
+        if (on_done_) {
+          on_done_(t, failed_ ? iosched::IoStatus::kError : iosched::IoStatus::kOk);
+        }
       }
     });
   }

@@ -20,20 +20,22 @@ struct IoStreamParams {
 };
 
 /// Fire-and-forget sequential transfer on a DomU virtual disk. The object
-/// manages its own lifetime; `on_done(t)` is invoked once after the last bio
-/// completes.
+/// manages its own lifetime; `on_done(t, status)` is invoked once after the
+/// last bio completes. On the first bio error the stream stops issuing new
+/// bios, drains the ones already in flight, and reports kError — the shape
+/// of a read() loop hitting EIO.
 class IoStream {
  public:
   /// Issue `bytes` at `vlba` for task `ctx`. Rounds the byte count up to
   /// whole sectors.
   static void run(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t bytes,
                   iosched::Dir dir, bool sync, IoStreamParams params,
-                  std::function<void(sim::Time)> on_done);
+                  std::function<void(sim::Time, iosched::IoStatus)> on_done);
 
  private:
   IoStream(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t sectors,
            iosched::Dir dir, bool sync, IoStreamParams params,
-           std::function<void(sim::Time)> on_done)
+           std::function<void(sim::Time, iosched::IoStatus)> on_done)
       : vm_(vm), ctx_(ctx), next_lba_(vlba), end_lba_(vlba + sectors), dir_(dir),
         sync_(sync), p_(params), on_done_(std::move(on_done)) {}
 
@@ -46,8 +48,9 @@ class IoStream {
   iosched::Dir dir_;
   bool sync_;
   IoStreamParams p_;
-  std::function<void(sim::Time)> on_done_;
+  std::function<void(sim::Time, iosched::IoStatus)> on_done_;
   int outstanding_ = 0;
+  bool failed_ = false;
   bool done_fired_ = false;
 };
 

@@ -6,9 +6,10 @@
 namespace iosim::virt {
 
 PhysicalHost::PhysicalHost(sim::Simulator& simr, HostConfig cfg, int host_id,
-                           std::uint64_t vm_ctx_base, std::uint64_t seed)
+                           std::uint64_t vm_ctx_base, std::uint64_t seed,
+                           fault::FaultInjector* faults)
     : simr_(simr), cfg_(cfg), host_id_(host_id), vm_ctx_base_(vm_ctx_base) {
-  disk_ = std::make_unique<blk::DiskDevice>(simr_, cfg_.disk, seed);
+  disk_ = std::make_unique<blk::DiskDevice>(simr_, cfg_.disk, seed, faults, host_id);
   disk_->set_trace_name("host" + std::to_string(host_id) + "/disk");
   blk::BlockLayerConfig dcfg = cfg_.dom0_blk;
   dcfg.name = "host" + std::to_string(host_id) + "/dom0";

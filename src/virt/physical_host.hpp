@@ -27,9 +27,11 @@ struct HostConfig {
 class PhysicalHost {
  public:
   /// `vm_ctx_base`: globally unique context ids handed to the VMs of this
-  /// host (vm_ctx_base + local index).
+  /// host (vm_ctx_base + local index). `faults` (optional) is handed to the
+  /// disk for fail-slow / error injection keyed by `host_id`.
   PhysicalHost(sim::Simulator& simr, HostConfig cfg, int host_id,
-               std::uint64_t vm_ctx_base, std::uint64_t seed);
+               std::uint64_t vm_ctx_base, std::uint64_t seed,
+               fault::FaultInjector* faults = nullptr);
 
   /// Create the next VM. At most `image_slots` VMs fit per host.
   DomU& add_vm();

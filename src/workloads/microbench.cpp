@@ -58,7 +58,7 @@ struct Writer : std::enable_shared_from_this<Writer> {
       ++outstanding;
       ++since_fsync;
       vm->submit_io(ctx, at, n / disk::kSectorBytes, iosched::Dir::kWrite,
-                    /*sync=*/false, [this, self, n](sim::Time) {
+                    /*sync=*/false, [this, self, n](sim::Time, iosched::IoStatus) {
                       --outstanding;
                       if (on_bytes) on_bytes(n);
                       after_completion();
@@ -85,11 +85,12 @@ struct Writer : std::enable_shared_from_this<Writer> {
     // the platter before the writer may proceed.
     auto self = shared_from_this();
     vm->submit_io(ctx, journal_lba, p->journal_bytes / disk::kSectorBytes,
-                  iosched::Dir::kWrite, /*sync=*/true, [this, self](sim::Time) {
+                  iosched::Dir::kWrite, /*sync=*/true,
+                  [this, self](sim::Time, iosched::IoStatus) {
                     vm->submit_io(
                         ctx, journal_lba + p->journal_bytes / disk::kSectorBytes,
                         8, iosched::Dir::kWrite, /*sync=*/true,
-                        [this, self2 = self](sim::Time) {
+                        [this, self2 = self](sim::Time, iosched::IoStatus) {
                           barrier_pending = false;
                           if (file_off >= per_file_bytes) {
                             open_next_file();

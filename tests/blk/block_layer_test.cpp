@@ -32,7 +32,7 @@ struct Rig {
     b.dir = dir;
     b.sync = sync;
     b.ctx = ctx;
-    b.on_complete = std::move(cb);
+    if (cb) b.on_complete = [cb = std::move(cb)](Time t, IoStatus) { cb(t); };
     layer.submit(std::move(b));
   }
 };
@@ -165,7 +165,7 @@ TEST(BlockLayer, SwitchToEveryKindWorks) {
       b.dir = Dir::kRead;
       b.sync = true;
       b.ctx = 1;
-      b.on_complete = [&completed](Time) { ++completed; };
+      b.on_complete = [&completed](Time, IoStatus) { ++completed; };
       r.layer.submit(std::move(b));
     });
   }

@@ -38,7 +38,7 @@ struct Rig {
     b.dir = dir;
     b.sync = dir == Dir::kRead;
     b.ctx = 1;
-    b.on_complete = std::move(cb);
+    if (cb) b.on_complete = [cb = std::move(cb)](Time t, IoStatus) { cb(t); };
     layer.submit(std::move(b));
   }
 };

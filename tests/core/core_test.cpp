@@ -170,5 +170,86 @@ TEST(AdaptiveController, SwitchCostSlowsTheJob) {
   EXPECT_GE(switched, plain - 1e-9);
 }
 
+// ---- switch-retry backoff (graceful degradation under a faulted
+// management plane) ----
+
+ClusterConfig tiny_with_faults(const std::string& plan_text) {
+  ClusterConfig cfg = tiny();
+  std::string err;
+  auto plan = fault::FaultPlan::parse(plan_text, &err);
+  EXPECT_TRUE(plan.has_value()) << err;
+  cfg.faults = plan.value_or(fault::FaultPlan{});
+  return cfg;
+}
+
+PairSchedule to_deadline(const ClusterConfig& cfg) {
+  PairSchedule sched;
+  sched.phases = {cfg.pair, iosched::SchedulerPair{SchedulerKind::kDeadline,
+                                                   SchedulerKind::kDeadline}};
+  return sched;
+}
+
+TEST(AdaptiveController, FailedSwitchRetriesWithBackoffThenLands) {
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  // The switch command fires at the maps-done boundary; learn when that is
+  // from a run whose fault window never opens. The plan must be non-empty:
+  // constructing the injector draws one seed from the cluster seeder, and
+  // only a run with the same draw reproduces the boundary time exactly.
+  const double t_maps =
+      cluster::run_job(tiny_with_faults("switchfail:p=1,from=9e9"), jc)
+          .ph1_seconds;
+
+  // Fail every switch command until 1 s past the boundary. The first
+  // attempt and the +0.5 s retry fall inside the window; the +1.5 s retry
+  // (backoff doubled) lands after it and succeeds.
+  char plan[64];
+  std::snprintf(plan, sizeof plan, "switchfail:p=1,until=%.3f", t_maps + 1.0);
+  const ClusterConfig cfg = tiny_with_faults(plan);
+  std::shared_ptr<AdaptiveController> ctl;
+  const auto r =
+      cluster::run_job(cfg, jc, [&](cluster::Cluster& cl, mapred::Job& job) {
+        ctl = AdaptiveController::attach(cl, job, to_deadline(cfg), PhasePlan{true});
+      });
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(ctl->switch_failures(), 2);
+  EXPECT_EQ(ctl->switch_retries(), 2);  // one failed retry + the one that landed
+  EXPECT_EQ(ctl->switches_performed(), 1);
+}
+
+TEST(AdaptiveController, PermanentSwitchFailureKeepsOldPairAndGivesUp) {
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  const ClusterConfig cfg = tiny_with_faults("switchfail:p=1");
+  std::shared_ptr<AdaptiveController> ctl;
+  iosched::SchedulerPair final_pair;
+  const auto r =
+      cluster::run_job(cfg, jc, [&](cluster::Cluster& cl, mapred::Job& job) {
+        ctl = AdaptiveController::attach(cl, job, to_deadline(cfg), PhasePlan{true});
+        job.on_done = [&cl, &final_pair](Time) { final_pair = cl.pair(); };
+      });
+  EXPECT_FALSE(r.failed);  // the job itself is fine under the old pair
+  EXPECT_EQ(ctl->switches_performed(), 0);
+  EXPECT_EQ(final_pair, cfg.pair);
+  // Retry budget: initial attempt + kMaxRetries retries, then give up.
+  EXPECT_LE(ctl->switch_failures(), AdaptiveController::kMaxRetries + 1);
+  EXPECT_GE(ctl->switch_failures(), 2);
+  EXPECT_LE(ctl->switch_retries(), AdaptiveController::kMaxRetries);
+}
+
+TEST(AdaptiveController, DelayedSwitchStillLands) {
+  auto jc = workloads::make_job(workloads::stream_sort(), 128 * mapred::kMiB);
+  const ClusterConfig cfg = tiny_with_faults("switchdelay:delay=2");
+  std::shared_ptr<AdaptiveController> ctl;
+  iosched::SchedulerPair final_pair;
+  const auto r =
+      cluster::run_job(cfg, jc, [&](cluster::Cluster& cl, mapred::Job& job) {
+        ctl = AdaptiveController::attach(cl, job, to_deadline(cfg), PhasePlan{true});
+        job.on_done = [&cl, &final_pair](Time) { final_pair = cl.pair(); };
+      });
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(ctl->switches_performed(), 1);  // accepted, just late
+  EXPECT_EQ(ctl->switch_failures(), 0);
+  EXPECT_EQ(final_pair.vmm, SchedulerKind::kDeadline);
+}
+
 }  // namespace
 }  // namespace iosim::core

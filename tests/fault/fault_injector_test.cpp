@@ -1,0 +1,127 @@
+// Unit tests of the FaultInjector's poll surfaces: service inflation,
+// I/O failure decisions, VM outage windows, and switch verdicts.
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace iosim::fault {
+namespace {
+
+using sim::Time;
+
+FaultPlan plan_of(const char* text) {
+  std::string err;
+  auto p = FaultPlan::parse(text, &err);
+  EXPECT_TRUE(p.has_value()) << err;
+  return p.value_or(FaultPlan{});
+}
+
+TEST(FaultInjector, FailSlowInflatesInsideWindowOnly) {
+  sim::Simulator simr;
+  FaultInjector fi(simr, plan_of("failslow:host=1,factor=3,from=10,until=20"), 1);
+  const Time svc = Time::from_ms(4);
+  EXPECT_EQ(fi.inflate_service(1, svc), svc);  // t=0: window not open
+  simr.at(Time::from_sec(15), [&] {
+    EXPECT_EQ(fi.inflate_service(1, svc), svc * 3.0);
+    EXPECT_EQ(fi.inflate_service(0, svc), svc);  // other host untouched
+  });
+  simr.at(Time::from_sec(25), [&] { EXPECT_EQ(fi.inflate_service(1, svc), svc); });
+  simr.run();
+}
+
+TEST(FaultInjector, FailSlowSpecsCompound) {
+  sim::Simulator simr;
+  FaultInjector fi(simr, plan_of("failslow:host=-1,factor=2;failslow:host=0,factor=3"),
+                   1);
+  const Time svc = Time::from_ms(1);
+  EXPECT_EQ(fi.inflate_service(0, svc), svc * 6.0);
+  EXPECT_EQ(fi.inflate_service(1, svc), svc * 2.0);
+}
+
+TEST(FaultInjector, LatentSectorRangeOverlapFails) {
+  sim::Simulator simr;
+  FaultInjector fi(simr, plan_of("lse:host=0,lba=1000-2000"), 1);
+  EXPECT_TRUE(fi.io_should_fail(0, 1500, 8));    // inside
+  EXPECT_TRUE(fi.io_should_fail(0, 990, 20));    // straddles the start
+  EXPECT_TRUE(fi.io_should_fail(0, 1990, 100));  // straddles the end
+  EXPECT_FALSE(fi.io_should_fail(0, 2000, 64));  // end is exclusive
+  EXPECT_FALSE(fi.io_should_fail(0, 0, 1000));   // ends exactly at begin
+  EXPECT_FALSE(fi.io_should_fail(1, 1500, 8));   // other host
+  EXPECT_EQ(fi.counters().lse_hits, 3u);
+}
+
+TEST(FaultInjector, TransientProbabilityZeroAndOne) {
+  sim::Simulator simr;
+  FaultInjector always(simr, plan_of("transient:host=-1,p=1"), 1);
+  FaultInjector never(simr, plan_of("transient:host=-1,p=0"), 1);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(always.io_should_fail(0, i * 64, 64));
+    EXPECT_FALSE(never.io_should_fail(0, i * 64, 64));
+  }
+  EXPECT_EQ(always.counters().io_errors, 32u);
+  EXPECT_EQ(never.counters().io_errors, 0u);
+}
+
+TEST(FaultInjector, TransientDrawsAreSeedDeterministic) {
+  auto decisions = [](std::uint64_t seed) {
+    sim::Simulator simr;
+    FaultInjector fi(simr, plan_of("transient:host=-1,p=0.3"), seed);
+    std::vector<bool> out;
+    for (int i = 0; i < 200; ++i) out.push_back(fi.io_should_fail(0, i, 1));
+    return out;
+  };
+  EXPECT_EQ(decisions(42), decisions(42));
+  EXPECT_NE(decisions(42), decisions(43));
+}
+
+TEST(FaultInjector, VmOutageWindowAndCallbacks) {
+  sim::Simulator simr;
+  FaultInjector fi(simr, plan_of("vmdown:vm=3,from=5,until=9"), 1);
+  std::vector<std::pair<int, double>> downs, ups;
+  fi.on_vm_down([&](int vm, Time t) { downs.push_back({vm, t.sec()}); });
+  fi.on_vm_up([&](int vm, Time t) { ups.push_back({vm, t.sec()}); });
+  EXPECT_FALSE(fi.vm_down(3));
+  simr.at(Time::from_sec(7), [&] {
+    EXPECT_TRUE(fi.vm_down(3));
+    EXPECT_FALSE(fi.vm_down(2));
+  });
+  simr.run();
+  ASSERT_EQ(downs.size(), 1u);
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_EQ(downs[0], (std::pair<int, double>{3, 5.0}));
+  EXPECT_EQ(ups[0], (std::pair<int, double>{3, 9.0}));
+  EXPECT_FALSE(fi.vm_down(3));  // restarted
+}
+
+TEST(FaultInjector, SwitchFailVerdictInsideWindow) {
+  sim::Simulator simr;
+  FaultInjector fi(simr, plan_of("switchfail:p=1,from=0,until=10"), 1);
+  EXPECT_FALSE(fi.switch_command().ok);
+  simr.at(Time::from_sec(11), [&] { EXPECT_TRUE(fi.switch_command().ok); });
+  simr.run();
+  EXPECT_EQ(fi.counters().switch_failures, 1u);
+}
+
+TEST(FaultInjector, SwitchDelayVerdictAccumulates) {
+  sim::Simulator simr;
+  FaultInjector fi(simr, plan_of("switchdelay:delay=2;switchdelay:delay=0.5"), 1);
+  const auto v = fi.switch_command();
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.delay, Time::from_ms(2500));
+  EXPECT_EQ(fi.counters().switches_delayed, 1u);
+}
+
+TEST(FaultInjector, EmptyPlanIsInert) {
+  sim::Simulator simr;
+  FaultInjector fi(simr, FaultPlan{}, 1);
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_FALSE(fi.io_should_fail(0, 0, 64));
+  EXPECT_EQ(fi.inflate_service(0, Time::from_ms(1)), Time::from_ms(1));
+  EXPECT_TRUE(fi.switch_command().ok);
+  EXPECT_FALSE(fi.vm_down(0));
+}
+
+}  // namespace
+}  // namespace iosim::fault

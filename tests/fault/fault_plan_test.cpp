@@ -1,0 +1,127 @@
+// Tests of the --fault spec grammar and plan parser.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iosim::fault {
+namespace {
+
+TEST(FaultPlanParse, TransientSpec) {
+  std::string err;
+  const auto s = FaultPlan::parse_spec("transient:host=2,p=0.05,from=1,until=9", &err);
+  ASSERT_TRUE(s.has_value()) << err;
+  EXPECT_EQ(s->kind, FaultKind::kTransientError);
+  EXPECT_EQ(s->host, 2);
+  EXPECT_DOUBLE_EQ(s->probability, 0.05);
+  EXPECT_EQ(s->from, sim::Time::from_sec(1));
+  EXPECT_EQ(s->until, sim::Time::from_sec(9));
+}
+
+TEST(FaultPlanParse, LseSpecRange) {
+  const auto s = FaultPlan::parse_spec("lse:host=0,lba=1000-2000");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->kind, FaultKind::kLatentSector);
+  EXPECT_EQ(s->lba_begin, 1000);
+  EXPECT_EQ(s->lba_end, 2000);
+  EXPECT_EQ(s->until, sim::Time::max());  // defaults to forever
+}
+
+TEST(FaultPlanParse, FailSlowVmDownSwitchSpecs) {
+  EXPECT_TRUE(FaultPlan::parse_spec("failslow:host=-1,factor=3.5").has_value());
+  EXPECT_TRUE(FaultPlan::parse_spec("vmdown:vm=7,from=10,until=30").has_value());
+  EXPECT_TRUE(FaultPlan::parse_spec("switchfail:p=1").has_value());
+  const auto d = FaultPlan::parse_spec("switchdelay:delay=2.5");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->delay, sim::Time::from_ms(2500));
+}
+
+TEST(FaultPlanParse, WhitespaceTolerated) {
+  const auto s = FaultPlan::parse_spec("  transient : host=1 , p=0.5  ");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->host, 1);
+}
+
+TEST(FaultPlanParse, UnknownKindRejected) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse_spec("cosmicray:p=1", &err).has_value());
+  EXPECT_NE(err.find("cosmicray"), std::string::npos);
+}
+
+TEST(FaultPlanParse, InapplicableKeyRejected) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse_spec("vmdown:vm=1,lba=0-5", &err).has_value());
+  EXPECT_NE(err.find("lba"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::parse_spec("switchfail:p=1,host=0", &err).has_value());
+}
+
+TEST(FaultPlanParse, MissingRequiredKeyRejected) {
+  EXPECT_FALSE(FaultPlan::parse_spec("transient:host=0").has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("lse:host=0").has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("failslow:host=0").has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("vmdown:from=1,until=2").has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("switchdelay:from=1").has_value());
+}
+
+TEST(FaultPlanParse, BadValuesRejected) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse_spec("transient:host=0,p=1.5", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("transient:host=0,p=banana", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("failslow:host=0,factor=0.5", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("lse:host=0,lba=20-10", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("vmdown:vm=-3", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("transient:host=0,p=1,from=-2", &err).has_value());
+}
+
+TEST(FaultPlanParse, EmptyWindowRejected) {
+  std::string err;
+  EXPECT_FALSE(
+      FaultPlan::parse_spec("transient:host=0,p=1,from=5,until=5", &err).has_value());
+  EXPECT_NE(err.find("window"), std::string::npos);
+}
+
+TEST(FaultPlanParse, MissingEqualsRejected) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse_spec("transient:host", &err).has_value());
+  EXPECT_NE(err.find("key=value"), std::string::npos);
+}
+
+TEST(FaultPlanParse, PlanListSemicolonsNewlinesComments) {
+  std::string err;
+  const auto p = FaultPlan::parse(
+      "# a comment line\n"
+      "transient:host=0,p=0.1; lse:host=1,lba=0-100\n"
+      "\n"
+      "vmdown:vm=2,from=1,until=2  # trailing comment\n",
+      &err);
+  ASSERT_TRUE(p.has_value()) << err;
+  EXPECT_EQ(p->specs.size(), 3u);
+  EXPECT_EQ(p->specs[2].kind, FaultKind::kVmOutage);
+}
+
+TEST(FaultPlanParse, PlanIsAllOrNothing) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("transient:host=0,p=0.1;bogus:x=1", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(FaultPlanParse, EmptyTextIsEmptyPlan) {
+  const auto p = FaultPlan::parse("  \n # only a comment \n;;");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(FaultPlanParse, RoundTripsThroughToString) {
+  const char* text =
+      "transient:host=0,p=0.25,from=2;lse:host=1,lba=10-20;"
+      "failslow:host=-1,factor=4;vmdown:vm=3,from=1,until=9;"
+      "switchfail:p=1;switchdelay:delay=0.5";
+  const auto p = FaultPlan::parse(text);
+  ASSERT_TRUE(p.has_value());
+  const auto q = FaultPlan::parse(p->to_string());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(p->to_string(), q->to_string());
+  EXPECT_EQ(q->specs.size(), 6u);
+}
+
+}  // namespace
+}  // namespace iosim::fault

@@ -132,5 +132,84 @@ TEST(Hdfs, AllocationsAreSized) {
   EXPECT_EQ(total, static_cast<std::int64_t>(blocks.size()) * 2);
 }
 
+// ---- failure-aware selection (pick_replica_if / alive-filtered writes) ----
+
+TEST(Hdfs, PickReplicaIfSkipsDeadLocalReplica) {
+  Hdfs dfs(8, 4, 5);
+  DfsBlock b;
+  b.replicas = {{3, 100}, {6, 200}};
+  const auto dead3 = [](int vm) { return vm != 3; };
+  const auto* r = dfs.pick_replica_if(b, 3, dead3);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->vm, 6);  // local copy dead: go remote
+}
+
+TEST(Hdfs, PickReplicaIfPrefersAliveSameHost) {
+  Hdfs dfs(8, 4, 5);
+  DfsBlock b;
+  b.replicas = {{1, 100}, {6, 200}};  // hosts 0 and 1
+  // Reader on host 0; the host-0 replica is dead, so the remote one wins.
+  const auto* r = dfs.pick_replica_if(b, 2, [](int vm) { return vm != 1; });
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->vm, 6);
+}
+
+TEST(Hdfs, PickReplicaIfSingleHostCluster) {
+  Hdfs dfs(4, 4, 5);  // one host: every replica is same-host
+  DfsBlock b;
+  b.replicas = {{0, 100}, {1, 200}};
+  const auto* r = dfs.pick_replica_if(b, 2, [](int) { return true; });
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->vm, 0);  // no local copy: first same-host replica
+  r = dfs.pick_replica_if(b, 2, [](int vm) { return vm != 0; });
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->vm, 1);
+}
+
+TEST(Hdfs, PickReplicaIfAllReplicasDeadReturnsNull) {
+  Hdfs dfs(8, 4, 5);
+  DfsBlock b;
+  b.replicas = {{1, 100}, {6, 200}};
+  EXPECT_EQ(dfs.pick_replica_if(b, 1, [](int) { return false; }), nullptr);
+}
+
+TEST(Hdfs, PickReplicaIfMatchesUnfilteredWhenAllAlive) {
+  Hdfs dfs(16, 4, 5);
+  DfsBlock b;
+  b.replicas = {{2, 100}, {9, 200}};
+  for (int reader = 0; reader < 16; ++reader) {
+    const auto* r = dfs.pick_replica_if(b, reader, [](int) { return true; });
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->vm, dfs.pick_replica(b, reader).vm);
+  }
+}
+
+TEST(Hdfs, RemoteReplicaVmSkipsDeadTargets) {
+  Hdfs dfs(8, 4, 6);  // hosts {0..3} and {4..7}
+  const auto only7 = [](int vm) { return vm == 7 || vm < 4; };
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(dfs.pick_remote_replica_vm(0, only7), 7);
+  }
+}
+
+TEST(Hdfs, RemoteReplicaVmRelaxesRackWhenRemoteHostDead) {
+  Hdfs dfs(8, 4, 6);
+  // Every VM on the other host is dead: fall back to a same-host target
+  // rather than dropping the replica.
+  const auto host0_only = [](int vm) { return vm < 4; };
+  for (int i = 0; i < 16; ++i) {
+    const int t = dfs.pick_remote_replica_vm(0, host0_only);
+    ASSERT_GE(t, 0);
+    EXPECT_NE(t, 0);  // never the writer itself
+    EXPECT_LT(t, 4);
+  }
+}
+
+TEST(Hdfs, RemoteReplicaVmAllOthersDeadReturnsMinusOne) {
+  Hdfs dfs(8, 4, 6);
+  EXPECT_EQ(dfs.pick_remote_replica_vm(5, [](int vm) { return vm == 5; }), -1);
+  EXPECT_EQ(dfs.pick_remote_replica_vm(5, [](int) { return false; }), -1);
+}
+
 }  // namespace
 }  // namespace iosim::hdfs

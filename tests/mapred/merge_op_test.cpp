@@ -26,7 +26,7 @@ struct Rig {
 TEST(MergeOp, EmptyInputCompletesAsync) {
   Rig r;
   bool done = false;
-  MergeOp::run(r.vm(), 1, MergeOpParams{}, [&](Time) { done = true; });
+  MergeOp::run(r.vm(), 1, MergeOpParams{}, [&](Time, iosched::IoStatus) { done = true; });
   EXPECT_FALSE(done);  // async contract even for the degenerate case
   r.simr().run();
   EXPECT_TRUE(done);
@@ -40,7 +40,7 @@ TEST(MergeOp, SingleInputReadsAndWritesAllBytes) {
   p.inputs = {{in, bytes}};
   p.out_vlba = r.vm().vm->alloc(virt::DiskZone::kScratch, bytes / 512 + 8);
   bool done = false;
-  MergeOp::run(r.vm(), 1, std::move(p), [&](Time) { done = true; });
+  MergeOp::run(r.vm(), 1, std::move(p), [&](Time, iosched::IoStatus) { done = true; });
   r.simr().run();
   EXPECT_TRUE(done);
   const auto& c = r.vm().vm->layer().counters();
@@ -59,7 +59,7 @@ TEST(MergeOp, MultipleInputsAllConsumed) {
   }
   p.out_vlba = r.vm().vm->alloc(virt::DiskZone::kScratch, total / 512 + 8);
   bool done = false;
-  MergeOp::run(r.vm(), 1, std::move(p), [&](Time) { done = true; });
+  MergeOp::run(r.vm(), 1, std::move(p), [&](Time, iosched::IoStatus) { done = true; });
   r.simr().run();
   EXPECT_TRUE(done);
   EXPECT_EQ(r.vm().vm->layer().counters().bytes_completed[0], total);
@@ -73,7 +73,7 @@ TEST(MergeOp, WriteRatioScalesOutput) {
   p.out_vlba = r.vm().vm->alloc(virt::DiskZone::kOutput, bytes / 512 + 8);
   p.write_ratio = 0.25;
   bool done = false;
-  MergeOp::run(r.vm(), 1, std::move(p), [&](Time) { done = true; });
+  MergeOp::run(r.vm(), 1, std::move(p), [&](Time, iosched::IoStatus) { done = true; });
   r.simr().run();
   EXPECT_TRUE(done);
   const auto& c = r.vm().vm->layer().counters();
@@ -88,7 +88,7 @@ TEST(MergeOp, ZeroWriteRatioWritesNothing) {
   p.inputs = {{r.vm().vm->alloc(virt::DiskZone::kScratch, bytes / 512 + 8), bytes}};
   p.write_ratio = 0.0;
   bool done = false;
-  MergeOp::run(r.vm(), 1, std::move(p), [&](Time) { done = true; });
+  MergeOp::run(r.vm(), 1, std::move(p), [&](Time, iosched::IoStatus) { done = true; });
   r.simr().run();
   EXPECT_TRUE(done);
   EXPECT_EQ(r.vm().vm->layer().counters().bytes_completed[1], 0);
@@ -103,7 +103,7 @@ TEST(MergeOp, CpuCostSlowsCompletion) {
     p.out_vlba = r.vm().vm->alloc(virt::DiskZone::kOutput, bytes / 512 + 8);
     p.cpu_ns_per_byte = cpu_ns_per_byte;
     Time done;
-    MergeOp::run(r.vm(), 1, std::move(p), [&](Time t) { done = t; });
+    MergeOp::run(r.vm(), 1, std::move(p), [&](Time t, iosched::IoStatus) { done = t; });
     r.simr().run();
     return done;
   };
@@ -139,7 +139,7 @@ TEST(MergeOp, SkipsEmptyInputs) {
               {0, 0}};
   p.out_vlba = r.vm().vm->alloc(virt::DiskZone::kOutput, bytes / 512 + 8);
   bool done = false;
-  MergeOp::run(r.vm(), 1, std::move(p), [&](Time) { done = true; });
+  MergeOp::run(r.vm(), 1, std::move(p), [&](Time, iosched::IoStatus) { done = true; });
   r.simr().run();
   EXPECT_TRUE(done);
   EXPECT_EQ(r.vm().vm->layer().counters().bytes_completed[0], bytes);

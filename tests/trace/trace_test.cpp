@@ -455,7 +455,7 @@ TEST(IostatSampler, TicksStopAtPredicateAndRecordSeries) {
     bio.lba = i * 128;
     bio.sectors = 128;
     bio.dir = iosched::Dir::kWrite;
-    bio.on_complete = [&](sim::Time) { done = (++completed == 64); };
+    bio.on_complete = [&](sim::Time, iosched::IoStatus) { done = (++completed == 64); };
     layer.submit(std::move(bio));
   }
 

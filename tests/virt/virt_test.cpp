@@ -42,7 +42,8 @@ TEST(PhysicalHost, PairReflectsSchedulers) {
 TEST(DomU, SubmitIoCompletes) {
   HostRig r(1);
   Time done;
-  r.host.vm(0).submit_io(42, 1000, 128, Dir::kRead, true, [&](Time t) { done = t; });
+  r.host.vm(0).submit_io(42, 1000, 128, Dir::kRead, true,
+                         [&](Time t, iosched::IoStatus) { done = t; });
   r.simr.run();
   EXPECT_GT(done, Time::zero());
 }
@@ -105,7 +106,7 @@ TEST(BlkfrontRing, BoundsOutstandingSegments) {
   int completed = 0;
   for (int i = 0; i < 100; ++i) {
     r.host.vm(0).submit_io(7, i * 512, 512, Dir::kWrite, false,
-                           [&](Time) { ++completed; });
+                           [&](Time, iosched::IoStatus) { ++completed; });
   }
   r.simr.run();
   EXPECT_EQ(completed, 100);
@@ -116,7 +117,7 @@ TEST(IoStream, TransfersWholeExtent) {
   Time done;
   IoStreamParams p;
   IoStream::run(r.host.vm(0), 9, 0, 10 * 1024 * 1024, Dir::kRead, true, p,
-                [&](Time t) { done = t; });
+                [&](Time t, iosched::IoStatus) { done = t; });
   r.simr.run();
   EXPECT_GT(done, Time::zero());
   // 10 MB read through the guest layer.
@@ -129,7 +130,7 @@ TEST(IoStream, DoneFiresExactlyOnce) {
   IoStreamParams p;
   p.window = 8;
   IoStream::run(r.host.vm(0), 9, 0, 4 * 1024 * 1024, Dir::kWrite, false, p,
-                [&](Time) { ++fires; });
+                [&](Time, iosched::IoStatus) { ++fires; });
   r.simr.run();
   EXPECT_EQ(fires, 1);
 }
@@ -138,7 +139,7 @@ TEST(IoStream, RoundsUpPartialSectors) {
   HostRig r(1);
   Time done;
   IoStream::run(r.host.vm(0), 9, 0, 1000 /* not sector aligned */, Dir::kWrite,
-                false, IoStreamParams{}, [&](Time t) { done = t; });
+                false, IoStreamParams{}, [&](Time t, iosched::IoStatus) { done = t; });
   r.simr.run();
   EXPECT_GT(done, Time::zero());
 }
@@ -151,13 +152,13 @@ TEST(IoStream, SequentialReadFasterThanScattered) {
     Time done;
     if (sequential) {
       IoStream::run(r.host.vm(0), 9, 0, 32 * 1024 * 1024, Dir::kRead, true,
-                    IoStreamParams{}, [&](Time t) { done = t; });
+                    IoStreamParams{}, [&](Time t, iosched::IoStatus) { done = t; });
       r.simr.run();
     } else {
       // 64 scattered 512 KB reads, serialized.
       const std::int64_t unit = 1024;
       int i = 0;
-      std::function<void(Time)> next = [&](Time t) {
+      std::function<void(Time, iosched::IoStatus)> next = [&](Time t, iosched::IoStatus) {
         done = t;
         if (++i < 64) {
           r.host.vm(0).submit_io(9, (i * 7919) % 100000 * 1024, unit, Dir::kRead,
@@ -177,7 +178,7 @@ TEST(PhysicalHost, SwitchPairQuiescesButCompletesInflight) {
   int completed = 0;
   for (int i = 0; i < 40; ++i) {
     r.host.vm(i % 2).submit_io(5, i * 1024, 256, Dir::kWrite, false,
-                               [&](Time) { ++completed; });
+                               [&](Time, iosched::IoStatus) { ++completed; });
   }
   r.simr.after(5_ms, [&] {
     r.host.set_pair({SchedulerKind::kNoop, SchedulerKind::kNoop});

@@ -8,12 +8,17 @@
 //   iosimctl switchcost [--mb 600]                          (Fig. 5 matrix)
 //
 // Every command prints a table; `--csv` switches to CSV for scripting.
+// Unknown flags, stray positionals, and malformed `--fault` specs are
+// rejected with a diagnostic and exit code 2.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +26,7 @@
 #include "core/meta_scheduler.hpp"
 #include "core/phase_detector.hpp"
 #include "core/switch_cost.hpp"
+#include "fault/fault_plan.hpp"
 #include "metrics/iostat_sampler.hpp"
 #include "metrics/registry_table.hpp"
 #include "metrics/table.hpp"
@@ -46,36 +52,78 @@ struct Args {
   }
 };
 
-Args parse(int argc, char** argv, int from) {
-  Args a;
-  for (int i = from; i < argc; ++i) {
-    std::string s = argv[i];
-    if (s.rfind("--", 0) == 0) {
-      const std::string key = s.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        a.kv[key] = argv[++i];
-      } else {
-        a.kv[key] = "1";
-      }
-    }
-  }
-  return a;
-}
+/// Per-command flag whitelist: `valued` flags consume the next argv token,
+/// `boolean` flags stand alone.
+struct FlagSet {
+  std::set<std::string> valued;
+  std::set<std::string> boolean;
+};
 
 int usage() {
   std::fprintf(stderr,
                "usage: iosimctl <run|sweep|adapt|finegrained|sysbench|switchcost> "
                "[--workload sort|wordcount|wc-nocombiner] [--hosts N] [--vms N] "
                "[--mb N] [--pair xy] [--seeds N] [--phases 2|3] [--csv] "
-               "[--trace FILE] [--metrics]\n"
+               "[--trace FILE] [--metrics] [--fault SPEC] [--fault-file FILE] "
+               "[--speculate]\n"
                "pair letters: n=noop d=deadline a=anticipatory c=cfq; first "
                "letter = VMM (Dom0), second = VM guests\n"
                "--trace FILE   record a flight-recorder trace of the run; "
                "FILE ending in .csv selects CSV, anything else Chrome "
                "trace-event JSON (chrome://tracing / ui.perfetto.dev)\n"
                "--metrics      collect the named-metrics registry and print it "
-               "after the run\n");
+               "after the run\n"
+               "--fault SPEC   inject faults (repeatable); SPEC is "
+               "kind:key=value,... — e.g. transient:host=0,p=0.01 "
+               "lse:host=1,lba=1000-2000 failslow:host=0,factor=4 "
+               "vmdown:vm=3,from=10,until=30 switchfail:p=1 switchdelay:delay=2\n"
+               "--fault-file FILE  load a `;`/newline-separated fault plan\n"
+               "--speculate    enable Hadoop-style speculative map execution\n");
   return 2;
+}
+
+/// Strict parser: every token must be a whitelisted flag; valued flags must
+/// have a value. Returns nullopt (after printing a diagnostic) on any
+/// violation so the caller can exit non-zero instead of silently ignoring a
+/// typo.
+std::optional<Args> parse(int argc, char** argv, int from, const std::string& cmd,
+                          const FlagSet& flags) {
+  Args a;
+  const std::set<std::string> fault_flags = {"fault", "fault-file", "speculate"};
+  for (int i = from; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "iosimctl %s: unexpected argument '%s'\n", cmd.c_str(),
+                   s.c_str());
+      return std::nullopt;
+    }
+    const std::string key = s.substr(2);
+    if (flags.valued.count(key) != 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "iosimctl %s: --%s requires a value\n", cmd.c_str(),
+                     key.c_str());
+        return std::nullopt;
+      }
+      const std::string val = argv[++i];
+      if (key == "fault" && a.has("fault")) {
+        a.kv["fault"] += ";" + val;  // --fault is repeatable
+      } else {
+        a.kv[key] = val;
+      }
+    } else if (flags.boolean.count(key) != 0) {
+      a.kv[key] = "1";
+    } else if (fault_flags.count(key) != 0) {
+      std::fprintf(stderr, "iosimctl %s: fault injection (--%s) is not supported "
+                           "by this command\n",
+                   cmd.c_str(), key.c_str());
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "iosimctl %s: unknown flag --%s\n", cmd.c_str(),
+                   key.c_str());
+      return std::nullopt;
+    }
+  }
+  return a;
 }
 
 /// RAII wrapper for --trace / --metrics: installs the global tracer and/or
@@ -121,7 +169,7 @@ class Telemetry {
       s->watch(host.dom0_layer());
       for (std::size_t v = 0; v < host.vm_count(); ++v) s->watch(host.vm(v).layer());
     }
-    s->stop_when([&job] { return job.done(); });
+    s->stop_when([&job] { return job.done() || job.failed(); });
     s->start();
     samplers_.push_back(std::move(s));
   }
@@ -155,7 +203,40 @@ mapred::JobConf workload_of(const Args& a) {
     std::fprintf(stderr, "unknown workload '%s'\n", w.c_str());
     std::exit(2);
   }
-  return workloads::make_job(model, mb * mapred::kMiB);
+  auto jc = workloads::make_job(model, mb * mapred::kMiB);
+  if (a.has("speculate")) jc.speculative_execution = true;
+  return jc;
+}
+
+/// Assemble the fault plan from --fault specs and/or --fault-file. Malformed
+/// specs and unreadable files are fatal (exit 2) with a diagnostic naming
+/// the offending token — a silently dropped fault would invalidate the
+/// experiment it was meant to perturb.
+fault::FaultPlan faults_of(const Args& a) {
+  std::string text;
+  if (a.has("fault-file")) {
+    const std::string path = a.str("fault-file", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "iosimctl: cannot read fault file '%s'\n", path.c_str());
+      std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  if (a.has("fault")) {
+    if (!text.empty()) text += "\n";
+    text += a.str("fault", "");
+  }
+  if (text.empty()) return {};
+  std::string err;
+  auto plan = fault::FaultPlan::parse(text, &err);
+  if (!plan) {
+    std::fprintf(stderr, "iosimctl: bad fault spec: %s\n", err.c_str());
+    std::exit(2);
+  }
+  return *plan;
 }
 
 cluster::ClusterConfig cluster_of(const Args& a) {
@@ -164,11 +245,17 @@ cluster::ClusterConfig cluster_of(const Args& a) {
   cfg.vms_per_host = static_cast<int>(a.num("vms", 4));
   cfg.seed = static_cast<std::uint64_t>(a.num("seed", 1));
   const std::string p = a.str("pair", "cc");
-  if (p.size() == 2) {
-    const auto vmm = iosched::scheduler_from_string(p.substr(0, 1));
-    const auto guest = iosched::scheduler_from_string(p.substr(1, 1));
-    if (vmm && guest) cfg.pair = {*vmm, *guest};
+  const auto vmm = p.size() == 2 ? iosched::scheduler_from_string(p.substr(0, 1))
+                                 : std::nullopt;
+  const auto guest = p.size() == 2 ? iosched::scheduler_from_string(p.substr(1, 1))
+                                   : std::nullopt;
+  if (!vmm || !guest) {
+    std::fprintf(stderr, "iosimctl: bad scheduler pair '%s' (two of n/d/a/c)\n",
+                 p.c_str());
+    std::exit(2);
   }
+  cfg.pair = {*vmm, *guest};
+  cfg.faults = faults_of(a);
   return cfg;
 }
 
@@ -178,6 +265,13 @@ void emit(const Args& a, metrics::Table& tab) {
   } else {
     tab.print();
   }
+}
+
+/// Failed jobs must be loud: print the diagnostic and exit non-zero so
+/// scripted experiments notice.
+int report_failure(const cluster::RunResult& r) {
+  std::fprintf(stderr, "job FAILED: %s\n", r.failure.c_str());
+  return 1;
 }
 
 int cmd_run(const Args& a) {
@@ -196,17 +290,19 @@ int cmd_run(const Args& a) {
         tel.attach_sampler(cl, job);
       });
   tel.print_iostat();
+  if (r.failed) return report_failure(r);
   metrics::Table tab("job run");
   tab.headers({"pair", "seconds", "ph1", "ph2", "ph3", "maps", "reduces",
-               "shuffle MB", "output MB"});
+               "shuffle MB", "output MB", "retries", "failovers"});
   tab.row({cfg.pair.to_string(), metrics::Table::num(r.seconds, 1),
            metrics::Table::num(r.ph1_seconds, 1), metrics::Table::num(r.ph2_seconds, 1),
            metrics::Table::num(r.ph3_seconds, 1), std::to_string(r.stats.maps_total),
            std::to_string(r.stats.reduces_total),
            metrics::Table::num(static_cast<double>(r.stats.shuffle_bytes) / 1e6, 0),
-           metrics::Table::num(static_cast<double>(r.stats.output_bytes) / 1e6, 0)});
-  Args& mut = const_cast<Args&>(a);
-  emit(mut, tab);
+           metrics::Table::num(static_cast<double>(r.stats.output_bytes) / 1e6, 0),
+           std::to_string(r.stats.map_attempts_failed + r.stats.reduce_attempts_failed),
+           std::to_string(r.stats.hdfs_failovers)});
+  emit(a, tab);
   return 0;
 }
 
@@ -224,7 +320,8 @@ int cmd_sweep(const Args& a) {
     for (auto v : order) {
       cluster::ClusterConfig cfg = base;
       cfg.pair = {v, g};
-      row.push_back(metrics::Table::num(cluster::run_job_avg(cfg, jc, seeds).seconds, 1));
+      const auto r = cluster::run_job_avg(cfg, jc, seeds);
+      row.push_back(r.failed ? "FAIL" : metrics::Table::num(r.seconds, 1));
     }
     tab.row(row);
   }
@@ -272,6 +369,7 @@ int cmd_finegrained(const Args& a) {
         tel.attach_sampler(cl, job);
       });
   tel.print_iostat();
+  if (r.failed) return report_failure(r);
   metrics::Table tab("fine-grained controller run");
   tab.headers({"metric", "value"});
   tab.row({"seconds", metrics::Table::num(r.seconds, 1)});
@@ -326,12 +424,42 @@ int cmd_switchcost(const Args& a) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const Args a = parse(argc, argv, 2);
-  if (cmd == "run") return cmd_run(a);
-  if (cmd == "sweep") return cmd_sweep(a);
-  if (cmd == "adapt") return cmd_adapt(a);
-  if (cmd == "finegrained") return cmd_finegrained(a);
-  if (cmd == "sysbench") return cmd_sysbench(a);
-  if (cmd == "switchcost") return cmd_switchcost(a);
-  return usage();
+
+  const FlagSet cluster_flags{{"workload", "hosts", "vms", "mb", "pair", "seed",
+                               "seeds", "trace", "fault", "fault-file"},
+                              {"csv", "metrics", "speculate"}};
+  FlagSet adapt_flags = cluster_flags;
+  adapt_flags.valued.insert("phases");
+  adapt_flags.boolean.insert("verbose");
+  const FlagSet sysbench_flags{{"vms", "mb", "pair", "seed", "hosts"}, {"csv"}};
+  const FlagSet switchcost_flags{{"mb"}, {"csv"}};
+
+  const FlagSet* flags = nullptr;
+  int (*handler)(const Args&) = nullptr;
+  if (cmd == "run") {
+    flags = &cluster_flags;
+    handler = cmd_run;
+  } else if (cmd == "sweep") {
+    flags = &cluster_flags;
+    handler = cmd_sweep;
+  } else if (cmd == "adapt") {
+    flags = &adapt_flags;
+    handler = cmd_adapt;
+  } else if (cmd == "finegrained") {
+    flags = &cluster_flags;
+    handler = cmd_finegrained;
+  } else if (cmd == "sysbench") {
+    flags = &sysbench_flags;
+    handler = cmd_sysbench;
+  } else if (cmd == "switchcost") {
+    flags = &switchcost_flags;
+    handler = cmd_switchcost;
+  } else {
+    std::fprintf(stderr, "iosimctl: unknown command '%s'\n", cmd.c_str());
+    return usage();
+  }
+
+  const auto a = parse(argc, argv, 2, cmd, *flags);
+  if (!a) return usage();
+  return handler(*a);
 }
