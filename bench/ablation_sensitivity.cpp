@@ -32,9 +32,10 @@ int main(int argc, char** argv) {
     for (double ms : {0.0, 2.0, 6.0, 12.0, 24.0}) {
       ClusterConfig cfg = paper_cluster();
       cfg.host.dom0_blk.tunables.as.antic_expire = sim::Time::from_sec_f(ms / 1e3);
-      tab.row({metrics::Table::num(ms, 0),
-               metrics::Table::num(sort_seconds(cfg, {SchedulerKind::kAnticipatory,
-                                                      SchedulerKind::kDeadline}), 1)});
+      const double sec = sort_seconds(cfg, {SchedulerKind::kAnticipatory,
+                                            SchedulerKind::kDeadline});
+      tab.row({metrics::Table::num(ms, 0), metrics::Table::num(sec, 1)});
+      report().add("antic_expire_" + metrics::Table::num(ms, 0) + "ms.seconds", sec);
     }
     tab.print();
   }
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
                metrics::Table::num(r.best_single_seconds, 1),
                metrics::Table::num(r.adaptive_seconds, 1),
                metrics::Table::pct(100.0 * r.improvement_vs_default(), 1)});
+      report().add("freeze_" + metrics::Table::num(freeze, 0) + "ms.gain_pct",
+                   100.0 * r.improvement_vs_default());
     }
     tab.print();
   }
@@ -107,6 +110,7 @@ int main(int argc, char** argv) {
       tab.row({std::to_string(depth), metrics::Table::num(cc, 1),
                metrics::Table::num(nn, 1),
                metrics::Table::num(nn / cc, 2) + "x"});
+      report().add("ncq_" + std::to_string(depth) + ".noop_penalty", nn / cc);
     }
     tab.print();
   }

@@ -4,14 +4,17 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/runner.hpp"
+#include "exp/json.hpp"
 #include "iosched/pair.hpp"
 #include "metrics/registry_table.hpp"
 #include "metrics/table.hpp"
+#include "sim/random.hpp"
 #include "trace/registry.hpp"
 #include "trace/trace.hpp"
 #include "workloads/benchmarks.hpp"
@@ -34,22 +37,70 @@ inline ClusterConfig paper_cluster() { return ClusterConfig{}; }
 /// Seeds averaged per data point (the paper averages 3 consecutive runs).
 inline constexpr int kSeeds = 3;
 
+/// Machine-readable bench results. Every bench accumulates flat
+/// (name, value) metrics here — explicitly via report().add(), or
+/// implicitly through print_pair_matrix / print_outcome_row — and
+/// `--json FILE` (parsed by Telemetry) dumps them as versioned JSON in
+/// emission order next to the human tables. Without `--json` the report is
+/// collected and discarded: zero cost, no behavior change.
+class BenchReport {
+ public:
+  void add(const std::string& name, double v) { metrics_.emplace_back(name, v); }
+
+  bool empty() const { return metrics_.empty(); }
+
+  /// {"bench_format":1,"kind":"bench","name":...,"metrics":{...}} — the
+  /// same format version as the sweep engine's BENCH_*.json.
+  std::string to_json(const std::string& bench_name) const {
+    exp::JsonWriter w;
+    w.obj_begin();
+    w.kv("bench_format", 1);
+    w.kv("kind", "bench");
+    w.kv("name", bench_name);
+    w.key("metrics").obj_begin();
+    for (const auto& [k, v] : metrics_) w.kv(k, v);
+    w.obj_end();
+    w.obj_end();
+    return w.str() + "\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// The process-wide report the helpers append to (bench mains are
+/// single-threaded; the sweep engine has its own JSON path).
+inline BenchReport& report() {
+  static BenchReport r;
+  return r;
+}
+
+/// "foo-bar" from "/path/to/foo-bar" (the bench's own name for the JSON).
+inline std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
 /// Optional flight-recorder hookup for the benches: construct one at the
 /// top of main with argc/argv and every simulated run in the bench is
 /// traced / metered through the process globals.
 ///
-///   ./bench/fig8_meta_scheduler --trace fig8.json --metrics
+///   ./bench/fig8_meta_scheduler --trace fig8.json --metrics --json fig8_out.json
 ///
 /// `--trace FILE` records a trace and writes it at exit (.csv extension
 /// selects CSV, anything else Chrome trace-event JSON); `--metrics` prints
-/// the named-metrics registry at exit.
+/// the named-metrics registry at exit; `--json FILE` writes the bench's
+/// accumulated BenchReport (see report()) at exit.
 class Telemetry {
  public:
   Telemetry(int argc, char** argv) {
+    if (argc > 0) bench_name_ = basename_of(argv[0]);
     for (int i = 1; i < argc; ++i) {
       const std::string s = argv[i];
       if (s == "--trace" && i + 1 < argc) {
         trace_path_ = argv[++i];
+      } else if (s == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
       } else if (s == "--metrics") {
         metrics_.emplace();
       }
@@ -57,6 +108,14 @@ class Telemetry {
     if (!trace_path_.empty()) trace_.emplace();
   }
   ~Telemetry() {
+    if (!json_path_.empty()) {
+      std::ofstream out(json_path_, std::ios::binary);
+      if (out && (out << report().to_json(bench_name_))) {
+        std::fprintf(stderr, "json: bench report -> %s\n", json_path_.c_str());
+      } else {
+        std::fprintf(stderr, "json: failed to write %s\n", json_path_.c_str());
+      }
+    }
     if (trace_) {
       const bool csv = trace_path_.size() >= 4 &&
                        trace_path_.compare(trace_path_.size() - 4, 4, ".csv") == 0;
@@ -77,7 +136,9 @@ class Telemetry {
   Telemetry& operator=(const Telemetry&) = delete;
 
  private:
+  std::string bench_name_ = "bench";
   std::string trace_path_;
+  std::string json_path_;
   std::optional<trace::TraceSession> trace_;
   std::optional<trace::MetricsSession> metrics_;
 };
@@ -92,13 +153,23 @@ inline void print_expectation(const char* text) {
   std::printf("\npaper expectation: %s\n", text);
 }
 
-/// Render a 4x4 (guest rows x VMM cols) seconds matrix like Table I.
-inline void print_pair_matrix(const char* title, const double t[4][4]) {
+/// Render a 4x4 (guest rows x VMM cols) seconds matrix like Table I. With a
+/// non-null `json_key`, each cell also lands in the bench report as
+/// `<json_key>.<guest-letter><vmm-letter>` (e.g. "measured.ca").
+inline void print_pair_matrix(const char* title, const double t[4][4],
+                              const char* json_key = nullptr) {
   metrics::Table tab(title);
   tab.headers({"VM \\ VMM", "cfq", "deadline", "anticipatory", "noop"});
   for (int g = 0; g < 4; ++g) {
     std::vector<std::string> row{iosched::to_string(kPaperOrder[g])};
-    for (int v = 0; v < 4; ++v) row.push_back(metrics::Table::num(t[g][v], 1));
+    for (int v = 0; v < 4; ++v) {
+      row.push_back(metrics::Table::num(t[g][v], 1));
+      if (json_key) {
+        report().add(std::string(json_key) + "." + iosched::to_letter(kPaperOrder[g]) +
+                         iosched::to_letter(kPaperOrder[v]),
+                     t[g][v]);
+      }
+    }
     tab.row(row);
   }
   tab.print();

@@ -70,16 +70,19 @@ int main(int argc, char** argv) {
   metrics::Table tab("sort, 256 MiB/VM, phase-adaptive (boot pair -> deadline)");
   tab.headers({"scenario", "status", "seconds", "task retries", "hdfs failovers",
                "speculated", "switches ok/failed"});
-  auto row = [&](const char* name, const Outcome& o) {
+  auto row = [&](const char* name, const char* key, const Outcome& o) {
     const auto& s = o.r.stats;
     tab.row({name, status(o.r), metrics::Table::num(o.r.seconds, 1),
              std::to_string(s.map_attempts_failed + s.reduce_attempts_failed),
              std::to_string(s.hdfs_failovers), std::to_string(s.maps_speculated),
              std::to_string(o.switches) + "/" + std::to_string(o.switch_failures)});
+    report().add(std::string(key) + ".seconds", o.r.seconds);
+    report().add(std::string(key) + ".retries",
+                 static_cast<double>(s.map_attempts_failed + s.reduce_attempts_failed));
   };
-  row("faults off", clean);
-  row("burst + fail-slow + dead switch", faulted);
-  row("  + speculative execution", spec);
+  row("faults off", "clean", clean);
+  row("burst + fail-slow + dead switch", "faulted", faulted);
+  row("  + speculative execution", "faulted_spec", spec);
   tab.print();
 
   metrics::Table chk("correctness: faulted output vs fault-free output");

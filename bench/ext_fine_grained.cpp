@@ -48,7 +48,7 @@ void run_scenario(metrics::Table& tab, const Scenario& sc) {
     double sum = 0;
     for (int s = 0; s < kSeeds; ++s) {
       ClusterConfig c = fcfg;
-      c.seed = fcfg.seed + static_cast<std::uint64_t>(s);
+      c.seed = sim::derive_run_seed(fcfg.seed, static_cast<std::uint64_t>(s));
       std::shared_ptr<core::FineGrainedController> ctl;
       const auto r = cluster::run_job(c, jc, [&ctl](cluster::Cluster& cl, mapred::Job& job) {
         ctl = core::FineGrainedController::attach(cl, job, core::FineGrainedPolicy{},
@@ -64,6 +64,10 @@ void run_scenario(metrics::Table& tab, const Scenario& sc) {
            metrics::Table::num(fine, 1),
            metrics::Table::pct(100.0 * (1 - meta.adaptive_seconds / def), 1),
            metrics::Table::pct(100.0 * (1 - fine / def), 1), std::to_string(switches)});
+  const std::string key = sc.host_speed.empty() ? "homogeneous" : "heterogeneous";
+  report().add(key + ".default_seconds", def);
+  report().add(key + ".coarse_seconds", meta.adaptive_seconds);
+  report().add(key + ".fine_seconds", fine);
 }
 
 }  // namespace

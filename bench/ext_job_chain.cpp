@@ -42,6 +42,10 @@ int main(int argc, char** argv) {
   tab.row({"vs best single",
            metrics::Table::pct(100.0 * r.improvement_vs_best_single(), 1)});
   tab.print();
+  report().add("default_seconds", r.default_seconds);
+  report().add("best_single_seconds", r.best_single_seconds);
+  report().add("adaptive_seconds", r.adaptive_seconds);
+  report().add("heuristic_evals", static_cast<double>(r.heuristic_evaluations));
 
   print_expectation(
       "the heuristic explores a vanishing fraction of the 16^6 space "

@@ -28,7 +28,9 @@ double run_sysbench(int vms, SchedulerPair pair, std::uint64_t seed) {
 
 double run_avg(int vms, SchedulerPair pair) {
   double s = 0;
-  for (int i = 0; i < kSeeds; ++i) s += run_sysbench(vms, pair, 11 + static_cast<std::uint64_t>(i));
+  for (int i = 0; i < kSeeds; ++i) {
+    s += run_sysbench(vms, pair, sim::derive_run_seed(11, static_cast<std::uint64_t>(i)));
+  }
   return s / kSeeds;
 }
 
@@ -59,10 +61,15 @@ int main(int argc, char** argv) {
     tab.print();
     mean[vms] = sum / 16.0;
     std::printf("mean %.1fs | pair spread %.1f%%\n", mean[vms], 100.0 * (hi - lo) / hi);
+    const std::string key = "vms" + std::to_string(vms);
+    report().add(key + ".mean_seconds", mean[vms]);
+    report().add(key + ".spread_pct", 100.0 * (hi - lo) / hi);
   }
 
   std::printf("\nconsolidation slowdown (mean over pairs): 2 VMs = x%.1f, 3 VMs = x%.1f\n",
               mean[2] / mean[1], mean[3] / mean[1]);
+  report().add("slowdown_2vms", mean[2] / mean[1]);
+  report().add("slowdown_3vms", mean[3] / mean[1]);
   print_expectation(
       "elapsed time rises superlinearly with VM count (paper: x3.5 at 2 VMs, "
       "x8.5 at 3 VMs) and the scheduler pair moves elapsed time by ~16% "

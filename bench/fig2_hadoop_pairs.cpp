@@ -17,8 +17,10 @@ void run_benchmark(const char* label, const mapred::WorkloadModel& w,
   const auto jc = workloads::make_job(w);
   double t[4][4];
   sweep_pairs(paper_cluster(), jc, t);
-  print_pair_matrix(label, t);
+  print_pair_matrix(label, t, w.name.c_str());
   const MatrixSummary s = summarize(t);
+  report().add(w.name + ".default_seconds", s.def);
+  report().add(w.name + ".best_seconds", s.best);
   std::printf(
       "default (cfq,cfq) %.1fs | best %s %.1fs (%.1f%% better) | spread "
       "%.1f%% (excl. noop-VMM %.1f%%)\n",

@@ -53,8 +53,14 @@ CdfResult run_with(SchedulerPair pair) {
   return out;
 }
 
-void print_cdf_summary(const char* label, const CdfResult& r) {
+void print_cdf_summary(const char* label, const CdfResult& r, const char* key) {
   std::printf("\n%s (job %.1fs)\n", label, r.elapsed);
+  const std::string k(key);
+  report().add(k + ".job_seconds", r.elapsed);
+  report().add(k + ".dom0_mean_mb_s", r.dom0.mean());
+  report().add(k + ".dom0_max_mb_s", r.dom0.max());
+  report().add(k + ".vm_fairness", sim::jain_fairness(r.vm_mean_mb_s));
+  report().add(k + ".read_p99_ms", r.read_p99_ms);
   metrics::Table tab("Dom0 I/O throughput CDF (1s windows, MB/s)");
   tab.headers({"p10", "p25", "p50", "p75", "p90", "max", "mean"});
   tab.row({metrics::Table::num(r.dom0.quantile(0.10), 1),
@@ -88,8 +94,8 @@ int main(int argc, char** argv) {
   const CdfResult ad =
       run_with({SchedulerKind::kAnticipatory, SchedulerKind::kDeadline});
 
-  print_cdf_summary("(cfq, cfq)", cc);
-  print_cdf_summary("(anticipatory, deadline)", ad);
+  print_cdf_summary("(cfq, cfq)", cc, "cc");
+  print_cdf_summary("(anticipatory, deadline)", ad, "ad");
 
   std::printf("\nDom0 mean MB/s: (a,d) %.1f vs (c,c) %.1f  (paper: 52.3 vs 47.1)\n",
               ad.dom0.mean(), cc.dom0.mean());

@@ -83,6 +83,11 @@ int main(int argc, char** argv) {
       "(anticipatory, deadline) %.1fs (%.1f%% better)\n",
       composite, def_total, 100.0 * (1 - composite / def_total), ad_total,
       100.0 * (1 - composite / ad_total));
+  report().add("composite_seconds", composite);
+  report().add("default_seconds", def_total);
+  report().add("ad_seconds", ad_total);
+  report().add("composite_gain_vs_default_pct", 100.0 * (1 - composite / def_total));
+  report().add("composite_gain_vs_ad_pct", 100.0 * (1 - composite / ad_total));
   print_expectation(
       "no single pair wins every interval — the winners alternate across the "
       "job (the basis for adaptive switching). Paper: the per-point optimum "

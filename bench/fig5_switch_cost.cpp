@@ -56,6 +56,12 @@ int main(int argc, char** argv) {
               m.mean_cost(), m.mean_asymmetry());
   std::printf("same-pair re-assignment cost: %.1f .. %.1f s (non-zero, as observed)\n",
               diag_min, diag_max);
+  report().add("min_cost_seconds", m.min_cost());
+  report().add("max_cost_seconds", m.max_cost());
+  report().add("mean_cost_seconds", m.mean_cost());
+  report().add("mean_asymmetry_seconds", m.mean_asymmetry());
+  report().add("diag_min_seconds", diag_min);
+  report().add("diag_max_seconds", diag_max);
   print_expectation(
       "switch cost varies by an order of magnitude with the two states, is "
       "not commutative, and the diagonal is non-zero.");

@@ -65,6 +65,11 @@ int main(int argc, char** argv) {
       "\nphase-optimal composite (ignoring switch cost): %.1fs | best single "
       "%.1fs | default %.1fs\n",
       composite, best_single, def);
+  report().add("composite_seconds", composite);
+  report().add("best_single_seconds", best_single);
+  report().add("default_seconds", def);
+  report().add("ph1_best_seconds", r1[0].phase_seconds[0]);
+  report().add("ph2_best_seconds", r2[0].phase_seconds[1]);
   if (r1[0].pair == r2[0].pair) {
     std::printf("NOTE: one pair won both phases on this run — the adaptive gain "
                 "then comes from deeper candidates in Algorithm 1.\n");

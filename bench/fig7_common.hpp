@@ -42,6 +42,10 @@ inline void print_outcome_row(metrics::Table& tab, const std::string& label,
            metrics::Table::pct(100.0 * (1 - o.adaptive / o.def), 1),
            metrics::Table::pct(100.0 * (1 - o.adaptive / o.best_single), 1),
            o.solution.to_string()});
+  report().add(label + ".default_seconds", o.def);
+  report().add(label + ".best_single_seconds", o.best_single);
+  report().add(label + ".adaptive_seconds", o.adaptive);
+  report().add(label + ".gain_vs_default_pct", 100.0 * (1 - o.adaptive / o.def));
 }
 
 inline std::vector<std::string> outcome_headers() {

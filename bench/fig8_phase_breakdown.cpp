@@ -11,7 +11,7 @@ using namespace iosim::bench;
 
 namespace {
 
-void report(metrics::Table& tab, const std::string& label, const mapred::JobConf& jc) {
+void add_row(metrics::Table& tab, const std::string& label, const mapred::JobConf& jc) {
   const auto r = cluster::run_job_avg(paper_cluster(), jc, kSeeds);
   const double total = r.seconds;
   tab.row({label, metrics::Table::num(r.ph1_seconds, 1),
@@ -19,6 +19,10 @@ void report(metrics::Table& tab, const std::string& label, const mapred::JobConf
            metrics::Table::num(total, 1),
            metrics::Table::pct(100.0 * r.ph1_seconds / total, 0),
            metrics::Table::pct(100.0 * (r.ph2_seconds + r.ph3_seconds) / total, 0)});
+  report().add(label + ".ph1_seconds", r.ph1_seconds);
+  report().add(label + ".ph2_seconds", r.ph2_seconds);
+  report().add(label + ".ph3_seconds", r.ph3_seconds);
+  report().add(label + ".total_seconds", total);
 }
 
 }  // namespace
@@ -30,11 +34,11 @@ int main(int argc, char** argv) {
   metrics::Table tab("phases (seconds; Ph1 = maps, Ph2 = shuffle tail, Ph3 = reduce)");
   tab.headers({"benchmark", "ph1", "ph2", "ph3", "total", "ph1 share", "ph2+3 share"});
 
-  report(tab, "wordcount", workloads::make_job(workloads::wordcount()));
-  report(tab, "wordcount w/o combiner",
+  add_row(tab, "wordcount", workloads::make_job(workloads::wordcount()));
+  add_row(tab, "wordcount w/o combiner",
          workloads::make_job(workloads::wordcount_no_combiner()));
   for (std::int64_t mb : {256, 512, 1024, 2048}) {
-    report(tab, "sort " + std::to_string(mb) + "MB",
+    add_row(tab, "sort " + std::to_string(mb) + "MB",
            workloads::make_job(workloads::stream_sort(), mb * mapred::kMiB));
   }
   tab.print();

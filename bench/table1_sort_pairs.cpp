@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   const auto jc = workloads::make_job(workloads::stream_sort());
   double t[4][4];
   sweep_pairs(paper_cluster(), jc, t);
-  print_pair_matrix("measured", t);
+  print_pair_matrix("measured", t, "measured");
 
   static const double paper[4][4] = {{402, 436, 375, 962},
                                      {405, 415, 365, 927},
@@ -31,6 +31,10 @@ int main(int argc, char** argv) {
   print_pair_matrix("paper (for reference)", paper);
 
   const MatrixSummary s = summarize(t);
+  report().add("default_seconds", s.def);
+  report().add("best_seconds", s.best);
+  report().add("gain_vs_default_pct", 100.0 * (1 - s.best / s.def));
+  report().add("noop_col_avg_ratio", s.noop_col_avg / s.def);
   metrics::Table cmp("shape comparison");
   cmp.headers({"metric", "paper", "measured"});
   cmp.row({"default (cfq,cfq) seconds", "402", metrics::Table::num(s.def, 1)});

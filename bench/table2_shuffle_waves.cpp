@@ -36,12 +36,13 @@ int main(int argc, char** argv) {
     double pct = 0;
     for (int s = 0; s < kSeeds; ++s) {
       ClusterConfig c = cfg;
-      c.seed = cfg.seed + static_cast<std::uint64_t>(s);
+      c.seed = sim::derive_run_seed(cfg.seed, static_cast<std::uint64_t>(s));
       pct += cluster::run_job(c, jc).stats.shuffle_tail_pct();
     }
     pct /= kSeeds;
     tab.row({metrics::Table::num(waves, 1), std::to_string(blocks_per_vm),
              metrics::Table::num(pct, 1), metrics::Table::num(paper_pct[i], 1)});
+    report().add("waves_" + metrics::Table::num(waves, 1) + ".tail_pct", pct);
   }
   tab.print();
 

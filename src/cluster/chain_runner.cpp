@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/random.hpp"
+
 namespace iosim::cluster {
 
 namespace {
@@ -60,7 +62,7 @@ ChainResult run_job_chain_avg(const ClusterConfig& cfg,
   ChainResult acc;
   for (int i = 0; i < n_seeds; ++i) {
     ClusterConfig c = cfg;
-    c.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    c.seed = sim::derive_run_seed(cfg.seed, static_cast<std::uint64_t>(i));
     ChainResult r = run_job_chain(c, confs, setup);
     if (i == 0) acc.jobs = r.jobs;
     acc.seconds += r.seconds;

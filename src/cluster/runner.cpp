@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/random.hpp"
+
 namespace iosim::cluster {
 
 RunResult run_job(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
@@ -32,7 +34,7 @@ RunResult run_job_avg(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
   RunResult acc;
   for (int i = 0; i < n_seeds; ++i) {
     ClusterConfig c = cfg;
-    c.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    c.seed = sim::derive_run_seed(cfg.seed, static_cast<std::uint64_t>(i));
     RunResult r = run_job(c, job_conf, setup);
     if (i == 0) acc.stats = r.stats;  // keep one representative stats block
     if (r.failed && !acc.failed) {

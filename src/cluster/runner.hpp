@@ -38,8 +38,10 @@ using SetupHook = std::function<void(Cluster&, mapred::Job&)>;
 RunResult run_job(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
                   const SetupHook& setup = {});
 
-/// Average of `n_seeds` runs with seeds seed, seed+1, ... (the paper reports
-/// the average of three consecutive runs).
+/// Average of `n_seeds` runs (the paper reports the average of three
+/// consecutive runs). Run i uses sim::derive_run_seed(cfg.seed, i), so the
+/// repeat streams are pairwise independent and averages for adjacent base
+/// seeds share no runs.
 RunResult run_job_avg(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
                       int n_seeds, const SetupHook& setup = {});
 

@@ -1,0 +1,57 @@
+// iosim: statistical aggregation of a sweep's run matrix.
+//
+// Groups the executor's outputs by scenario point, summarizes every metric
+// across the point's repeats (mean / min / max / p50 / p95 / 95% CI via
+// sim::summarize), and renders the result as versioned BENCH JSON
+// ("bench_format": 1) and as a human table. Aggregation walks runs in
+// run_index order and the JSON writer formats doubles reproducibly, so the
+// file is byte-identical for any worker count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/executor.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/table.hpp"
+#include "sim/stats.hpp"
+
+namespace iosim::exp {
+
+/// The BENCH JSON schema version this build writes.
+inline constexpr int kBenchFormat = 1;
+
+struct MetricSummary {
+  std::string name;
+  sim::Summary s;
+};
+
+struct PointAggregate {
+  ScenarioPoint point;
+  std::size_t runs = 0;      // outputs recorded for this point
+  std::size_t failures = 0;  // of which failed
+  std::vector<MetricSummary> metrics;  // successful runs only, emission order
+};
+
+struct SweepAggregate {
+  std::vector<PointAggregate> points;  // expansion order
+  std::size_t total_runs = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+};
+
+SweepAggregate aggregate(const ScenarioSpec& spec,
+                         const std::vector<ScenarioPoint>& points,
+                         const std::vector<RunTask>& tasks, const ExecResult& exec);
+
+/// Versioned BENCH JSON of the whole sweep.
+std::string to_json(const ScenarioSpec& spec, const SweepAggregate& agg);
+
+/// Human table: one row per point, the named metric's summary columns.
+/// Empty `metric` selects the mode's primary metric (seconds /
+/// adaptive_seconds).
+metrics::Table to_table(const ScenarioSpec& spec, const SweepAggregate& agg,
+                        const std::string& metric = "");
+
+}  // namespace iosim::exp

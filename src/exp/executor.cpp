@@ -1,0 +1,154 @@
+#include "exp/executor.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <exception>
+
+#ifndef IOSIM_THREADS
+#define IOSIM_THREADS 1
+#endif
+
+#if IOSIM_THREADS
+#include <atomic>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace iosim::exp {
+
+namespace {
+
+RunOutput run_one(const RunFn& fn, const RunTask& task) {
+  try {
+    return fn(task);
+  } catch (const std::exception& e) {
+    RunOutput out;
+    out.ok = false;
+    out.error = std::string("exception: ") + e.what();
+    return out;
+  } catch (...) {
+    RunOutput out;
+    out.ok = false;
+    out.error = "unknown exception";
+    return out;
+  }
+}
+
+double wall_now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+void note_failure(ExecResult& res, const RunTask& task, const RunOutput& out) {
+  ++res.failed;
+  if (task.run_index < res.first_error_run) {
+    res.first_error_run = task.run_index;
+    res.first_error = out.error;
+  }
+}
+
+}  // namespace
+
+int default_workers() {
+#if IOSIM_THREADS
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+#else
+  return 1;
+#endif
+}
+
+ExecResult execute_all(const std::vector<RunTask>& tasks, const RunFn& fn,
+                       const ExecutorOptions& opts) {
+  ExecResult res;
+  res.outputs.resize(tasks.size());
+  for (const RunTask& t : tasks) {
+    assert(t.run_index < tasks.size() && "run_index must be dense (build_run_matrix)");
+    (void)t;
+  }
+
+#if IOSIM_THREADS
+  int workers = opts.workers;
+  if (workers > static_cast<int>(tasks.size())) workers = static_cast<int>(tasks.size());
+  if (workers > 1) {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mu;  // guards res counters + progress callback
+    std::size_t done = 0;
+
+    const auto worker = [&] {
+      while (true) {
+        if (cancelled.load(std::memory_order_relaxed)) break;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) break;
+        const RunTask& task = tasks[i];
+        const double t0 = wall_now();
+        RunOutput out = run_one(fn, task);
+        const double dt = wall_now() - t0;
+        if (!out.ok && opts.cancel_on_failure) {
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (out.ok) {
+          ++res.completed;
+        } else {
+          note_failure(res, task, out);
+        }
+        // The slot write itself needs no lock (distinct indices), but doing
+        // it here keeps every write ordered before the final join anyway.
+        res.outputs[task.run_index] = std::move(out);
+        if (opts.on_progress) {
+          ProgressEvent ev;
+          ev.done = ++done;
+          ev.total = tasks.size();
+          ev.task = &task;
+          ev.ok = res.outputs[task.run_index]->ok;
+          ev.wall_seconds = dt;
+          opts.on_progress(ev);
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+
+    res.cancelled = cancelled.load();
+    res.skipped = tasks.size() - res.completed - res.failed;
+    return res;
+  }
+#endif
+
+  // Serial path: in run_index order, same cancel semantics.
+  std::size_t done = 0;
+  for (const RunTask& task : tasks) {
+    const double t0 = wall_now();
+    RunOutput out = run_one(fn, task);
+    const double dt = wall_now() - t0;
+    const bool run_failed = !out.ok;
+    if (run_failed) {
+      note_failure(res, task, out);
+    } else {
+      ++res.completed;
+    }
+    res.outputs[task.run_index] = std::move(out);
+    if (opts.on_progress) {
+      ProgressEvent ev;
+      ev.done = ++done;
+      ev.total = tasks.size();
+      ev.task = &task;
+      ev.ok = !run_failed;
+      ev.wall_seconds = dt;
+      opts.on_progress(ev);
+    }
+    if (run_failed && opts.cancel_on_failure) {
+      res.cancelled = true;
+      break;
+    }
+  }
+  res.skipped = tasks.size() - res.completed - res.failed;
+  return res;
+}
+
+}  // namespace iosim::exp

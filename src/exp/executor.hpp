@@ -1,0 +1,87 @@
+// iosim: parallel experiment executor.
+//
+// Fans the run matrix of a scenario sweep out across worker threads. Every
+// run is an independent simulation — each worker builds its own private
+// Simulator/Cluster inside the RunFn, and the telemetry globals
+// (trace::tracer(), trace::registry()) are thread_local — so there is no
+// shared mutable state between runs and the outputs are identical for any
+// worker count. Results land in a slot-per-run vector indexed by
+// run_index, which restores the deterministic order no matter how the
+// scheduler interleaved the workers.
+//
+// Failure policy: cancel-on-first-failure. The first run whose output
+// reports ok=false (or whose RunFn throws) flips a cancel flag; workers
+// finish the run they are on, then stop claiming new ones. Already-claimed
+// runs still record their outputs; never-claimed runs stay nullopt
+// ("skipped").
+//
+// Built with IOSIM_THREADS=0 (or workers <= 1) the executor degrades to a
+// serial in-order loop with identical observable behavior.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace iosim::exp {
+
+/// What one run produced. `metrics` is an ordered list (name, value) —
+/// every run of the same mode emits the same names in the same order, which
+/// is what lets the aggregator group by metric without a schema.
+struct RunOutput {
+  bool ok = true;
+  std::string error;  // diagnostic when !ok (job abort, exception, ...)
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+using RunFn = std::function<RunOutput(const RunTask&)>;
+
+/// Completion event, delivered serialized (under the executor's mutex) in
+/// completion order — which is wall-clock order, not run_index order.
+struct ProgressEvent {
+  std::size_t done = 0;   // completions so far, including this one
+  std::size_t total = 0;  // size of the run matrix
+  const RunTask* task = nullptr;
+  bool ok = true;
+  double wall_seconds = 0.0;  // this run's wall-clock cost
+};
+
+struct ExecutorOptions {
+  /// Worker threads. <= 1 (or IOSIM_THREADS=0 builds) runs serially on the
+  /// calling thread. Clamped to the task count.
+  int workers = 1;
+  bool cancel_on_failure = true;
+  std::function<void(const ProgressEvent&)> on_progress;
+};
+
+struct ExecResult {
+  /// Slot per run, indexed by run_index; nullopt = never executed
+  /// (cancelled before being claimed).
+  std::vector<std::optional<RunOutput>> outputs;
+  std::size_t completed = 0;  // ran and succeeded
+  std::size_t failed = 0;     // ran and reported !ok (or threw)
+  std::size_t skipped = 0;    // never claimed; completed+failed+skipped = total
+  bool cancelled = false;
+  /// Failure diagnostic of the failed run with the smallest run_index (the
+  /// deterministic representative even if several fail concurrently).
+  std::string first_error;
+  std::size_t first_error_run = static_cast<std::size_t>(-1);
+
+  bool all_ok() const { return failed == 0 && skipped == 0; }
+};
+
+/// Run `fn` over every task. Blocks until all workers drain (or cancel).
+ExecResult execute_all(const std::vector<RunTask>& tasks, const RunFn& fn,
+                       const ExecutorOptions& opts = {});
+
+/// The number of workers `--workers 0` / defaults resolve to: hardware
+/// concurrency, at least 1. (Defined even in IOSIM_THREADS=0 builds, where
+/// it returns 1 — the executor would serialize anyway.)
+int default_workers();
+
+}  // namespace iosim::exp

@@ -1,0 +1,74 @@
+#include "exp/runner.hpp"
+
+#include "cluster/runner.hpp"
+#include "core/meta_scheduler.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace iosim::exp {
+
+namespace {
+
+cluster::ClusterConfig cluster_of(const ScenarioPoint& pt, std::uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = pt.hosts;
+  cfg.vms_per_host = pt.vms;
+  cfg.pair = pt.pair;
+  cfg.faults = pt.faults;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+RunOutput execute_point(const ScenarioPoint& pt, std::uint64_t seed) {
+  RunOutput out;
+  const auto model = workloads::by_name(pt.workload);
+  if (!model) {  // unreachable after a successful spec parse; belt and braces
+    out.ok = false;
+    out.error = "unknown workload '" + pt.workload + "'";
+    return out;
+  }
+  const auto jc = workloads::make_job(*model, pt.mb * mapred::kMiB);
+  const auto cfg = cluster_of(pt, seed);
+
+  if (pt.mode == RunMode::kRun) {
+    const cluster::RunResult r = cluster::run_job(cfg, jc);
+    if (r.failed) {
+      out.ok = false;
+      out.error = r.failure;
+    }
+    out.metrics = {{"seconds", r.seconds},
+                   {"ph1_seconds", r.ph1_seconds},
+                   {"ph2_seconds", r.ph2_seconds},
+                   {"ph3_seconds", r.ph3_seconds},
+                   {"ph23_seconds", r.ph23_seconds}};
+    return out;
+  }
+
+  // mode=adapt: the full pipeline — profile all 16 pairs, Algorithm 1,
+  // final adaptive run — exactly what the Fig. 7 benches measure.
+  core::MetaSchedulerOptions opts;
+  opts.plan = core::PhasePlan::for_job(jc, cfg.n_hosts * cfg.vms_per_host);
+  opts.seeds_per_eval = 1;
+  core::MetaScheduler ms(cfg, jc, opts);
+  const core::MetaResult r = ms.optimize();
+  if (r.adaptive_run.failed) {
+    out.ok = false;
+    out.error = r.adaptive_run.failure;
+  }
+  out.metrics = {{"adaptive_seconds", r.adaptive_seconds},
+                 {"default_seconds", r.default_seconds},
+                 {"best_single_seconds", r.best_single_seconds},
+                 {"gain_vs_default_pct", 100.0 * r.improvement_vs_default()},
+                 {"gain_vs_best_pct", 100.0 * r.improvement_vs_best_single()},
+                 {"heuristic_evals", static_cast<double>(r.heuristic_evaluations)}};
+  return out;
+}
+
+RunFn make_run_fn(const std::vector<ScenarioPoint>& points) {
+  return [&points](const RunTask& task) {
+    return execute_point(points[task.point_index], task.seed);
+  };
+}
+
+}  // namespace iosim::exp

@@ -1,0 +1,26 @@
+// iosim: materialize one run of a scenario sweep into a simulation.
+//
+// execute_point is the RunFn body of the experiment engine: it builds a
+// private ClusterConfig + JobConf from the scenario point, runs either a
+// plain job (mode=run) or the full meta-scheduler pipeline (mode=adapt),
+// and returns the mode's fixed metric list. It holds no state — safe to
+// call concurrently from executor workers.
+#pragma once
+
+#include "exp/executor.hpp"
+#include "exp/scenario.hpp"
+
+namespace iosim::exp {
+
+/// Metric names per mode, in emission order (the aggregator and the BENCH
+/// JSON preserve this order).
+///
+/// mode=run:   seconds, ph1_seconds, ph2_seconds, ph3_seconds, ph23_seconds
+/// mode=adapt: adaptive_seconds, default_seconds, best_single_seconds,
+///             gain_vs_default_pct, gain_vs_best_pct, heuristic_evals
+RunOutput execute_point(const ScenarioPoint& point, std::uint64_t seed);
+
+/// RunFn over a fixed expansion (the tasks' point_index selects the point).
+RunFn make_run_fn(const std::vector<ScenarioPoint>& points);
+
+}  // namespace iosim::exp

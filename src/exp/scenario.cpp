@@ -1,0 +1,326 @@
+#include "exp/scenario.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "sim/random.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace iosim::exp {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Split on `sep`, trimming each piece; empty pieces are errors (a stray
+/// trailing comma silently shrinking an axis would corrupt the matrix).
+bool split_list(std::string_view v, char sep, std::vector<std::string>* out,
+                std::string* error) {
+  out->clear();
+  while (true) {
+    const auto pos = v.find(sep);
+    const std::string_view item = trim(v.substr(0, pos));
+    if (item.empty()) {
+      if (error) *error = "empty list element";
+      return false;
+    }
+    out->emplace_back(item);
+    if (pos == std::string_view::npos) return true;
+    v.remove_prefix(pos + 1);
+  }
+}
+
+bool parse_u64(std::string_view v, std::uint64_t* out) {
+  if (v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::string s(v);
+  const unsigned long long x = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = x;
+  return true;
+}
+
+bool parse_pos_int(std::string_view v, int* out) {
+  std::uint64_t x;
+  if (!parse_u64(v, &x) || x == 0 || x > 1'000'000) return false;
+  *out = static_cast<int>(x);
+  return true;
+}
+
+std::optional<iosched::SchedulerPair> parse_pair_code(std::string_view code) {
+  if (code.size() != 2) return std::nullopt;
+  const auto vmm = iosched::scheduler_from_string(std::string(1, code[0]));
+  const auto guest = iosched::scheduler_from_string(std::string(1, code[1]));
+  if (!vmm || !guest) return std::nullopt;
+  return iosched::SchedulerPair{*vmm, *guest};
+}
+
+}  // namespace
+
+const char* to_string(RunMode m) {
+  return m == RunMode::kRun ? "run" : "adapt";
+}
+
+std::string ScenarioPoint::label() const {
+  std::string s = workload;
+  s += " h" + std::to_string(hosts);
+  s += " v" + std::to_string(vms);
+  s += " " + std::to_string(mb) + "MB";
+  s += " (" + std::string(1, iosched::to_letter(pair.vmm)) + "," +
+       std::string(1, iosched::to_letter(pair.guest)) + ")";
+  if (!fault_text.empty()) s += " fault=" + fault_text;
+  return s;
+}
+
+bool ScenarioSpec::apply(std::string_view key, std::string_view value,
+                         std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  key = trim(key);
+  value = trim(value);
+  if (value.empty()) return fail("empty value for '" + std::string(key) + "'");
+
+  std::vector<std::string> items;
+  std::string lerr;
+
+  if (key == "name") {
+    name = std::string(value);
+    return true;
+  }
+  if (key == "mode") {
+    if (value == "run") {
+      mode = RunMode::kRun;
+    } else if (value == "adapt") {
+      mode = RunMode::kAdapt;
+    } else {
+      return fail("bad mode '" + std::string(value) + "' (run|adapt)");
+    }
+    return true;
+  }
+  if (key == "base_seed") {
+    if (!parse_u64(value, &base_seed)) {
+      return fail("bad base_seed '" + std::string(value) + "'");
+    }
+    return true;
+  }
+  if (key == "repeats") {
+    int r;
+    if (!parse_pos_int(value, &r) || r > 10'000) {
+      return fail("bad repeats '" + std::string(value) + "' (1..10000)");
+    }
+    repeats = r;
+    return true;
+  }
+  if (key == "pair") {
+    if (value == "all16" || value == "all") {
+      const auto all = iosched::all_scheduler_pairs();
+      pairs.assign(all.begin(), all.end());
+      return true;
+    }
+    if (!split_list(value, ',', &items, &lerr)) return fail(lerr + " in pair");
+    pairs.clear();
+    for (const auto& it : items) {
+      const auto p = parse_pair_code(it);
+      if (!p) return fail("bad pair '" + it + "' (two of n/d/a/c, or all16)");
+      pairs.push_back(*p);
+    }
+    return true;
+  }
+  if (key == "workload") {
+    if (!split_list(value, ',', &items, &lerr)) return fail(lerr + " in workload");
+    std::vector<std::string> named;
+    for (const auto& it : items) {
+      const auto model = workloads::by_name(it);
+      if (!model) return fail("unknown workload '" + it + "'");
+      named.push_back(model->name);  // canonical: "wc" and "wordcount" collide
+    }
+    workloads = std::move(named);
+    return true;
+  }
+  if (key == "hosts" || key == "vms") {
+    if (!split_list(value, ',', &items, &lerr)) {
+      return fail(lerr + " in " + std::string(key));
+    }
+    std::vector<int> xs;
+    for (const auto& it : items) {
+      int x;
+      if (!parse_pos_int(it, &x) || x > 1024) {
+        return fail("bad " + std::string(key) + " value '" + it + "'");
+      }
+      xs.push_back(x);
+    }
+    (key == "hosts" ? hosts : vms) = xs;
+    return true;
+  }
+  if (key == "mb") {
+    if (!split_list(value, ',', &items, &lerr)) return fail(lerr + " in mb");
+    mb.clear();
+    for (const auto& it : items) {
+      std::uint64_t x;
+      if (!parse_u64(it, &x) || x == 0 || x > (1ULL << 30)) {
+        return fail("bad mb value '" + it + "'");
+      }
+      mb.push_back(static_cast<std::int64_t>(x));
+    }
+    return true;
+  }
+  if (key == "fault") {
+    // Alternatives are `|`-separated because the fault-plan grammar itself
+    // uses `,` and `;`.
+    if (!split_list(value, '|', &items, &lerr)) return fail(lerr + " in fault");
+    faults.clear();
+    for (const auto& it : items) {
+      if (it == "none") {
+        faults.push_back({{}, ""});
+        continue;
+      }
+      std::string ferr;
+      auto plan = fault::FaultPlan::parse(it, &ferr);
+      if (!plan) return fail("bad fault '" + it + "': " + ferr);
+      faults.push_back({*plan, it});
+    }
+    return true;
+  }
+  return fail("unknown key '" + std::string(key) + "'");
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::parse(std::string_view text,
+                                                std::string* error) {
+  ScenarioSpec spec;
+  std::vector<std::string> seen;
+  int line_no = 0;
+  while (!text.empty()) {
+    const auto nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view{} : text.substr(nl + 1);
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": expected key=value, got '" +
+                 std::string(line) + "'";
+      }
+      return std::nullopt;
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    for (const auto& s : seen) {
+      if (s == key) {
+        if (error) {
+          *error = "line " + std::to_string(line_no) + ": duplicate key '" + key + "'";
+        }
+        return std::nullopt;
+      }
+    }
+    std::string err;
+    if (!spec.apply(key, line.substr(eq + 1), &err)) {
+      if (error) *error = "line " + std::to_string(line_no) + ": " + err;
+      return std::nullopt;
+    }
+    seen.push_back(key);
+  }
+  return spec;
+}
+
+std::vector<ScenarioPoint> ScenarioSpec::expand() const {
+  std::vector<ScenarioPoint> out;
+  out.reserve(n_points());
+  for (const auto& w : workloads) {
+    for (int h : hosts) {
+      for (int v : vms) {
+        for (std::int64_t m : mb) {
+          for (const auto& p : pairs) {
+            for (const auto& f : faults) {
+              ScenarioPoint pt;
+              pt.mode = mode;
+              pt.pair = p;
+              pt.workload = w;
+              pt.hosts = h;
+              pt.vms = v;
+              pt.mb = m;
+              pt.faults = f.first;
+              pt.fault_text = f.second;
+              out.push_back(std::move(pt));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string ScenarioSpec::to_string() const {
+  std::string s;
+  s += "name=" + name + "\n";
+  s += "mode=" + std::string(exp::to_string(mode)) + "\n";
+  s += "base_seed=" + std::to_string(base_seed) + "\n";
+  s += "repeats=" + std::to_string(repeats) + "\n";
+  s += "pair=";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i) s += ",";
+    s += pairs[i].letters();
+  }
+  s += "\nworkload=";
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    if (i) s += ",";
+    s += workloads[i];
+  }
+  s += "\nhosts=";
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(hosts[i]);
+  }
+  s += "\nvms=";
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(vms[i]);
+  }
+  s += "\nmb=";
+  for (std::size_t i = 0; i < mb.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(mb[i]);
+  }
+  s += "\nfault=";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (i) s += "|";
+    s += faults[i].second.empty() ? "none" : faults[i].second;
+  }
+  s += "\n";
+  return s;
+}
+
+std::vector<RunTask> build_run_matrix(const ScenarioSpec& spec) {
+  std::vector<RunTask> tasks;
+  tasks.reserve(spec.n_runs());
+  const std::size_t points = spec.n_points();
+  for (std::size_t p = 0; p < points; ++p) {
+    for (int r = 0; r < spec.repeats; ++r) {
+      RunTask t;
+      t.point_index = p;
+      t.repeat = r;
+      t.run_index = p * static_cast<std::size_t>(spec.repeats) +
+                    static_cast<std::size_t>(r);
+      t.seed = sim::derive_run_seed(spec.base_seed, t.run_index);
+      tasks.push_back(t);
+    }
+  }
+  return tasks;
+}
+
+}  // namespace iosim::exp

@@ -1,0 +1,115 @@
+// iosim: declarative scenario sweeps for the experiment engine.
+//
+// A ScenarioSpec declares the axes of an experiment — scheduler pair,
+// workload, cluster shape, data size, fault plan — plus a base seed and a
+// repeat count. Its cross product expands into a deterministic run matrix:
+// point index = nested-loop order over the axes (workload outermost, fault
+// innermost), run index = point index * repeats + repeat, and every run's
+// seed is sim::derive_run_seed(base_seed, run_index), so streams are
+// pairwise independent and results are byte-stable regardless of execution
+// order or worker count.
+//
+// Spec grammar (same style as fault_plan: flat text, all-or-nothing parse,
+// one-line diagnostics). One `key=value` per line; `#` starts a comment;
+// blank lines are skipped; a duplicate key is an error:
+//
+//   name=fig7a            identifier used for BENCH_<name>.json
+//   mode=run|adapt        run: one job per point with the fixed pair
+//                         adapt: full meta-scheduler pipeline per point
+//   base_seed=N           root of the per-run seed derivation (default 1)
+//   repeats=N             seeds per scenario point (default 3)
+//   pair=cc,ad,...        two-letter pair codes (VMM then guest), or all16
+//   workload=sort,...     sort | wordcount|wc | wc-nocombiner|wcnc
+//   hosts=3,4             physical hosts
+//   vms=2,4,6             VMs per host
+//   mb=256,512            input MB per data node
+//   fault=none|SPEC       fault-plan alternatives separated by `|` (the
+//                         plan grammar itself uses `,` and `;`); `none` is
+//                         the fault-free cluster
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "iosched/pair.hpp"
+
+namespace iosim::exp {
+
+enum class RunMode : std::uint8_t {
+  kRun = 0,    // one plain job execution per run
+  kAdapt = 1,  // full meta-scheduler pipeline (profile + search + final run)
+};
+
+const char* to_string(RunMode m);
+
+/// One cell of the expanded cross product.
+struct ScenarioPoint {
+  RunMode mode = RunMode::kRun;
+  iosched::SchedulerPair pair;  // kRun: the fixed pair; kAdapt: the boot/default pair
+  std::string workload = "sort";
+  int hosts = 4;
+  int vms = 4;
+  std::int64_t mb = 512;
+  fault::FaultPlan faults;
+  std::string fault_text;  // original spec text ("" = fault-free)
+
+  /// Stable human id of the point: "sort h4 v4 512MB (c,c)" plus the fault
+  /// text when present. Unique within one spec's expansion.
+  std::string label() const;
+};
+
+struct ScenarioSpec {
+  std::string name = "sweep";
+  RunMode mode = RunMode::kRun;
+  std::uint64_t base_seed = 1;
+  int repeats = 3;
+  std::vector<iosched::SchedulerPair> pairs{iosched::kDefaultPair};
+  std::vector<std::string> workloads{"sort"};
+  std::vector<int> hosts{4};
+  std::vector<int> vms{4};
+  std::vector<std::int64_t> mb{512};
+  /// Parsed fault alternatives, paired with their original text. One entry
+  /// with an empty plan = the fault-free default.
+  std::vector<std::pair<fault::FaultPlan, std::string>> faults{{{}, ""}};
+
+  /// Parse a whole spec file. All-or-nothing: any malformed line fails the
+  /// parse and `error` (when non-null) gets a one-line diagnostic with the
+  /// 1-based line number.
+  static std::optional<ScenarioSpec> parse(std::string_view text,
+                                           std::string* error = nullptr);
+
+  /// Apply one `key=value` assignment (the parser's line handler; also used
+  /// for `--set` command-line overrides, where last-wins replaces the
+  /// duplicate-key check). False + diagnostic on an unknown key / bad value.
+  bool apply(std::string_view key, std::string_view value, std::string* error = nullptr);
+
+  /// The cross product, in deterministic nested-loop order: workload,
+  /// hosts, vms, mb, pair, fault.
+  std::vector<ScenarioPoint> expand() const;
+
+  std::size_t n_points() const {
+    return workloads.size() * hosts.size() * vms.size() * mb.size() * pairs.size() *
+           faults.size();
+  }
+  std::size_t n_runs() const { return n_points() * static_cast<std::size_t>(repeats); }
+
+  /// Canonical spec text (round-trips through parse).
+  std::string to_string() const;
+};
+
+/// One scheduled simulation of the run matrix.
+struct RunTask {
+  std::size_t run_index = 0;    // global, dense: point_index * repeats + repeat
+  std::size_t point_index = 0;  // into the expand() vector
+  int repeat = 0;
+  std::uint64_t seed = 0;  // derive_run_seed(base_seed, run_index)
+};
+
+/// The full run matrix for a spec's expansion, in run_index order.
+std::vector<RunTask> build_run_matrix(const ScenarioSpec& spec);
+
+}  // namespace iosim::exp

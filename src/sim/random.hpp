@@ -27,6 +27,20 @@ class SplitMix64 {
   std::uint64_t x_;
 };
 
+/// Mix a base seed and a run index into an independent per-run seed.
+///
+/// Never derive repeat seeds as `base + index`: with k repeats, base seeds
+/// b and b+1 share k-1 of their k run seeds, so two "independent"
+/// experiments would mostly re-run the same streams — and averaged results
+/// for adjacent base seeds would be correlated by construction. Two
+/// splitmix64 finalizer passes (one over the base, one over the mixed base
+/// plus the index) give full avalanche in both arguments.
+inline constexpr std::uint64_t derive_run_seed(std::uint64_t base, std::uint64_t index) {
+  SplitMix64 a(base);
+  SplitMix64 b(a.next() + index);
+  return b.next();
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna, public domain): the library's only
 /// PRNG. Small state, excellent statistical quality, trivially seedable.
 class Rng {

@@ -3,7 +3,7 @@
 // the end of a run (metrics::registry_table renders it through
 // metrics::Table).
 //
-// Like the tracer, the registry is reached through a process-global pointer
+// Like the tracer, the registry is reached through a thread-local pointer
 // that is null by default: instrumentation sites pay one load + branch when
 // metrics are off. Iteration order is first-registration order, which is
 // deterministic for a deterministic run.
@@ -117,10 +117,12 @@ class Registry {
   std::unordered_map<std::string, std::size_t> by_name_[3];  // per Kind
 };
 
-/// Process-global registry; null (default) = metrics collection off. Inline
-/// variable for the same hot-path reason as trace::tracer().
+/// Per-thread registry; null (default) = metrics collection off. Inline
+/// variable for the same hot-path reason as trace::tracer(), thread_local
+/// for the same executor-isolation reason: parallel sweep workers must not
+/// interleave their counters into a registry the main thread installed.
 namespace detail {
-inline Registry* g_registry = nullptr;
+inline thread_local Registry* g_registry = nullptr;
 }
 inline Registry* registry() { return detail::g_registry; }
 inline void set_registry(Registry* r) { detail::g_registry = r; }

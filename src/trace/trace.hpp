@@ -163,13 +163,17 @@ class Tracer {
   std::unordered_map<std::string, std::uint32_t> track_ids_;
 };
 
-/// Process-global tracer. Null (the default) means tracing is off and every
-/// instrumentation site reduces to a pointer load + branch. The simulator is
-/// single-threaded, so a plain global is safe. The pointer is an inline
-/// variable so the off-check compiles to exactly that load + branch — an
-/// out-of-line accessor call per bio would be measurable on the hot path.
+/// Per-thread tracer. Null (the default) means tracing is off and every
+/// instrumentation site reduces to a pointer load + branch. Each simulation
+/// is single-threaded, but the experiment engine fans independent
+/// simulations out across worker threads — the pointer is thread_local so
+/// a tracer installed on the main thread is never shared with (or clobbered
+/// by) a worker's simulation. Workers that want tracing install their own.
+/// The pointer is an inline variable so the off-check compiles to exactly
+/// that load + branch — an out-of-line accessor call per bio would be
+/// measurable on the hot path.
 namespace detail {
-inline Tracer* g_tracer = nullptr;
+inline thread_local Tracer* g_tracer = nullptr;
 }
 inline Tracer* tracer() { return detail::g_tracer; }
 inline void set_tracer(Tracer* t) { detail::g_tracer = t; }

@@ -6,6 +6,9 @@
 //   stream sort                — "heavy":   map output = input, output = input
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "mapred/job_conf.hpp"
 
 namespace iosim::workloads {
@@ -30,5 +33,10 @@ WorkloadModel stream_sort();
 /// node, 64 MB blocks, 2+2 slots).
 JobConf make_job(const WorkloadModel& w,
                  std::int64_t input_bytes_per_vm = 512 * mapred::kMiB);
+
+/// Lookup by the CLI / scenario-spec names: "sort", "wordcount" ("wc"),
+/// "wc-nocombiner" ("wcnc"). nullopt for anything else — callers own the
+/// diagnostic.
+std::optional<WorkloadModel> by_name(const std::string& name);
 
 }  // namespace iosim::workloads

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/random.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace iosim::core {
@@ -152,8 +153,11 @@ TEST(MetaScheduler, SingleScheduleExecutesWithoutSwitch) {
   const auto single = PairSchedule::single(iosched::kDefaultPair, 2);
   const auto r = ms.execute(single);
   EXPECT_GT(r.seconds, 0.0);
-  // Equals the plain fixed-pair run exactly.
-  const auto plain = cluster::run_job(tiny(), jc);
+  // Equals the plain fixed-pair run exactly. execute() averages over one
+  // derived seed, so the reference run uses derive_run_seed(base, 0).
+  ClusterConfig derived = tiny();
+  derived.seed = sim::derive_run_seed(derived.seed, 0);
+  const auto plain = cluster::run_job(derived, jc);
   EXPECT_NEAR(r.seconds, plain.seconds, 1e-9);
 }
 

@@ -1,0 +1,235 @@
+#include "exp/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/aggregate.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+namespace iosim::exp {
+namespace {
+
+std::vector<RunTask> synthetic_tasks(std::size_t n) {
+  ScenarioSpec s;
+  s.repeats = static_cast<int>(n);
+  return build_run_matrix(s);
+}
+
+TEST(Executor, SerialRunsEverythingInOrder) {
+  const auto tasks = synthetic_tasks(8);
+  std::vector<std::size_t> order;
+  const auto res = execute_all(tasks, [&](const RunTask& t) {
+    order.push_back(t.run_index);
+    RunOutput o;
+    o.metrics.emplace_back("value", static_cast<double>(t.run_index));
+    return o;
+  });
+  EXPECT_TRUE(res.all_ok());
+  EXPECT_EQ(res.completed, 8u);
+  EXPECT_EQ(res.failed, 0u);
+  EXPECT_EQ(res.skipped, 0u);
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(res.outputs[i].has_value());
+    EXPECT_DOUBLE_EQ(res.outputs[i]->metrics[0].second, static_cast<double>(i));
+  }
+}
+
+TEST(Executor, ResultsIdenticalAcrossWorkerCounts) {
+  const auto tasks = synthetic_tasks(16);
+  const auto fn = [](const RunTask& t) {
+    RunOutput o;
+    o.metrics.emplace_back("seed_lo", static_cast<double>(t.seed % 1000));
+    return o;
+  };
+  ExecutorOptions serial;
+  serial.workers = 1;
+  ExecutorOptions wide;
+  wide.workers = 8;
+  const auto a = execute_all(tasks, fn, serial);
+  const auto b = execute_all(tasks, fn, wide);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+    ASSERT_TRUE(a.outputs[i].has_value());
+    ASSERT_TRUE(b.outputs[i].has_value());
+    EXPECT_EQ(a.outputs[i]->metrics, b.outputs[i]->metrics) << "slot " << i;
+  }
+}
+
+TEST(Executor, SerialCancelsOnFirstFailure) {
+  const auto tasks = synthetic_tasks(10);
+  std::size_t calls = 0;
+  const auto res = execute_all(tasks, [&](const RunTask& t) {
+    ++calls;
+    RunOutput o;
+    if (t.run_index == 3) {
+      o.ok = false;
+      o.error = "boom";
+    }
+    return o;
+  });
+  EXPECT_FALSE(res.all_ok());
+  EXPECT_TRUE(res.cancelled);
+  EXPECT_EQ(calls, 4u);  // 0,1,2 ok; 3 fails; 4.. never claimed
+  EXPECT_EQ(res.completed, 3u);
+  EXPECT_EQ(res.failed, 1u);
+  EXPECT_EQ(res.skipped, 6u);
+  EXPECT_EQ(res.first_error, "boom");
+  EXPECT_EQ(res.first_error_run, 3u);
+  EXPECT_FALSE(res.outputs[5].has_value());
+}
+
+TEST(Executor, ParallelCancelKeepsDeterministicFirstError) {
+  // Several runs fail; the reported representative must be the smallest
+  // failing run_index regardless of completion interleaving.
+  const auto tasks = synthetic_tasks(32);
+  ExecutorOptions opts;
+  opts.workers = 8;
+  opts.cancel_on_failure = false;  // let every failure land
+  const auto res = execute_all(
+      tasks,
+      [](const RunTask& t) {
+        RunOutput o;
+        if (t.run_index % 7 == 5) {  // fails at 5, 12, 19, 26
+          o.ok = false;
+          o.error = "fail@" + std::to_string(t.run_index);
+        }
+        return o;
+      },
+      opts);
+  EXPECT_EQ(res.failed, 4u);
+  EXPECT_EQ(res.skipped, 0u);
+  EXPECT_EQ(res.first_error_run, 5u);
+  EXPECT_EQ(res.first_error, "fail@5");
+}
+
+TEST(Executor, ExceptionInRunFnBecomesFailure) {
+  const auto tasks = synthetic_tasks(3);
+  const auto res = execute_all(tasks, [](const RunTask& t) -> RunOutput {
+    if (t.run_index == 1) throw std::runtime_error("kaput");
+    return {};
+  });
+  EXPECT_FALSE(res.all_ok());
+  EXPECT_EQ(res.failed, 1u);
+  ASSERT_TRUE(res.outputs[1].has_value());
+  EXPECT_FALSE(res.outputs[1]->ok);
+  EXPECT_NE(res.outputs[1]->error.find("kaput"), std::string::npos);
+}
+
+TEST(Executor, ProgressEventsCountEveryCompletion) {
+  const auto tasks = synthetic_tasks(12);
+  ExecutorOptions opts;
+  opts.workers = 4;
+  std::atomic<std::size_t> events{0};
+  std::size_t last_done = 0;
+  opts.on_progress = [&](const ProgressEvent& ev) {
+    ++events;
+    EXPECT_EQ(ev.total, 12u);
+    EXPECT_GT(ev.done, last_done);  // delivered under the lock, monotonically
+    last_done = ev.done;
+    EXPECT_NE(ev.task, nullptr);
+  };
+  const auto res = execute_all(tasks, [](const RunTask&) { return RunOutput{}; }, opts);
+  EXPECT_TRUE(res.all_ok());
+  EXPECT_EQ(events.load(), 12u);
+  EXPECT_EQ(last_done, 12u);
+}
+
+TEST(Executor, DefaultWorkersIsAtLeastOne) { EXPECT_GE(default_workers(), 1); }
+
+// --- Real-simulation integration -----------------------------------------
+
+const char* kTinySpec =
+    "name=exec_it\n"
+    "mode=run\n"
+    "base_seed=11\n"
+    "repeats=2\n"
+    "pair=cc,ad\n"
+    "workload=sort\n"
+    "hosts=2\nvms=2\nmb=32\n";
+
+TEST(ExecutorIntegration, ByteIdenticalJsonAcrossWorkerCounts) {
+  // The determinism-under-parallelism contract: same spec + base seed at
+  // --workers 1 and --workers 8 must yield byte-identical BENCH JSON.
+  const auto spec = ScenarioSpec::parse(kTinySpec);
+  ASSERT_TRUE(spec.has_value());
+  const auto points = spec->expand();
+  const auto tasks = build_run_matrix(*spec);
+  const auto fn = make_run_fn(points);
+
+  ExecutorOptions serial;
+  serial.workers = 1;
+  ExecutorOptions wide;
+  wide.workers = 8;
+  const auto a = execute_all(tasks, fn, serial);
+  const auto b = execute_all(tasks, fn, wide);
+  ASSERT_TRUE(a.all_ok()) << a.first_error;
+  ASSERT_TRUE(b.all_ok()) << b.first_error;
+
+  const std::string ja = to_json(*spec, aggregate(*spec, points, tasks, a));
+  const std::string jb = to_json(*spec, aggregate(*spec, points, tasks, b));
+  EXPECT_EQ(ja, jb);
+  EXPECT_NE(ja.find("\"bench_format\""), std::string::npos);
+  EXPECT_NE(ja.find("\"seconds\""), std::string::npos);
+}
+
+TEST(ExecutorIntegration, AbortingFaultCancelsSweep) {
+  // transient:host=-1,p=0.9 makes every disk I/O on every host fail with
+  // 90% probability — the job aborts after retries, and the sweep must
+  // cancel instead of writing a BENCH file full of holes.
+  const auto spec = ScenarioSpec::parse(
+      "name=doomed\nrepeats=2\nworkload=sort\nhosts=2\nvms=2\nmb=32\n"
+      "fault=transient:host=-1,p=0.9\n");
+  ASSERT_TRUE(spec.has_value());
+  const auto points = spec->expand();
+  const auto tasks = build_run_matrix(*spec);
+  const auto res = execute_all(tasks, make_run_fn(points));
+  EXPECT_FALSE(res.all_ok());
+  EXPECT_GE(res.failed, 1u);
+  EXPECT_FALSE(res.first_error.empty());
+}
+
+TEST(ExecutorIntegration, ParallelSpeedupOverSerial) {
+  // The tentpole's raison d'être: N workers must beat serial wall-clock on
+  // a multi-core machine while producing the same outputs (checked above).
+  // Sleep-based synthetic tasks make the measurement robust to machine
+  // speed; the threads genuinely run concurrently either way.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 2) GTEST_SKIP() << "needs >= 2 cores, have " << hw;
+#if !IOSIM_THREADS
+  GTEST_SKIP() << "built with IOSIM_THREADS=0";
+#endif
+
+  constexpr auto kPerTask = std::chrono::milliseconds(60);
+  const auto tasks = synthetic_tasks(8);
+  const auto fn = [&](const RunTask&) {
+    std::this_thread::sleep_for(kPerTask);
+    return RunOutput{};
+  };
+  const auto timed = [&](int workers) {
+    ExecutorOptions opts;
+    opts.workers = workers;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = execute_all(tasks, fn, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    EXPECT_TRUE(res.all_ok());
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  const double serial = timed(1);
+  const double parallel = timed(static_cast<int>(std::min(hw, 8u)));
+  EXPECT_LT(parallel, 0.85 * serial)
+      << "serial " << serial << "s vs parallel " << parallel << "s";
+}
+
+}  // namespace
+}  // namespace iosim::exp

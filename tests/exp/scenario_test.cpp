@@ -1,0 +1,173 @@
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace iosim::exp {
+namespace {
+
+TEST(ScenarioSpec, Defaults) {
+  const auto s = ScenarioSpec::parse("");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->name, "sweep");
+  EXPECT_EQ(s->mode, RunMode::kRun);
+  EXPECT_EQ(s->base_seed, 1u);
+  EXPECT_EQ(s->repeats, 3);
+  EXPECT_EQ(s->pairs.size(), 1u);
+  EXPECT_EQ(s->workloads, std::vector<std::string>{"sort"});
+  EXPECT_EQ(s->n_points(), 1u);
+  EXPECT_EQ(s->n_runs(), 3u);
+}
+
+TEST(ScenarioSpec, FullParse) {
+  const char* text =
+      "# a comment\n"
+      "name = fig7b\n"
+      "mode = adapt\n"
+      "base_seed = 99\n"
+      "repeats = 5\n"
+      "workload = sort, wc\n"
+      "hosts = 4\n"
+      "vms = 2, 4, 6\n"
+      "mb = 512\n";
+  std::string err;
+  const auto s = ScenarioSpec::parse(text, &err);
+  ASSERT_TRUE(s.has_value()) << err;
+  EXPECT_EQ(s->name, "fig7b");
+  EXPECT_EQ(s->mode, RunMode::kAdapt);
+  EXPECT_EQ(s->base_seed, 99u);
+  EXPECT_EQ(s->repeats, 5);
+  EXPECT_EQ(s->vms, (std::vector<int>{2, 4, 6}));
+  EXPECT_EQ(s->n_points(), 2u * 3u);
+  EXPECT_EQ(s->n_runs(), 6u * 5u);
+}
+
+TEST(ScenarioSpec, RoundTripsThroughToString) {
+  const char* text =
+      "name=rt\nmode=adapt\nbase_seed=7\nrepeats=2\n"
+      "pair=cc,ad\nworkload=sort,wc\nhosts=2\nvms=2,4\nmb=64\n"
+      "fault=none|failslow:host=0,factor=2\n";
+  const auto a = ScenarioSpec::parse(text);
+  ASSERT_TRUE(a.has_value());
+  const auto b = ScenarioSpec::parse(a->to_string());
+  ASSERT_TRUE(b.has_value()) << a->to_string();
+  EXPECT_EQ(a->to_string(), b->to_string());
+  EXPECT_EQ(a->n_points(), b->n_points());
+}
+
+TEST(ScenarioSpec, ErrorsCarryLineNumbers) {
+  std::string err;
+  EXPECT_FALSE(ScenarioSpec::parse("name=x\nbogus_key=1\n", &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+
+  EXPECT_FALSE(ScenarioSpec::parse("\n\nrepeats=zero\n", &err).has_value());
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+
+  EXPECT_FALSE(ScenarioSpec::parse("no_equals_sign\n", &err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+}
+
+TEST(ScenarioSpec, RejectsDuplicateKey) {
+  std::string err;
+  EXPECT_FALSE(ScenarioSpec::parse("hosts=2\nhosts=4\n", &err).has_value());
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+}
+
+TEST(ScenarioSpec, RejectsBadValues) {
+  std::string err;
+  EXPECT_FALSE(ScenarioSpec::parse("mode=banana\n", &err).has_value());
+  EXPECT_FALSE(ScenarioSpec::parse("pair=zz\n", &err).has_value());
+  EXPECT_FALSE(ScenarioSpec::parse("workload=grep\n", &err).has_value());
+  EXPECT_FALSE(ScenarioSpec::parse("hosts=0\n", &err).has_value());
+  EXPECT_FALSE(ScenarioSpec::parse("vms=1,,2\n", &err).has_value());
+  EXPECT_FALSE(ScenarioSpec::parse("repeats=0\n", &err).has_value());
+  EXPECT_FALSE(ScenarioSpec::parse("fault=transient:host=0\n", &err).has_value());
+}
+
+TEST(ScenarioSpec, All16ExpandsEveryPair) {
+  const auto s = ScenarioSpec::parse("pair=all16\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->pairs.size(), 16u);
+  std::set<std::string> codes;
+  for (const auto& p : s->pairs) codes.insert(p.letters());
+  EXPECT_EQ(codes.size(), 16u);
+}
+
+TEST(ScenarioSpec, FaultAxisParsesAlternatives) {
+  const auto s =
+      ScenarioSpec::parse("fault=none|failslow:host=0,factor=2|transient:host=-1,p=0.1\n");
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->faults.size(), 3u);
+  EXPECT_TRUE(s->faults[0].second.empty());   // none -> fault-free
+  EXPECT_TRUE(s->faults[0].first.empty());
+  EXPECT_FALSE(s->faults[1].first.empty());
+  EXPECT_EQ(s->faults[2].second, "transient:host=-1,p=0.1");
+}
+
+TEST(ScenarioSpec, ExpansionOrderIsDocumentedNestedLoop) {
+  // workload outermost, then hosts, vms, mb, pair, fault innermost.
+  const auto s = ScenarioSpec::parse(
+      "workload=sort,wc\nhosts=2\nvms=2\nmb=64\npair=cc,ad\n");
+  ASSERT_TRUE(s.has_value());
+  const auto pts = s->expand();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0].workload, "sort");
+  EXPECT_EQ(pts[0].pair.letters(), "cc");
+  EXPECT_EQ(pts[1].workload, "sort");
+  EXPECT_EQ(pts[1].pair.letters(), "ad");
+  EXPECT_EQ(pts[2].workload, "wordcount");
+  EXPECT_EQ(pts[2].pair.letters(), "cc");
+  EXPECT_EQ(pts[3].workload, "wordcount");
+  EXPECT_EQ(pts[3].pair.letters(), "ad");
+}
+
+TEST(ScenarioSpec, LabelsAreUniqueAcrossExpansion) {
+  const auto s = ScenarioSpec::parse(
+      "workload=sort,wc\nhosts=2,3\nvms=2,4\nmb=64,128\npair=cc,ad\n"
+      "fault=none|failslow:host=0,factor=2\n");
+  ASSERT_TRUE(s.has_value());
+  const auto pts = s->expand();
+  std::set<std::string> labels;
+  for (const auto& p : pts) labels.insert(p.label());
+  EXPECT_EQ(labels.size(), pts.size());
+}
+
+TEST(RunMatrix, SeedsAreDerivedFromRunIndex) {
+  const auto s = ScenarioSpec::parse("base_seed=5\nrepeats=2\nvms=2,4\n");
+  ASSERT_TRUE(s.has_value());
+  const auto tasks = build_run_matrix(*s);
+  ASSERT_EQ(tasks.size(), 4u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].run_index, i);
+    EXPECT_EQ(tasks[i].point_index, i / 2);
+    EXPECT_EQ(tasks[i].repeat, static_cast<int>(i % 2));
+    EXPECT_EQ(tasks[i].seed, sim::derive_run_seed(5, i));
+    EXPECT_NE(tasks[i].seed, 5 + i);  // never the naive base+index
+  }
+}
+
+TEST(RunMatrix, DistinctSeedsAcrossLargeMatrix) {
+  const auto s = ScenarioSpec::parse("repeats=10\npair=all16\nvms=2,4,6\n");
+  ASSERT_TRUE(s.has_value());
+  const auto tasks = build_run_matrix(*s);
+  ASSERT_EQ(tasks.size(), 480u);
+  std::set<std::uint64_t> seeds;
+  for (const auto& t : tasks) seeds.insert(t.seed);
+  EXPECT_EQ(seeds.size(), tasks.size());
+}
+
+TEST(ScenarioSpec, ApplyOverridesForSetFlag) {
+  auto s = ScenarioSpec::parse("name=x\nmb=512\n");
+  ASSERT_TRUE(s.has_value());
+  std::string err;
+  ASSERT_TRUE(s->apply("mb", "64", &err)) << err;
+  EXPECT_EQ(s->mb, std::vector<std::int64_t>{64});
+  EXPECT_FALSE(s->apply("mb", "not_a_number", &err));
+}
+
+}  // namespace
+}  // namespace iosim::exp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -136,6 +137,53 @@ TEST(Rng, ChanceFrequency) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) hits += r.chance(0.25) ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(DeriveRunSeed, DeterministicAndDistinct) {
+  // Same (base, index) -> same seed; distinct indices -> distinct seeds.
+  EXPECT_EQ(derive_run_seed(1, 0), derive_run_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(derive_run_seed(1, i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveRunSeed, AdjacentBasesDoNotShareRepeatStreams) {
+  // The whole point of the double mix: with naive `base + index`, base seeds
+  // 1 and 2 with k repeats share k-1 runs. Derived seed sets must be disjoint.
+  constexpr std::uint64_t kRepeats = 64;
+  std::set<std::uint64_t> a, both;
+  for (std::uint64_t i = 0; i < kRepeats; ++i) a.insert(derive_run_seed(1, i));
+  for (std::uint64_t i = 0; i < kRepeats; ++i) {
+    both.insert(derive_run_seed(2, i));
+    // And definitely not the exact overlap `base+index` would produce.
+    EXPECT_EQ(a.count(derive_run_seed(2, i)), 0u) << "i=" << i;
+  }
+  for (std::uint64_t s : a) both.insert(s);
+  EXPECT_EQ(both.size(), 2 * kRepeats);
+}
+
+TEST(DeriveRunSeed, AdjacentSeedsGiveUncorrelatedFirstDraws) {
+  // First uniform draw from Rngs seeded at consecutive run indices should
+  // look independent: roughly half of adjacent pairs ordered either way and
+  // no near-duplicates.
+  constexpr int kN = 512;
+  std::vector<double> first;
+  for (int i = 0; i < kN; ++i) {
+    Rng r(derive_run_seed(7, static_cast<std::uint64_t>(i)));
+    first.push_back(r.uniform(0.0, 1.0));
+  }
+  int ascending = 0;
+  for (int i = 0; i + 1 < kN; ++i) {
+    EXPECT_GT(std::abs(first[i + 1] - first[i]), 1e-9) << "i=" << i;
+    if (first[i + 1] > first[i]) ++ascending;
+  }
+  // A drifting (correlated) seed sequence would push this toward 0 or kN.
+  EXPECT_GT(ascending, kN / 2 - kN / 8);
+  EXPECT_LT(ascending, kN / 2 + kN / 8);
+  // Mean of the first draws should be near 0.5.
+  double sum = 0.0;
+  for (double x : first) sum += x;
+  EXPECT_NEAR(sum / kN, 0.5, 0.05);
 }
 
 TEST(Rng, ForkProducesIndependentStream) {

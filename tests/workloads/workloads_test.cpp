@@ -150,9 +150,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          SchedulerKind::kAnticipatory, SchedulerKind::kCfq),
                        ::testing::Values(SchedulerKind::kNoop, SchedulerKind::kDeadline,
                                          SchedulerKind::kAnticipatory, SchedulerKind::kCfq)),
-    [](const auto& info) {
-      return std::string(to_string(std::get<0>(info.param))) + "_" +
-             to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return std::string(to_string(std::get<0>(param_info.param))) + "_" +
+             to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -1,0 +1,223 @@
+// iosim-sweep — run a declarative scenario sweep across all cores.
+//
+//   iosim-sweep --spec bench/specs/fig7a.spec --workers $(nproc)
+//   iosim-sweep --spec bench/specs/smoke.spec --out BENCH_smoke.json
+//   iosim-sweep --spec bench/specs/fig2.spec --set mb=64 --set repeats=1 --list
+//
+// Reads a scenario spec (see src/exp/scenario.hpp for the grammar), expands
+// the axis cross product into a deterministic run matrix, fans the runs out
+// over a worker pool (each worker owns its private simulator), aggregates
+// per scenario point (mean / min / max / p50 / p95 / 95% CI), writes the
+// versioned BENCH JSON, and prints a human table. The JSON is byte-identical
+// for any --workers value: per-run seeds depend only on (base_seed,
+// run_index) and aggregation walks runs in matrix order.
+//
+// Exit codes: 0 success, 1 a run failed (the sweep cancels on the first
+// failure), 2 bad usage / malformed spec.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/aggregate.hpp"
+#include "exp/executor.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+using namespace iosim;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: iosim-sweep --spec FILE [--workers N] [--out PATH] [--set key=value]...\n"
+      "                   [--repeats N] [--base-seed N] [--list] [--csv] [--quiet]\n"
+      "  --spec FILE      scenario spec (axes: pair, workload, hosts, vms, mb, fault)\n"
+      "  --workers N      worker threads (default: all cores; 1 = serial)\n"
+      "  --out PATH       BENCH JSON output (default: BENCH_<name>.json)\n"
+      "  --set key=value  override a spec line (repeatable, e.g. --set mb=64)\n"
+      "  --repeats N      shorthand for --set repeats=N\n"
+      "  --base-seed N    shorthand for --set base_seed=N\n"
+      "  --list           print the expanded run matrix and exit\n"
+      "  --csv            print the aggregate table as CSV\n"
+      "  --quiet          suppress per-run progress lines\n");
+  return 2;
+}
+
+struct Options {
+  std::string spec_path;
+  std::string out_path;
+  std::vector<std::pair<std::string, std::string>> sets;
+  int workers = 0;  // 0 = default_workers()
+  bool list = false;
+  bool csv = false;
+  bool quiet = false;
+};
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "iosim-sweep: %s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (s == "--spec") {
+      const char* v = need_value("--spec");
+      if (!v) return std::nullopt;
+      o.spec_path = v;
+    } else if (s == "--workers") {
+      const char* v = need_value("--workers");
+      if (!v) return std::nullopt;
+      o.workers = std::atoi(v);
+      if (o.workers < 1) {
+        std::fprintf(stderr, "iosim-sweep: --workers must be >= 1\n");
+        return std::nullopt;
+      }
+    } else if (s == "--out") {
+      const char* v = need_value("--out");
+      if (!v) return std::nullopt;
+      o.out_path = v;
+    } else if (s == "--set") {
+      const char* v = need_value("--set");
+      if (!v) return std::nullopt;
+      const std::string kv = v;
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "iosim-sweep: --set expects key=value, got '%s'\n",
+                     kv.c_str());
+        return std::nullopt;
+      }
+      o.sets.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (s == "--repeats") {
+      const char* v = need_value("--repeats");
+      if (!v) return std::nullopt;
+      o.sets.emplace_back("repeats", v);
+    } else if (s == "--base-seed") {
+      const char* v = need_value("--base-seed");
+      if (!v) return std::nullopt;
+      o.sets.emplace_back("base_seed", v);
+    } else if (s == "--list") {
+      o.list = true;
+    } else if (s == "--csv") {
+      o.csv = true;
+    } else if (s == "--quiet") {
+      o.quiet = true;
+    } else {
+      std::fprintf(stderr, "iosim-sweep: unknown argument '%s'\n", s.c_str());
+      return std::nullopt;
+    }
+  }
+  if (o.spec_path.empty()) {
+    std::fprintf(stderr, "iosim-sweep: --spec is required\n");
+    return std::nullopt;
+  }
+  return o;
+}
+
+double wall_now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = parse_args(argc, argv);
+  if (!opt) return usage();
+
+  std::ifstream in(opt->spec_path);
+  if (!in) {
+    std::fprintf(stderr, "iosim-sweep: cannot read spec '%s'\n", opt->spec_path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  std::string err;
+  auto spec = exp::ScenarioSpec::parse(ss.str(), &err);
+  if (!spec) {
+    std::fprintf(stderr, "iosim-sweep: %s: %s\n", opt->spec_path.c_str(), err.c_str());
+    return 2;
+  }
+  for (const auto& [k, v] : opt->sets) {
+    if (!spec->apply(k, v, &err)) {
+      std::fprintf(stderr, "iosim-sweep: --set %s=%s: %s\n", k.c_str(), v.c_str(),
+                   err.c_str());
+      return 2;
+    }
+  }
+
+  const auto points = spec->expand();
+  const auto tasks = exp::build_run_matrix(*spec);
+  const int workers = opt->workers > 0 ? opt->workers : exp::default_workers();
+
+  if (opt->list) {
+    std::printf("sweep '%s' (mode=%s): %zu points x %d repeats = %zu runs\n",
+                spec->name.c_str(), exp::to_string(spec->mode), points.size(),
+                spec->repeats, tasks.size());
+    for (const auto& t : tasks) {
+      std::printf("  run %4zu  repeat %d  seed %020llu  %s\n", t.run_index, t.repeat,
+                  static_cast<unsigned long long>(t.seed),
+                  points[t.point_index].label().c_str());
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "sweep '%s': %zu points x %d repeats = %zu runs, %d worker%s\n",
+               spec->name.c_str(), points.size(), spec->repeats, tasks.size(), workers,
+               workers == 1 ? "" : "s");
+
+  exp::ExecutorOptions eopts;
+  eopts.workers = workers;
+  if (!opt->quiet) {
+    eopts.on_progress = [&points](const exp::ProgressEvent& ev) {
+      std::fprintf(stderr, "[%zu/%zu] %s %.1fs  %s (repeat %d)\n", ev.done, ev.total,
+                   ev.ok ? "ok  " : "FAIL", ev.wall_seconds,
+                   points[ev.task->point_index].label().c_str(), ev.task->repeat);
+    };
+  }
+
+  const double t0 = wall_now();
+  const auto exec = exp::execute_all(tasks, exp::make_run_fn(points), eopts);
+  const double wall = wall_now() - t0;
+
+  if (!exec.all_ok()) {
+    std::fprintf(stderr,
+                 "iosim-sweep: run %zu failed (%s); %zu completed, %zu skipped — "
+                 "no BENCH JSON written\n",
+                 exec.first_error_run, exec.first_error.c_str(), exec.completed,
+                 exec.skipped);
+    return 1;
+  }
+
+  const auto agg = exp::aggregate(*spec, points, tasks, exec);
+  const std::string json = exp::to_json(*spec, agg);
+  const std::string out_path =
+      !opt->out_path.empty() ? opt->out_path : "BENCH_" + spec->name + ".json";
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out || !(out << json)) {
+    std::fprintf(stderr, "iosim-sweep: failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  out.close();
+
+  auto tab = exp::to_table(*spec, agg);
+  if (opt->csv) {
+    std::fputs(tab.to_csv().c_str(), stdout);
+  } else {
+    tab.print();
+  }
+  std::fprintf(stderr, "%zu runs in %.1fs wall (%.2f runs/s, %d workers) -> %s\n",
+               tasks.size(), wall, wall > 0 ? static_cast<double>(tasks.size()) / wall : 0.0,
+               workers, out_path.c_str());
+  return 0;
+}

@@ -192,18 +192,12 @@ class Telemetry {
 mapred::JobConf workload_of(const Args& a) {
   const std::string w = a.str("workload", "sort");
   const auto mb = a.num("mb", 512);
-  mapred::WorkloadModel model;
-  if (w == "sort") {
-    model = workloads::stream_sort();
-  } else if (w == "wordcount" || w == "wc") {
-    model = workloads::wordcount();
-  } else if (w == "wc-nocombiner" || w == "wcnc") {
-    model = workloads::wordcount_no_combiner();
-  } else {
+  const auto model = workloads::by_name(w);
+  if (!model) {
     std::fprintf(stderr, "unknown workload '%s'\n", w.c_str());
     std::exit(2);
   }
-  auto jc = workloads::make_job(model, mb * mapred::kMiB);
+  auto jc = workloads::make_job(*model, mb * mapred::kMiB);
   if (a.has("speculate")) jc.speculative_execution = true;
   return jc;
 }
