@@ -4,12 +4,12 @@
 #pragma once
 
 #include <cstdio>
-#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/runner.hpp"
+#include "exp/artifact.hpp"
 #include "exp/json.hpp"
 #include "iosched/pair.hpp"
 #include "metrics/registry_table.hpp"
@@ -109,11 +109,12 @@ class Telemetry {
   }
   ~Telemetry() {
     if (!json_path_.empty()) {
-      std::ofstream out(json_path_, std::ios::binary);
-      if (out && (out << report().to_json(bench_name_))) {
+      std::string err;
+      if (exp::write_file_atomic(json_path_, report().to_json(bench_name_), &err)) {
         std::fprintf(stderr, "json: bench report -> %s\n", json_path_.c_str());
       } else {
-        std::fprintf(stderr, "json: failed to write %s\n", json_path_.c_str());
+        std::fprintf(stderr, "json: failed to write %s (%s)\n", json_path_.c_str(),
+                     err.c_str());
       }
     }
     if (trace_) {

@@ -8,6 +8,7 @@
 #include "fault/fault_injector.hpp"
 #include "iosched/pair.hpp"
 #include "mapred/cluster_env.hpp"
+#include "sim/simulator.hpp"
 #include "net/flow_network.hpp"
 #include "virt/physical_host.hpp"
 
@@ -31,6 +32,10 @@ struct ClusterConfig {
   /// Faults to inject during the run; empty = fault-free (no injector is
   /// even constructed, so behavior is bit-identical to pre-fault builds).
   fault::FaultPlan faults;
+  /// Event-loop progress sentinel installed on the cluster's simulator
+  /// (run_job turns a tripped budget into a failed RunResult instead of
+  /// spinning forever on a livelocked simulation). Default: unlimited.
+  sim::SimBudget budget;
   std::uint64_t seed = 1;
 };
 

@@ -9,17 +9,29 @@ namespace iosim::cluster {
 RunResult run_job(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
                   const SetupHook& setup) {
   Cluster cl(cfg);
+  cl.simr().set_budget(cfg.budget);
   mapred::Job job(cl.env(), job_conf, cfg.seed ^ 0x9E3779B97F4A7C15ULL);
   if (setup) setup(cl, job);
   job.run();
   cl.simr().run();
-  assert((job.done() || job.failed()) &&
-         "job neither completed nor aborted — simulation deadlock");
 
   RunResult r;
+  r.stop = cl.simr().stop_reason();
   r.stats = job.stats();
   r.failed = job.failed();
   r.failure = job.failure();
+  if (!job.done() && !r.failed) {
+    // The event loop stopped with the job unfinished: either the budget /
+    // watchdog tripped, or the queue genuinely drained mid-job (a
+    // simulation deadlock, which stays an assertion failure in debug
+    // builds).
+    assert(r.stop != sim::StopReason::kDrained &&
+           "job neither completed nor aborted — simulation deadlock");
+    r.failed = true;
+    r.failure = std::string("simulation stopped early (") + sim::to_string(r.stop) +
+                ") after " + std::to_string(cl.simr().executed()) + " events at t=" +
+                cl.simr().now().to_string();
+  }
   r.seconds = r.stats.elapsed().sec();
   r.ph1_seconds = (r.stats.t_maps_done - r.stats.t_start).sec();
   r.ph2_seconds = (r.stats.t_shuffle_done - r.stats.t_maps_done).sec();
@@ -40,6 +52,7 @@ RunResult run_job_avg(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
     if (r.failed && !acc.failed) {
       acc.failed = true;
       acc.failure = r.failure;
+      acc.stop = r.stop;
     }
     acc.seconds += r.seconds;
     acc.ph1_seconds += r.ph1_seconds;

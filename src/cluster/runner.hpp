@@ -16,10 +16,17 @@ struct RunResult {
   double seconds = 0.0;  // stats.elapsed(), convenience
 
   /// Set when the job aborted (fault injection exhausted a task's attempt
-  /// budget or killed every replica of a block); `failure` carries the
-  /// job's diagnostic and `seconds` measures start -> abort.
+  /// budget or killed every replica of a block) or the simulator's budget
+  /// stopped the event loop before the job finished; `failure` carries the
+  /// diagnostic and `seconds` measures start -> abort.
   bool failed = false;
   std::string failure;
+
+  /// Why the event loop returned (sim::StopReason::kDrained for a normal
+  /// completion). Anything else means the ClusterConfig budget tripped —
+  /// kAborted marks an external (wall-clock watchdog) abort, which callers
+  /// may treat as retryable where budget trips are deterministic.
+  sim::StopReason stop = sim::StopReason::kDrained;
 
   /// Phase durations with the paper's boundaries.
   double ph1_seconds = 0.0;  // start -> all maps done

@@ -49,7 +49,8 @@ SweepAggregate aggregate(const ScenarioSpec& spec,
   return agg;
 }
 
-std::string to_json(const ScenarioSpec& spec, const SweepAggregate& agg) {
+std::string to_json(const ScenarioSpec& spec, const SweepAggregate& agg,
+                    bool partial) {
   JsonWriter w;
   w.obj_begin();
   w.kv("bench_format", kBenchFormat);
@@ -58,6 +59,7 @@ std::string to_json(const ScenarioSpec& spec, const SweepAggregate& agg) {
   w.kv("mode", to_string(spec.mode));
   w.kv("base_seed", spec.base_seed);
   w.kv("repeats", spec.repeats);
+  if (partial) w.kv("partial", true);
   w.key("runs").obj_begin();
   w.kv("total", agg.total_runs);
   w.kv("completed", agg.completed);

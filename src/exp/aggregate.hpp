@@ -45,8 +45,12 @@ SweepAggregate aggregate(const ScenarioSpec& spec,
                          const std::vector<ScenarioPoint>& points,
                          const std::vector<RunTask>& tasks, const ExecResult& exec);
 
-/// Versioned BENCH JSON of the whole sweep.
-std::string to_json(const ScenarioSpec& spec, const SweepAggregate& agg);
+/// Versioned BENCH JSON of the whole sweep. `partial` marks an artifact
+/// written by a gracefully cancelled sweep (SIGINT/SIGTERM): the key is
+/// emitted only when true, so complete sweeps stay byte-identical to
+/// pre-robustness outputs (and to a resumed run of the same spec).
+std::string to_json(const ScenarioSpec& spec, const SweepAggregate& agg,
+                    bool partial = false);
 
 /// Human table: one row per point, the named metric's summary columns.
 /// Empty `metric` selects the mode's primary metric (seconds /

@@ -1,0 +1,92 @@
+// iosim: crash-safe artifact writing.
+//
+// Every result file the harness produces (BENCH_*.json, bench --json
+// reports, journals) must never be observable half-written: a SIGKILL or a
+// disk-full mid-write would otherwise leave a truncated file that parses as
+// a complete-but-wrong result. write_file_atomic gives the standard
+// tmp-in-same-directory + fsync + rename discipline — readers see either
+// the old file or the whole new one, and every failure mode (open, write,
+// fsync, rename) surfaces as false + errno diagnostic instead of silence.
+//
+// Header-only on purpose: the bench binaries use it without linking
+// iosim_exp.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace iosim::exp {
+
+/// FNV-1a 64-bit over raw bytes. Used to fingerprint canonical spec text in
+/// journal headers (collision resistance far beyond what "did you resume
+/// with the same spec?" needs, and no dependency on a hash library).
+inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+namespace detail {
+
+inline bool fail_errno(std::string* error, const std::string& what,
+                       const std::string& path) {
+  if (error) *error = what + " " + path + ": " + std::strerror(errno);
+  return false;
+}
+
+}  // namespace detail
+
+/// Write `content` to `path` atomically: write + fsync a `<path>.tmp.<pid>`
+/// sibling, then rename it over the target. Returns false (with an errno
+/// diagnostic in `error`) on any failure; the target is never left
+/// truncated — at worst a stale tmp file remains, which the next write
+/// replaces.
+inline bool write_file_atomic(const std::string& path, std::string_view content,
+                              std::string* error = nullptr) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return detail::fail_errno(error, "cannot create", tmp);
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      detail::fail_errno(error, "write failed for", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    detail::fail_errno(error, "fsync failed for", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    detail::fail_errno(error, "close failed for", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    detail::fail_errno(error, "rename failed for", path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace iosim::exp

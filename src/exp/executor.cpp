@@ -1,15 +1,18 @@
 #include "exp/executor.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <exception>
+#include <optional>
 
 #ifndef IOSIM_THREADS
 #define IOSIM_THREADS 1
 #endif
 
 #if IOSIM_THREADS
-#include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #endif
@@ -18,17 +21,23 @@ namespace iosim::exp {
 
 namespace {
 
+/// The abort flag of the run executing on this thread (set while a watchdog
+/// is armed, null otherwise).
+thread_local const std::atomic<bool>* t_run_abort = nullptr;
+
 RunOutput run_one(const RunFn& fn, const RunTask& task) {
   try {
     return fn(task);
   } catch (const std::exception& e) {
     RunOutput out;
     out.ok = false;
+    out.infra_failure = true;  // the harness broke, not the simulation
     out.error = std::string("exception: ") + e.what();
     return out;
   } catch (...) {
     RunOutput out;
     out.ok = false;
+    out.infra_failure = true;
     out.error = "unknown exception";
     return out;
   }
@@ -47,7 +56,129 @@ void note_failure(ExecResult& res, const RunTask& task, const RunOutput& out) {
   }
 }
 
+std::size_t slot_count(const std::vector<RunTask>& tasks) {
+  std::size_t n = 0;
+  for (const RunTask& t : tasks) n = std::max(n, t.run_index + 1);
+  return n;
+}
+
+#if IOSIM_THREADS
+
+/// Wall-clock watchdog: one monitor thread, one (deadline, abort) pair per
+/// worker. Workers arm their slot before a run and disarm after; the
+/// monitor flips the abort flag once the deadline passes, and cooperative
+/// RunFns observe it through current_run_abort().
+class Watchdog {
+ public:
+  Watchdog(std::size_t workers, double timeout_seconds)
+      : timeout_(timeout_seconds), slots_(workers) {
+    monitor_ = std::thread([this] { monitor_loop(); });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    monitor_.join();
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Reset the slot's abort flag, start its countdown, and publish the flag
+  /// to the calling thread.
+  void arm(std::size_t slot) {
+    slots_[slot].abort.store(false, std::memory_order_relaxed);
+    slots_[slot].deadline.store(wall_now() + timeout_, std::memory_order_relaxed);
+    t_run_abort = &slots_[slot].abort;
+  }
+
+  /// Stop the countdown; returns whether the watchdog fired during the run.
+  bool disarm(std::size_t slot) {
+    slots_[slot].deadline.store(kIdle, std::memory_order_relaxed);
+    t_run_abort = nullptr;
+    return slots_[slot].abort.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr double kIdle = 1e300;
+
+  struct Slot {
+    std::atomic<double> deadline{kIdle};
+    std::atomic<bool> abort{false};
+  };
+
+  void monitor_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+      const double now = wall_now();
+      for (Slot& s : slots_) {
+        if (now >= s.deadline.load(std::memory_order_relaxed)) {
+          s.abort.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  double timeout_;
+  std::vector<Slot> slots_;
+  std::thread monitor_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+#endif  // IOSIM_THREADS
+
+/// One run including its infra-failure retry budget. `watchdog`/`slot` are
+/// the caller's watchdog arm (null when no timeout is configured).
+RunOutput run_with_retries(const RunFn& fn, const RunTask& task,
+                           const ExecutorOptions& opts,
+#if IOSIM_THREADS
+                           Watchdog* watchdog, std::size_t slot,
+#endif
+                           double* wall_seconds) {
+  int attempt = 0;
+  while (true) {
+#if IOSIM_THREADS
+    if (watchdog) watchdog->arm(slot);
+#endif
+    const double t0 = wall_now();
+    RunOutput out = run_one(fn, task);
+    *wall_seconds += wall_now() - t0;
+#if IOSIM_THREADS
+    const bool timed_out = watchdog && watchdog->disarm(slot);
+    if (timed_out && !out.ok) {
+      // A watchdog stop is an infra failure (the machine may simply have
+      // been starved) even when the RunFn already produced a diagnostic.
+      out.infra_failure = true;
+    }
+#endif
+    out.attempts = attempt + 1;
+    const bool externally_cancelled =
+        opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed);
+    if (out.ok || !out.infra_failure || attempt >= opts.max_retries ||
+        externally_cancelled) {
+      return out;
+    }
+    ++attempt;
+#if IOSIM_THREADS
+    const double backoff =
+        std::min(opts.retry_backoff_seconds * std::ldexp(1.0, attempt - 1),
+                 opts.retry_backoff_cap_seconds);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+#endif
+  }
+}
+
 }  // namespace
+
+const std::atomic<bool>* current_run_abort() { return t_run_abort; }
 
 int default_workers() {
 #if IOSIM_THREADS
@@ -61,30 +192,40 @@ int default_workers() {
 ExecResult execute_all(const std::vector<RunTask>& tasks, const RunFn& fn,
                        const ExecutorOptions& opts) {
   ExecResult res;
-  res.outputs.resize(tasks.size());
-  for (const RunTask& t : tasks) {
-    assert(t.run_index < tasks.size() && "run_index must be dense (build_run_matrix)");
-    (void)t;
-  }
+  res.outputs.resize(slot_count(tasks));
+
+  const auto externally_cancelled = [&] {
+    return opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed);
+  };
 
 #if IOSIM_THREADS
+  std::optional<Watchdog> watchdog;
   int workers = opts.workers;
   if (workers > static_cast<int>(tasks.size())) workers = static_cast<int>(tasks.size());
+  if (opts.run_timeout_seconds > 0 && !tasks.empty()) {
+    watchdog.emplace(static_cast<std::size_t>(std::max(workers, 1)),
+                     opts.run_timeout_seconds);
+  }
+  Watchdog* wd = watchdog ? &*watchdog : nullptr;
   if (workers > 1) {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> cancelled{false};
+    std::atomic<bool> interrupted{false};
     std::mutex mu;  // guards res counters + progress callback
     std::size_t done = 0;
 
-    const auto worker = [&] {
+    const auto worker = [&](std::size_t slot) {
       while (true) {
         if (cancelled.load(std::memory_order_relaxed)) break;
+        if (externally_cancelled()) {
+          interrupted.store(true, std::memory_order_relaxed);
+          break;
+        }
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= tasks.size()) break;
         const RunTask& task = tasks[i];
-        const double t0 = wall_now();
-        RunOutput out = run_one(fn, task);
-        const double dt = wall_now() - t0;
+        double dt = 0.0;
+        RunOutput out = run_with_retries(fn, task, opts, wd, slot, &dt);
         if (!out.ok && opts.cancel_on_failure) {
           cancelled.store(true, std::memory_order_relaxed);
         }
@@ -102,7 +243,8 @@ ExecResult execute_all(const std::vector<RunTask>& tasks, const RunFn& fn,
           ev.done = ++done;
           ev.total = tasks.size();
           ev.task = &task;
-          ev.ok = res.outputs[task.run_index]->ok;
+          ev.output = &*res.outputs[task.run_index];
+          ev.ok = ev.output->ok;
           ev.wall_seconds = dt;
           opts.on_progress(ev);
         }
@@ -111,10 +253,13 @@ ExecResult execute_all(const std::vector<RunTask>& tasks, const RunFn& fn,
 
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back(worker, static_cast<std::size_t>(w));
+    }
     for (auto& t : pool) t.join();
 
     res.cancelled = cancelled.load();
+    res.interrupted = interrupted.load() || externally_cancelled();
     res.skipped = tasks.size() - res.completed - res.failed;
     return res;
   }
@@ -123,9 +268,16 @@ ExecResult execute_all(const std::vector<RunTask>& tasks, const RunFn& fn,
   // Serial path: in run_index order, same cancel semantics.
   std::size_t done = 0;
   for (const RunTask& task : tasks) {
-    const double t0 = wall_now();
-    RunOutput out = run_one(fn, task);
-    const double dt = wall_now() - t0;
+    if (externally_cancelled()) {
+      res.interrupted = true;
+      break;
+    }
+    double dt = 0.0;
+    RunOutput out = run_with_retries(fn, task, opts,
+#if IOSIM_THREADS
+                                     wd, 0,
+#endif
+                                     &dt);
     const bool run_failed = !out.ok;
     if (run_failed) {
       note_failure(res, task, out);
@@ -138,6 +290,7 @@ ExecResult execute_all(const std::vector<RunTask>& tasks, const RunFn& fn,
       ev.done = ++done;
       ev.total = tasks.size();
       ev.task = &task;
+      ev.output = &*res.outputs[task.run_index];
       ev.ok = !run_failed;
       ev.wall_seconds = dt;
       opts.on_progress(ev);

@@ -15,10 +15,33 @@
 // runs still record their outputs; never-claimed runs stay nullopt
 // ("skipped").
 //
+// Robustness layer (all opt-in, defaults preserve the plain executor):
+//
+//  * Watchdog — run_timeout_seconds arms a monitor thread that flips a
+//    per-worker abort flag when a run's wall clock expires. The flag is
+//    published to the running thread via current_run_abort(); cooperative
+//    RunFns (exp::execute_point wires it into the simulator's SimBudget)
+//    stop within ~kAbortCheckPeriod events and fail with a timeout
+//    diagnostic instead of wedging the pool.
+//  * Retry budget — a run whose failure is an infra failure (RunFn
+//    exception, watchdog timeout) is retried up to max_retries times with
+//    exponential backoff. Deterministic simulation failures (the RunFn
+//    returned ok=false without infra_failure) are never retried: the same
+//    seed would fail the same way.
+//  * External cancel — a SIGINT/SIGTERM handler stores to *cancel; workers
+//    stop claiming new runs, drain the runs they are on, and execute_all
+//    returns with interrupted=true so the caller can flush journals and
+//    write a partial artifact.
+//  * Sparse matrices — the task list may be any subset of a run matrix
+//    (resume re-executes only the runs missing from the journal); output
+//    slots are indexed by run_index with size max(run_index)+1.
+//
 // Built with IOSIM_THREADS=0 (or workers <= 1) the executor degrades to a
-// serial in-order loop with identical observable behavior.
+// serial in-order loop with identical observable behavior (the watchdog
+// still works: it only needs the one monitor thread).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -36,6 +59,12 @@ namespace iosim::exp {
 struct RunOutput {
   bool ok = true;
   std::string error;  // diagnostic when !ok (job abort, exception, ...)
+  /// A failure of the harness rather than of the simulated system: RunFn
+  /// exception or watchdog timeout. Infra failures are retryable;
+  /// deterministic sim failures are not.
+  bool infra_failure = false;
+  /// Executions this output took (1 = first attempt; >1 = infra retries).
+  int attempts = 1;
   std::vector<std::pair<std::string, double>> metrics;
 };
 
@@ -47,8 +76,11 @@ struct ProgressEvent {
   std::size_t done = 0;   // completions so far, including this one
   std::size_t total = 0;  // size of the run matrix
   const RunTask* task = nullptr;
+  /// The recorded output (valid for the duration of the callback) — lets
+  /// the caller journal each completion without re-deriving it.
+  const RunOutput* output = nullptr;
   bool ok = true;
-  double wall_seconds = 0.0;  // this run's wall-clock cost
+  double wall_seconds = 0.0;  // this run's wall-clock cost (across attempts)
 };
 
 struct ExecutorOptions {
@@ -56,17 +88,32 @@ struct ExecutorOptions {
   /// calling thread. Clamped to the task count.
   int workers = 1;
   bool cancel_on_failure = true;
+  /// Per-run wall-clock watchdog; 0 disables. Requires IOSIM_THREADS (the
+  /// monitor is a thread); in serial builds the value is ignored.
+  double run_timeout_seconds = 0.0;
+  /// Infra-failure retries per run (0 = fail on first attempt). The n-th
+  /// retry waits retry_backoff_seconds * 2^(n-1), capped at
+  /// retry_backoff_cap_seconds.
+  int max_retries = 0;
+  double retry_backoff_seconds = 0.5;
+  double retry_backoff_cap_seconds = 10.0;
+  /// External cancellation (signal handler flag). When it becomes true,
+  /// workers stop claiming runs and drain in-flight ones.
+  const std::atomic<bool>* cancel = nullptr;
   std::function<void(const ProgressEvent&)> on_progress;
 };
 
 struct ExecResult {
-  /// Slot per run, indexed by run_index; nullopt = never executed
-  /// (cancelled before being claimed).
+  /// Slot per run, indexed by run_index (sized to the largest run_index in
+  /// the task list + 1 — resume passes a sparse subset of the matrix);
+  /// nullopt = never executed (cancelled before being claimed, or not in
+  /// the task list).
   std::vector<std::optional<RunOutput>> outputs;
   std::size_t completed = 0;  // ran and succeeded
   std::size_t failed = 0;     // ran and reported !ok (or threw)
   std::size_t skipped = 0;    // never claimed; completed+failed+skipped = total
-  bool cancelled = false;
+  bool cancelled = false;     // cancel_on_failure tripped
+  bool interrupted = false;   // opts.cancel observed true
   /// Failure diagnostic of the failed run with the smallest run_index (the
   /// deterministic representative even if several fail concurrently).
   std::string first_error;
@@ -78,6 +125,12 @@ struct ExecResult {
 /// Run `fn` over every task. Blocks until all workers drain (or cancel).
 ExecResult execute_all(const std::vector<RunTask>& tasks, const RunFn& fn,
                        const ExecutorOptions& opts = {});
+
+/// The watchdog's cooperative-cancellation flag for the run currently
+/// executing on the calling thread, or null outside execute_all / when no
+/// watchdog is armed. RunFns hand it to sim::SimBudget::abort so a wedged
+/// simulation can be stopped from outside.
+const std::atomic<bool>* current_run_abort();
 
 /// The number of workers `--workers 0` / defaults resolve to: hardware
 /// concurrency, at least 1. (Defined even in IOSIM_THREADS=0 builds, where

@@ -1,0 +1,311 @@
+#include "exp/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "exp/artifact.hpp"
+#include "exp/json.hpp"
+#include "exp/json_parse.hpp"
+
+namespace iosim::exp {
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+std::string header_line(const JournalHeader& h) {
+  JsonWriter w;
+  w.obj_begin();
+  w.kv("journal_format", kJournalFormat);
+  w.kv("kind", "header");
+  w.kv("name", h.name);
+  w.kv("spec_fingerprint", h.spec_fingerprint);
+  w.kv("base_seed", h.base_seed);
+  w.kv("repeats", h.repeats);
+  w.kv("n_runs", h.n_runs);
+  w.obj_end();
+  return w.str() + "\n";
+}
+
+std::string record_line(const RunTask& task, const RunOutput& out,
+                        double wall_seconds) {
+  JsonWriter w;
+  w.obj_begin();
+  w.kv("kind", "run");
+  w.kv("run_index", static_cast<std::uint64_t>(task.run_index));
+  w.kv("seed", task.seed);
+  w.kv("ok", out.ok);
+  w.kv("infra", out.infra_failure);
+  w.kv("attempts", out.attempts);
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("error", out.error);
+  w.key("metrics").obj_begin();
+  for (const auto& [name, v] : out.metrics) w.kv(name, v);
+  w.obj_end();
+  w.obj_end();
+  return w.str() + "\n";
+}
+
+struct JournalRecordParsed {
+  std::size_t run_index = 0;
+  std::uint64_t seed = 0;
+  RunOutput out;
+  double wall_seconds = 0.0;
+};
+
+bool parse_run_record(const JsonValue& v, std::uint64_t n_runs,
+                      JournalRecordParsed* rec, std::string* error) {
+  const JsonValue* kind = v.find("kind");
+  if (!kind || kind->kind != JsonValue::Kind::kString || kind->str != "run") {
+    return fail(error, "record is not a run record");
+  }
+  const JsonValue* run_index = v.find("run_index");
+  const JsonValue* seed = v.find("seed");
+  const JsonValue* ok = v.find("ok");
+  const JsonValue* err = v.find("error");
+  const JsonValue* metrics = v.find("metrics");
+  if (!run_index || !seed || !ok || !err || !metrics ||
+      ok->kind != JsonValue::Kind::kBool ||
+      err->kind != JsonValue::Kind::kString ||
+      metrics->kind != JsonValue::Kind::kObject) {
+    return fail(error, "run record is missing fields");
+  }
+  const auto idx = run_index->as_u64();
+  const auto s = seed->as_u64();
+  if (!idx || !s) return fail(error, "bad run_index/seed");
+  if (*idx >= n_runs) {
+    return fail(error, "run_index " + std::to_string(*idx) + " out of range (matrix has " +
+                           std::to_string(n_runs) + " runs)");
+  }
+  rec->run_index = static_cast<std::size_t>(*idx);
+  rec->seed = *s;
+  rec->out.ok = ok->b;
+  rec->out.error = err->str;
+  if (const JsonValue* infra = v.find("infra");
+      infra && infra->kind == JsonValue::Kind::kBool) {
+    rec->out.infra_failure = infra->b;
+  }
+  if (const JsonValue* attempts = v.find("attempts");
+      attempts && attempts->kind == JsonValue::Kind::kNumber) {
+    rec->out.attempts = static_cast<int>(attempts->num);
+  }
+  if (const JsonValue* wall = v.find("wall_seconds");
+      wall && wall->kind == JsonValue::Kind::kNumber) {
+    rec->wall_seconds = wall->num;
+  }
+  for (const auto& [name, mv] : metrics->obj) {
+    if (mv.kind != JsonValue::Kind::kNumber) {
+      return fail(error, "non-numeric metric '" + name + "'");
+    }
+    rec->out.metrics.emplace_back(name, mv.num);
+  }
+  return true;
+}
+
+bool parse_header(const JsonValue& v, JournalHeader* h, std::string* error) {
+  const JsonValue* fmt = v.find("journal_format");
+  const JsonValue* kind = v.find("kind");
+  if (!fmt || !fmt->as_u64() || !kind || kind->kind != JsonValue::Kind::kString ||
+      kind->str != "header") {
+    return fail(error, "first journal line is not a header");
+  }
+  if (*fmt->as_u64() != static_cast<std::uint64_t>(kJournalFormat)) {
+    return fail(error, "journal_format " + fmt->str + " unsupported (want " +
+                           std::to_string(kJournalFormat) + ")");
+  }
+  const JsonValue* name = v.find("name");
+  const JsonValue* fp = v.find("spec_fingerprint");
+  const JsonValue* base_seed = v.find("base_seed");
+  const JsonValue* repeats = v.find("repeats");
+  const JsonValue* n_runs = v.find("n_runs");
+  if (!name || name->kind != JsonValue::Kind::kString || !fp || !fp->as_u64() ||
+      !base_seed || !base_seed->as_u64() || !repeats || !repeats->as_u64() ||
+      !n_runs || !n_runs->as_u64()) {
+    return fail(error, "journal header is missing fields");
+  }
+  h->name = name->str;
+  h->spec_fingerprint = *fp->as_u64();
+  h->base_seed = *base_seed->as_u64();
+  h->repeats = static_cast<int>(*repeats->as_u64());
+  h->n_runs = *n_runs->as_u64();
+  return true;
+}
+
+}  // namespace
+
+JournalHeader journal_header_for(const ScenarioSpec& spec) {
+  JournalHeader h;
+  h.name = spec.name;
+  h.spec_fingerprint = spec.fingerprint();
+  h.base_seed = spec.base_seed;
+  h.repeats = spec.repeats;
+  h.n_runs = spec.n_runs();
+  return h;
+}
+
+std::optional<RunJournal> RunJournal::open(const std::string& path,
+                                           const JournalHeader& header,
+                                           std::string* error) {
+  RunJournal j;
+  j.path_ = path;
+  j.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (j.fd_ < 0) {
+    fail(error, "cannot open journal " + path + ": " + std::strerror(errno));
+    return std::nullopt;
+  }
+  struct ::stat st{};
+  if (::fstat(j.fd_, &st) != 0) {
+    fail(error, "fstat failed for " + path + ": " + std::strerror(errno));
+    return std::nullopt;
+  }
+  if (st.st_size == 0 && !j.write_line(header_line(header), error)) {
+    return std::nullopt;
+  }
+  return j;
+}
+
+bool RunJournal::append(const RunTask& task, const RunOutput& out,
+                        double wall_seconds, std::string* error) {
+  if (fd_ < 0) return fail(error, "journal is not open");
+  return write_line(record_line(task, out, wall_seconds), error);
+}
+
+bool RunJournal::write_line(const std::string& line, std::string* error) {
+  const char* p = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(error, "journal write failed for " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return fail(error,
+                "journal fsync failed for " + path_ + ": " + std::strerror(errno));
+  }
+  return true;
+}
+
+void RunJournal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<JournalReplay> read_journal(const std::string& path,
+                                          const JournalHeader& expect,
+                                          const std::vector<RunTask>& tasks,
+                                          std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, "cannot read journal " + path);
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  if (text.empty()) {
+    fail(error, "journal " + path + " is empty");
+    return std::nullopt;
+  }
+  if (tasks.size() != expect.n_runs) {
+    fail(error, "internal: task list does not cover the full matrix");
+    return std::nullopt;
+  }
+
+  JournalReplay replay;
+  replay.outputs.resize(expect.n_runs);
+  bool saw_header = false;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    const bool has_newline = nl != std::string::npos;
+    const std::string_view line(text.data() + pos,
+                                (has_newline ? nl : text.size()) - pos);
+    pos = has_newline ? nl + 1 : text.size();
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::string perr;
+    const auto v = json_parse(line, &perr);
+    const bool is_last = pos >= text.size();
+    if (!v) {
+      if (is_last) {
+        // The writer died mid-line; the record was not acknowledged.
+        replay.truncated_tail = true;
+        break;
+      }
+      fail(error,
+           "journal " + path + " line " + std::to_string(line_no) + ": " + perr);
+      return std::nullopt;
+    }
+    if (!has_newline) {
+      // A complete JSON document but no trailing newline: the fsync'd '\n'
+      // never landed, so treat it as the torn tail and re-execute the run.
+      replay.truncated_tail = true;
+      break;
+    }
+
+    if (line_no == 1) {
+      std::string herr;
+      if (!parse_header(*v, &replay.header, &herr)) {
+        fail(error, "journal " + path + ": " + herr);
+        return std::nullopt;
+      }
+      if (!(replay.header == expect)) {
+        fail(error, "journal " + path +
+                        " belongs to a different sweep (spec, seed, or matrix "
+                        "changed) — delete it or rerun without --resume");
+        return std::nullopt;
+      }
+      saw_header = true;
+      continue;
+    }
+
+    JournalRecordParsed rec;
+    std::string rerr;
+    if (!parse_run_record(*v, expect.n_runs, &rec, &rerr)) {
+      fail(error,
+           "journal " + path + " line " + std::to_string(line_no) + ": " + rerr);
+      return std::nullopt;
+    }
+    if (rec.seed != tasks[rec.run_index].seed) {
+      fail(error, "journal " + path + " line " + std::to_string(line_no) +
+                      ": seed mismatch for run " + std::to_string(rec.run_index) +
+                      " (journal was produced by a different base_seed)");
+      return std::nullopt;
+    }
+    if (rec.out.ok) {
+      if (!replay.outputs[rec.run_index].has_value()) ++replay.n_ok;
+      replay.outputs[rec.run_index] = std::move(rec.out);
+    } else {
+      ++replay.n_failed;  // slot stays empty: the run re-executes on resume
+    }
+  }
+
+  if (!saw_header) {
+    // Only a torn first line (or nothing) made it to disk: nothing usable,
+    // but also nothing contradictory — resume simply re-executes everything.
+    replay.header = expect;
+    replay.truncated_tail = true;
+  }
+  return replay;
+}
+
+}  // namespace iosim::exp

@@ -15,7 +15,23 @@ cluster::ClusterConfig cluster_of(const ScenarioPoint& pt, std::uint64_t seed) {
   cfg.pair = pt.pair;
   cfg.faults = pt.faults;
   cfg.seed = seed;
+  // Progress sentinel: spec budgets bound a livelocked event loop
+  // deterministically, and the executor's watchdog (when armed) reaches the
+  // loop through the per-run abort flag.
+  cfg.budget.max_events = pt.max_events;
+  if (pt.max_sim_seconds > 0) {
+    cfg.budget.max_sim_time = sim::Time::from_sec_f(pt.max_sim_seconds);
+  }
+  cfg.budget.abort = current_run_abort();
   return cfg;
+}
+
+/// Failure bookkeeping shared by both modes: a watchdog abort is an infra
+/// failure (retryable); budget trips and job aborts are deterministic.
+void note_run_failure(RunOutput* out, const cluster::RunResult& r) {
+  out->ok = false;
+  out->error = r.failure;
+  out->infra_failure = (r.stop == sim::StopReason::kAborted);
 }
 
 }  // namespace
@@ -33,10 +49,7 @@ RunOutput execute_point(const ScenarioPoint& pt, std::uint64_t seed) {
 
   if (pt.mode == RunMode::kRun) {
     const cluster::RunResult r = cluster::run_job(cfg, jc);
-    if (r.failed) {
-      out.ok = false;
-      out.error = r.failure;
-    }
+    if (r.failed) note_run_failure(&out, r);
     out.metrics = {{"seconds", r.seconds},
                    {"ph1_seconds", r.ph1_seconds},
                    {"ph2_seconds", r.ph2_seconds},
@@ -52,10 +65,7 @@ RunOutput execute_point(const ScenarioPoint& pt, std::uint64_t seed) {
   opts.seeds_per_eval = 1;
   core::MetaScheduler ms(cfg, jc, opts);
   const core::MetaResult r = ms.optimize();
-  if (r.adaptive_run.failed) {
-    out.ok = false;
-    out.error = r.adaptive_run.failure;
-  }
+  if (r.adaptive_run.failed) note_run_failure(&out, r.adaptive_run);
   out.metrics = {{"adaptive_seconds", r.adaptive_seconds},
                  {"default_seconds", r.default_seconds},
                  {"best_single_seconds", r.best_single_seconds},

@@ -1,7 +1,10 @@
 #include "exp/scenario.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+
+#include "exp/artifact.hpp"
 
 #include "sim/random.hpp"
 #include "workloads/benchmarks.hpp"
@@ -54,6 +57,30 @@ bool parse_pos_int(std::string_view v, int* out) {
   if (!parse_u64(v, &x) || x == 0 || x > 1'000'000) return false;
   *out = static_cast<int>(x);
   return true;
+}
+
+/// Non-negative decimal seconds (0 disables the knob it configures).
+bool parse_seconds(std::string_view v, double* out) {
+  if (v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::string s(v);
+  const double x = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (!(x >= 0.0) || x > 1e9) return false;  // also rejects NaN
+  *out = x;
+  return true;
+}
+
+/// Shortest round-trip rendering for canonical spec text (same discipline
+/// as JsonWriter::format_double, so to_string()->parse() is lossless).
+std::string seconds_to_string(double v) {
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
 }
 
 std::optional<iosched::SchedulerPair> parse_pair_code(std::string_view code) {
@@ -175,6 +202,30 @@ bool ScenarioSpec::apply(std::string_view key, std::string_view value,
     }
     return true;
   }
+  if (key == "timeout") {
+    double s;
+    if (!parse_seconds(value, &s)) {
+      return fail("bad timeout '" + std::string(value) + "' (seconds, >= 0)");
+    }
+    timeout_seconds = s;
+    return true;
+  }
+  if (key == "max_events") {
+    std::uint64_t x;
+    if (!parse_u64(value, &x)) {
+      return fail("bad max_events '" + std::string(value) + "'");
+    }
+    max_events = x;
+    return true;
+  }
+  if (key == "max_sim_seconds") {
+    double s;
+    if (!parse_seconds(value, &s)) {
+      return fail("bad max_sim_seconds '" + std::string(value) + "' (seconds, >= 0)");
+    }
+    max_sim_seconds = s;
+    return true;
+  }
   if (key == "fault") {
     // Alternatives are `|`-separated because the fault-plan grammar itself
     // uses `,` and `;`.
@@ -255,6 +306,8 @@ std::vector<ScenarioPoint> ScenarioSpec::expand() const {
               pt.mb = m;
               pt.faults = f.first;
               pt.fault_text = f.second;
+              pt.max_events = max_events;
+              pt.max_sim_seconds = max_sim_seconds;
               out.push_back(std::move(pt));
             }
           }
@@ -302,7 +355,20 @@ std::string ScenarioSpec::to_string() const {
     s += faults[i].second.empty() ? "none" : faults[i].second;
   }
   s += "\n";
+  s += "max_events=" + std::to_string(max_events) + "\n";
+  s += "max_sim_seconds=" + seconds_to_string(max_sim_seconds) + "\n";
+  s += "timeout=" + seconds_to_string(timeout_seconds) + "\n";
   return s;
+}
+
+std::uint64_t ScenarioSpec::fingerprint() const {
+  // Canonical text minus the wall-clock-only trailing line. to_string()
+  // deliberately renders `timeout=` last so the result-determining prefix
+  // is a clean cut.
+  std::string s = to_string();
+  const auto pos = s.rfind("timeout=");
+  if (pos != std::string::npos) s.resize(pos);
+  return fnv1a64(s);
 }
 
 std::vector<RunTask> build_run_matrix(const ScenarioSpec& spec) {

@@ -26,6 +26,15 @@
 //   fault=none|SPEC       fault-plan alternatives separated by `|` (the
 //                         plan grammar itself uses `,` and `;`); `none` is
 //                         the fault-free cluster
+//   timeout=SECONDS       per-run wall-clock watchdog (0 = off, default).
+//                         Wall-clock only: it never changes simulated
+//                         results, so it is excluded from the resume
+//                         fingerprint and may differ between the original
+//                         sweep and its --resume.
+//   max_events=N          event-loop budget per simulation (0 = off); a
+//                         livelocked run fails deterministically once it
+//                         executes N events
+//   max_sim_seconds=S     simulated-time budget per simulation (0 = off)
 #pragma once
 
 #include <cstdint>
@@ -56,6 +65,10 @@ struct ScenarioPoint {
   std::int64_t mb = 512;
   fault::FaultPlan faults;
   std::string fault_text;  // original spec text ("" = fault-free)
+  /// Event-loop budgets copied from the spec (0 = unlimited); the runner
+  /// installs them as the simulation's SimBudget.
+  std::uint64_t max_events = 0;
+  double max_sim_seconds = 0.0;
 
   /// Stable human id of the point: "sort h4 v4 512MB (c,c)" plus the fault
   /// text when present. Unique within one spec's expansion.
@@ -75,6 +88,14 @@ struct ScenarioSpec {
   /// Parsed fault alternatives, paired with their original text. One entry
   /// with an empty plan = the fault-free default.
   std::vector<std::pair<fault::FaultPlan, std::string>> faults{{{}, ""}};
+  /// Per-run wall-clock watchdog in seconds (0 = disabled). Wall-clock
+  /// only — never affects simulated results.
+  double timeout_seconds = 0.0;
+  /// Per-simulation progress sentinel (0 = unlimited); these DO affect
+  /// results (a tripped budget fails the run deterministically), so they
+  /// participate in the resume fingerprint.
+  std::uint64_t max_events = 0;
+  double max_sim_seconds = 0.0;
 
   /// Parse a whole spec file. All-or-nothing: any malformed line fails the
   /// parse and `error` (when non-null) gets a one-line diagnostic with the
@@ -99,6 +120,13 @@ struct ScenarioSpec {
 
   /// Canonical spec text (round-trips through parse).
   std::string to_string() const;
+
+  /// FNV-1a hash of the canonical *result-determining* spec text — the
+  /// identity a run journal records. Everything that could change simulated
+  /// outputs participates (name, mode, seeds, repeats, axes, fault plans,
+  /// event/sim-time budgets); wall-clock-only knobs (timeout) do not, so a
+  /// resume may raise the watchdog without invalidating the journal.
+  std::uint64_t fingerprint() const;
 };
 
 /// One scheduled simulation of the run matrix.

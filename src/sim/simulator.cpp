@@ -45,23 +45,61 @@ bool Simulator::step() {
   return false;
 }
 
+const Simulator::Event* Simulator::peek() {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    const auto it = cancelled_.find(top.id);
+    if (it == cancelled_.end()) return &top;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+  return nullptr;
+}
+
 void Simulator::run() {
-  while (step()) {
+  stop_reason_ = StopReason::kDrained;
+  if (budget_.max_events == 0 && budget_.max_sim_time == Time::zero() &&
+      budget_.abort == nullptr) {
+    // Unbudgeted (the overwhelmingly common case): keep the drain loop free
+    // of per-event budget branches.
+    while (step()) {
+    }
+    return;
+  }
+  while (const Event* top = peek()) {
+    if (budget_.max_events != 0 && executed_ >= budget_.max_events) {
+      stop_reason_ = StopReason::kEventBudget;
+      return;
+    }
+    if (budget_.max_sim_time != Time::zero() && top->t > budget_.max_sim_time) {
+      stop_reason_ = StopReason::kTimeBudget;
+      return;
+    }
+    if (budget_.abort != nullptr && executed_ % kAbortCheckPeriod == 0 &&
+        budget_.abort->load(std::memory_order_relaxed)) {
+      stop_reason_ = StopReason::kAborted;
+      return;
+    }
+    step();
   }
 }
 
 void Simulator::run_until(Time deadline) {
-  while (!heap_.empty()) {
-    const Event& top = heap_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
-      heap_.pop();
-      continue;
-    }
-    if (top.t > deadline) break;
+  while (const Event* top = peek()) {
+    if (top->t > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kDrained: return "drained";
+    case StopReason::kEventBudget: return "event-budget";
+    case StopReason::kTimeBudget: return "sim-time-budget";
+    case StopReason::kAborted: return "aborted";
+  }
+  return "?";
 }
 
 }  // namespace iosim::sim

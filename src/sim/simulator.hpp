@@ -7,6 +7,7 @@
 // replaced with (three seeds, averaged).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -20,6 +21,29 @@ namespace iosim::sim {
 /// Handle to a scheduled event; lets the scheduler of the event cancel it.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
+
+/// Why the last run() returned.
+enum class StopReason : std::uint8_t {
+  kDrained = 0,      // event queue exhausted (the normal end of a simulation)
+  kEventBudget = 1,  // executed() reached SimBudget::max_events
+  kTimeBudget = 2,   // the next event lies beyond SimBudget::max_sim_time
+  kAborted = 3,      // SimBudget::abort observed true (external watchdog)
+};
+
+const char* to_string(StopReason r);
+
+/// Progress sentinel for the event loop. A livelocked simulation (events
+/// forever rescheduling each other without the job finishing) would
+/// otherwise spin run() indefinitely; the budget bounds it deterministically
+/// — the same seed trips the same budget at the same event count. The
+/// `abort` flag is the one channel through which wall-clock watchdogs reach
+/// the loop; it is polled every kAbortCheckPeriod events so the owning
+/// thread can cooperatively stop a wedged run.
+struct SimBudget {
+  std::uint64_t max_events = 0;              // 0 = unlimited
+  Time max_sim_time = Time::zero();          // zero() = unlimited
+  const std::atomic<bool>* abort = nullptr;  // null = never externally aborted
+};
 
 /// Single-threaded discrete-event simulator.
 ///
@@ -54,8 +78,19 @@ class Simulator {
   /// exhausted (skipping cancelled entries).
   bool step();
 
-  /// Run until the event queue is empty.
+  /// Run until the event queue is empty — or, with a budget installed, until
+  /// the budget is exhausted or the abort flag fires. stop_reason() reports
+  /// which; a budget stop leaves the queue intact.
   void run();
+
+  /// Install (or clear, with a default-constructed budget) the progress
+  /// sentinel consulted by run().
+  void set_budget(const SimBudget& b) { budget_ = b; }
+  const SimBudget& budget() const { return budget_; }
+
+  /// Why the most recent run() returned. kDrained until run() is first
+  /// called with a budget that trips.
+  StopReason stop_reason() const { return stop_reason_; }
 
   /// Run events with time <= `deadline`; afterwards now() == min(deadline,
   /// time the queue went empty). Events exactly at `deadline` do run.
@@ -83,10 +118,21 @@ class Simulator {
     }
   };
 
+  /// How many executed events lie between two abort-flag polls. The flag is
+  /// a relaxed atomic load; polling every event would still be cheap, but
+  /// watchdog latency in the hundreds of microseconds is plenty.
+  static constexpr std::uint64_t kAbortCheckPeriod = 256;
+
+  /// Drop cancelled entries off the top of the heap; returns the next live
+  /// event, or null when the queue is (effectively) empty.
+  const Event* peek();
+
   Time now_;
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  SimBudget budget_;
+  StopReason stop_reason_ = StopReason::kDrained;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<EventId> cancelled_;
 };

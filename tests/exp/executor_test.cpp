@@ -146,6 +146,198 @@ TEST(Executor, ProgressEventsCountEveryCompletion) {
 
 TEST(Executor, DefaultWorkersIsAtLeastOne) { EXPECT_GE(default_workers(), 1); }
 
+// --- Robustness layer -----------------------------------------------------
+
+TEST(ExecutorRobustness, InfraFailureRetriedUntilSuccess) {
+  const auto tasks = synthetic_tasks(4);
+  ExecutorOptions opts;
+  opts.max_retries = 3;
+  opts.retry_backoff_seconds = 0.0;  // no sleeping in tests
+  std::atomic<int> attempts_of_2{0};
+  const auto res = execute_all(
+      tasks,
+      [&](const RunTask& t) {
+        RunOutput o;
+        if (t.run_index == 2 && attempts_of_2.fetch_add(1) < 2) {
+          o.ok = false;
+          o.infra_failure = true;  // e.g. a watchdog timeout
+          o.error = "flaky";
+        }
+        return o;
+      },
+      opts);
+  EXPECT_TRUE(res.all_ok()) << res.first_error;
+  EXPECT_EQ(attempts_of_2.load(), 3);  // two infra failures, then success
+  ASSERT_TRUE(res.outputs[2].has_value());
+  EXPECT_EQ(res.outputs[2]->attempts, 3);
+  EXPECT_EQ(res.outputs[1]->attempts, 1);
+}
+
+TEST(ExecutorRobustness, DeterministicFailureNeverRetried) {
+  // A sim failure (ok=false without infra_failure) would fail identically on
+  // the same seed — the retry budget must not touch it.
+  const auto tasks = synthetic_tasks(3);
+  ExecutorOptions opts;
+  opts.max_retries = 5;
+  opts.retry_backoff_seconds = 0.0;
+  std::atomic<int> calls{0};
+  const auto res = execute_all(
+      tasks,
+      [&](const RunTask& t) {
+        ++calls;
+        RunOutput o;
+        if (t.run_index == 1) {
+          o.ok = false;
+          o.error = "job aborted";
+        }
+        return o;
+      },
+      opts);
+  EXPECT_FALSE(res.all_ok());
+  EXPECT_EQ(calls.load(), 2);  // run 0 ok, run 1 fails once, run 2 skipped
+  ASSERT_TRUE(res.outputs[1].has_value());
+  EXPECT_EQ(res.outputs[1]->attempts, 1);
+  EXPECT_FALSE(res.outputs[1]->infra_failure);
+}
+
+TEST(ExecutorRobustness, ExceptionIsInfraAndRetried) {
+  const auto tasks = synthetic_tasks(1);
+  ExecutorOptions opts;
+  opts.max_retries = 1;
+  opts.retry_backoff_seconds = 0.0;
+  std::atomic<int> calls{0};
+  const auto res = execute_all(
+      tasks,
+      [&](const RunTask&) -> RunOutput {
+        if (calls.fetch_add(1) == 0) throw std::runtime_error("transient");
+        return {};
+      },
+      opts);
+  EXPECT_TRUE(res.all_ok());
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(res.outputs[0]->attempts, 2);
+}
+
+TEST(ExecutorRobustness, RetryBudgetExhaustionKeepsInfraFlag) {
+  const auto tasks = synthetic_tasks(1);
+  ExecutorOptions opts;
+  opts.max_retries = 2;
+  opts.retry_backoff_seconds = 0.0;
+  const auto res = execute_all(
+      tasks,
+      [](const RunTask&) -> RunOutput { throw std::runtime_error("always"); },
+      opts);
+  EXPECT_FALSE(res.all_ok());
+  ASSERT_TRUE(res.outputs[0].has_value());
+  EXPECT_EQ(res.outputs[0]->attempts, 3);  // initial try + 2 retries
+  EXPECT_TRUE(res.outputs[0]->infra_failure);
+}
+
+TEST(ExecutorRobustness, ExternalCancelBeforeStartSkipsEverything) {
+  const auto tasks = synthetic_tasks(5);
+  std::atomic<bool> cancel{true};
+  ExecutorOptions opts;
+  opts.cancel = &cancel;
+  std::size_t calls = 0;
+  const auto res = execute_all(tasks, [&](const RunTask&) {
+    ++calls;
+    return RunOutput{};
+  }, opts);
+  EXPECT_TRUE(res.interrupted);
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(res.skipped, 5u);
+}
+
+TEST(ExecutorRobustness, ExternalCancelMidSweepDrainsInFlight) {
+  const auto tasks = synthetic_tasks(10);
+  std::atomic<bool> cancel{false};
+  ExecutorOptions opts;
+  opts.cancel = &cancel;
+  const auto res = execute_all(tasks, [&](const RunTask& t) {
+    if (t.run_index == 2) cancel.store(true);  // "signal" arrives mid-run
+    return RunOutput{};
+  }, opts);
+  EXPECT_TRUE(res.interrupted);
+  // The in-flight run (index 2) completed and was recorded; later runs were
+  // never claimed.
+  EXPECT_EQ(res.completed, 3u);
+  EXPECT_EQ(res.skipped, 7u);
+  ASSERT_TRUE(res.outputs[2].has_value());
+  EXPECT_FALSE(res.outputs[3].has_value());
+}
+
+TEST(ExecutorRobustness, SparseTaskListSizesSlotsToMaxRunIndex) {
+  // Resume passes only the runs missing from the journal; slots must still
+  // be addressable by the original run_index.
+  const auto dense = synthetic_tasks(6);
+  std::vector<RunTask> sparse{dense[1], dense[4]};
+  const auto res = execute_all(sparse, [](const RunTask& t) {
+    RunOutput o;
+    o.metrics.emplace_back("idx", static_cast<double>(t.run_index));
+    return o;
+  });
+  EXPECT_TRUE(res.all_ok());
+  ASSERT_EQ(res.outputs.size(), 5u);  // max run_index 4, +1
+  EXPECT_FALSE(res.outputs[0].has_value());
+  ASSERT_TRUE(res.outputs[1].has_value());
+  EXPECT_FALSE(res.outputs[2].has_value());
+  ASSERT_TRUE(res.outputs[4].has_value());
+  EXPECT_DOUBLE_EQ(res.outputs[4]->metrics[0].second, 4.0);
+}
+
+TEST(ExecutorRobustness, EmptyTaskListIsANoOp) {
+  const auto res = execute_all({}, [](const RunTask&) { return RunOutput{}; });
+  EXPECT_TRUE(res.all_ok());
+  EXPECT_TRUE(res.outputs.empty());
+}
+
+#if IOSIM_THREADS
+TEST(ExecutorRobustness, WatchdogTimesOutCooperativeRun) {
+  // A "livelocked" RunFn that spins on the published abort flag, like the
+  // simulator's event loop does through SimBudget::abort. The watchdog must
+  // fire within its budget, classify the failure as infra, and exhaust the
+  // retry budget instead of wedging the pool.
+  const auto tasks = synthetic_tasks(1);
+  ExecutorOptions opts;
+  opts.run_timeout_seconds = 0.05;
+  opts.max_retries = 1;
+  opts.retry_backoff_seconds = 0.0;
+  std::atomic<int> calls{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = execute_all(
+      tasks,
+      [&](const RunTask&) {
+        ++calls;
+        const std::atomic<bool>* abort = current_run_abort();
+        EXPECT_NE(abort, nullptr);  // watchdog armed for this run
+        while (abort != nullptr && !abort->load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        RunOutput o;
+        o.ok = false;
+        o.error = "simulation stopped early (aborted)";
+        return o;
+      },
+      opts);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_FALSE(res.all_ok());
+  EXPECT_EQ(calls.load(), 2);  // timeout is infra: one retry happened
+  ASSERT_TRUE(res.outputs[0].has_value());
+  EXPECT_TRUE(res.outputs[0]->infra_failure);
+  EXPECT_LT(wall, 10.0);  // far below "forever": the pool did not wedge
+}
+
+TEST(ExecutorRobustness, NoWatchdogMeansNoAbortFlag) {
+  const auto tasks = synthetic_tasks(1);
+  const auto res = execute_all(tasks, [](const RunTask&) {
+    EXPECT_EQ(current_run_abort(), nullptr);
+    return RunOutput{};
+  });
+  EXPECT_TRUE(res.all_ok());
+}
+#endif  // IOSIM_THREADS
+
 // --- Real-simulation integration -----------------------------------------
 
 const char* kTinySpec =

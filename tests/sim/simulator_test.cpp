@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <functional>
 #include <vector>
 
 namespace iosim::sim {
@@ -159,6 +161,78 @@ TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
   });
   s.run();
   EXPECT_EQ(fired, 7_ms);
+}
+
+// --- Progress sentinel (SimBudget) ----------------------------------------
+
+TEST(SimulatorBudget, DefaultRunDrains) {
+  Simulator s;
+  s.at(1_ms, [] {});
+  s.run();
+  EXPECT_EQ(s.stop_reason(), StopReason::kDrained);
+}
+
+TEST(SimulatorBudget, EventBudgetStopsLivelock) {
+  // A self-rescheduling zero-delay event never drains; the event budget must
+  // terminate it deterministically.
+  Simulator s;
+  SimBudget b;
+  b.max_events = 1000;
+  s.set_budget(b);
+  std::function<void()> spin = [&] { s.after(Time::zero(), spin); };
+  s.after(Time::zero(), spin);
+  s.run();
+  EXPECT_EQ(s.stop_reason(), StopReason::kEventBudget);
+  EXPECT_EQ(s.executed(), 1000u);
+}
+
+TEST(SimulatorBudget, SimTimeBudgetStopsBeforeEvent) {
+  Simulator s;
+  SimBudget b;
+  b.max_sim_time = 20_ms;
+  s.set_budget(b);
+  bool late_ran = false;
+  s.at(10_ms, [] {});
+  s.at(30_ms, [&] { late_ran = true; });
+  s.run();
+  EXPECT_EQ(s.stop_reason(), StopReason::kTimeBudget);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(s.executed(), 1u);  // the 10ms event ran; the 30ms one did not
+}
+
+TEST(SimulatorBudget, EventAtDeadlineStillRuns) {
+  Simulator s;
+  SimBudget b;
+  b.max_sim_time = 20_ms;
+  s.set_budget(b);
+  bool ran = false;
+  s.at(20_ms, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);  // t == deadline is inside the budget
+  EXPECT_EQ(s.stop_reason(), StopReason::kDrained);
+}
+
+TEST(SimulatorBudget, AbortFlagStopsRun) {
+  // The executor watchdog's cooperative flag: flipped before run(), the loop
+  // must stop within its polling period instead of draining.
+  Simulator s;
+  std::atomic<bool> abort{false};
+  SimBudget b;
+  b.abort = &abort;
+  s.set_budget(b);
+  std::function<void()> spin = [&] { s.after(1_ms, spin); };
+  s.after(1_ms, spin);
+  abort.store(true);
+  s.run();
+  EXPECT_EQ(s.stop_reason(), StopReason::kAborted);
+  EXPECT_LE(s.executed(), 256u);  // at most one polling period of events
+}
+
+TEST(SimulatorBudget, StopReasonNames) {
+  EXPECT_STREQ(to_string(StopReason::kDrained), "drained");
+  EXPECT_STREQ(to_string(StopReason::kEventBudget), "event-budget");
+  EXPECT_STREQ(to_string(StopReason::kTimeBudget), "sim-time-budget");
+  EXPECT_STREQ(to_string(StopReason::kAborted), "aborted");
 }
 
 }  // namespace

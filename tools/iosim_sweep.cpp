@@ -1,8 +1,11 @@
-// iosim-sweep — run a declarative scenario sweep across all cores.
+// iosim-sweep — run a declarative scenario sweep across all cores,
+// crash-safely.
 //
 //   iosim-sweep --spec bench/specs/fig7a.spec --workers $(nproc)
 //   iosim-sweep --spec bench/specs/smoke.spec --out BENCH_smoke.json
 //   iosim-sweep --spec bench/specs/fig2.spec --set mb=64 --set repeats=1 --list
+//   iosim-sweep --spec bench/specs/fig7a.spec --resume          # after a crash
+//   iosim-sweep --spec bench/specs/fig7a.spec --dry-run         # CI pre-flight
 //
 // Reads a scenario spec (see src/exp/scenario.hpp for the grammar), expands
 // the axis cross product into a deterministic run matrix, fans the runs out
@@ -12,8 +15,29 @@
 // for any --workers value: per-run seeds depend only on (base_seed,
 // run_index) and aggregation walks runs in matrix order.
 //
-// Exit codes: 0 success, 1 a run failed (the sweep cancels on the first
-// failure), 2 bad usage / malformed spec.
+// Robustness:
+//  * Every finished run is appended (fsynced) to `<out>.journal` — a JSONL
+//    run journal. After a SIGKILL / OOM / power cut, `--resume` replays the
+//    journal, re-executes only the missing runs, and writes a BENCH JSON
+//    byte-identical to an uninterrupted sweep. The journal is deleted once
+//    the BENCH file is safely on disk.
+//  * `--timeout S` (or `timeout=` in the spec) arms a per-run wall-clock
+//    watchdog; a stuck run fails with a diagnostic instead of wedging the
+//    pool. Infra failures (timeouts, worker exceptions) are retried with
+//    exponential backoff up to --retries; deterministic simulation
+//    failures never are.
+//  * SIGINT/SIGTERM cancel gracefully: dispatch stops, in-flight runs
+//    drain, the journal is already flushed, and a `"partial": true` BENCH
+//    artifact is written. A second signal force-quits.
+//  * All artifacts are written atomically (tmp + fsync + rename) and every
+//    write failure (disk-full, unwritable path) is a hard error.
+//
+// Exit codes: 0 success, 1 a run failed or an artifact could not be written,
+// 2 bad usage / malformed spec / unusable journal, 130 cancelled by signal.
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +48,9 @@
 #include <vector>
 
 #include "exp/aggregate.hpp"
+#include "exp/artifact.hpp"
 #include "exp/executor.hpp"
+#include "exp/journal.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 
@@ -32,20 +58,37 @@ using namespace iosim;
 
 namespace {
 
+/// Signal-flagged cancellation. The first SIGINT/SIGTERM asks the executor
+/// to stop dispatching and drain; a second one force-quits with the same
+/// exit code (so a wedged non-cooperative run can never trap the user).
+std::atomic<bool> g_cancel{false};
+
+extern "C" void handle_cancel_signal(int) {
+  if (g_cancel.exchange(true)) _exit(130);
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: iosim-sweep --spec FILE [--workers N] [--out PATH] [--set key=value]...\n"
-      "                   [--repeats N] [--base-seed N] [--list] [--csv] [--quiet]\n"
+      "                   [--repeats N] [--base-seed N] [--timeout S] [--retries N]\n"
+      "                   [--resume] [--dry-run] [--list] [--csv] [--quiet]\n"
       "  --spec FILE      scenario spec (axes: pair, workload, hosts, vms, mb, fault)\n"
       "  --workers N      worker threads (default: all cores; 1 = serial)\n"
       "  --out PATH       BENCH JSON output (default: BENCH_<name>.json)\n"
       "  --set key=value  override a spec line (repeatable, e.g. --set mb=64)\n"
       "  --repeats N      shorthand for --set repeats=N\n"
       "  --base-seed N    shorthand for --set base_seed=N\n"
+      "  --timeout S      shorthand for --set timeout=S (per-run watchdog, 0 = off)\n"
+      "  --retries N      infra-failure retries per run (default 2; sim failures\n"
+      "                   are deterministic and never retried)\n"
+      "  --resume         replay <out>.journal, re-execute only missing runs\n"
+      "  --dry-run        validate spec + fault plans, print the run matrix, exit\n"
       "  --list           print the expanded run matrix and exit\n"
       "  --csv            print the aggregate table as CSV\n"
-      "  --quiet          suppress per-run progress lines\n");
+      "  --quiet          suppress per-run progress lines\n"
+      "exit codes: 0 ok, 1 run/write failure, 2 usage/spec/journal error,\n"
+      "            130 cancelled by SIGINT/SIGTERM (partial BENCH written)\n");
   return 2;
 }
 
@@ -54,6 +97,9 @@ struct Options {
   std::string out_path;
   std::vector<std::pair<std::string, std::string>> sets;
   int workers = 0;  // 0 = default_workers()
+  int retries = 2;
+  bool resume = false;
+  bool dry_run = false;
   bool list = false;
   bool csv = false;
   bool quiet = false;
@@ -105,6 +151,22 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = need_value("--base-seed");
       if (!v) return std::nullopt;
       o.sets.emplace_back("base_seed", v);
+    } else if (s == "--timeout") {
+      const char* v = need_value("--timeout");
+      if (!v) return std::nullopt;
+      o.sets.emplace_back("timeout", v);
+    } else if (s == "--retries") {
+      const char* v = need_value("--retries");
+      if (!v) return std::nullopt;
+      o.retries = std::atoi(v);
+      if (o.retries < 0) {
+        std::fprintf(stderr, "iosim-sweep: --retries must be >= 0\n");
+        return std::nullopt;
+      }
+    } else if (s == "--resume") {
+      o.resume = true;
+    } else if (s == "--dry-run") {
+      o.dry_run = true;
     } else if (s == "--list") {
       o.list = true;
     } else if (s == "--csv") {
@@ -126,6 +188,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
 double wall_now() {
   using clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
 }
 
 }  // namespace
@@ -159,6 +225,9 @@ int main(int argc, char** argv) {
   const auto points = spec->expand();
   const auto tasks = exp::build_run_matrix(*spec);
   const int workers = opt->workers > 0 ? opt->workers : exp::default_workers();
+  const std::string out_path =
+      !opt->out_path.empty() ? opt->out_path : "BENCH_" + spec->name + ".json";
+  const std::string journal_path = out_path + ".journal";
 
   if (opt->list) {
     std::printf("sweep '%s' (mode=%s): %zu points x %d repeats = %zu runs\n",
@@ -172,43 +241,180 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::fprintf(stderr, "sweep '%s': %zu points x %d repeats = %zu runs, %d worker%s\n",
-               spec->name.c_str(), points.size(), spec->repeats, tasks.size(), workers,
-               workers == 1 ? "" : "s");
+  if (opt->dry_run) {
+    // Pre-flight: by this point the spec parsed, every fault-plan
+    // alternative parsed, and every workload resolved. Print what a real
+    // invocation would execute and where it would write, without running.
+    std::printf("dry-run: spec '%s' OK\n", opt->spec_path.c_str());
+    std::printf("  sweep '%s' (mode=%s): %zu points x %d repeats = %zu runs, "
+                "%d worker%s\n",
+                spec->name.c_str(), exp::to_string(spec->mode), points.size(),
+                spec->repeats, tasks.size(), workers, workers == 1 ? "" : "s");
+    std::printf("  base_seed=%llu fingerprint=%016llx\n",
+                static_cast<unsigned long long>(spec->base_seed),
+                static_cast<unsigned long long>(spec->fingerprint()));
+    if (spec->timeout_seconds > 0) {
+      std::printf("  watchdog: %.3gs per run, %d retr%s on infra failure\n",
+                  spec->timeout_seconds, opt->retries,
+                  opt->retries == 1 ? "y" : "ies");
+    }
+    if (spec->max_events > 0 || spec->max_sim_seconds > 0) {
+      std::printf("  sim budget: max_events=%llu max_sim_seconds=%.6g\n",
+                  static_cast<unsigned long long>(spec->max_events),
+                  spec->max_sim_seconds);
+    }
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      std::printf("  point %3zu  %s\n", p, points[p].label().c_str());
+    }
+    std::printf("  artifacts: %s (+ %s during the run)\n", out_path.c_str(),
+                journal_path.c_str());
+    if (opt->resume && file_exists(journal_path)) {
+      std::printf("  --resume would replay %s\n", journal_path.c_str());
+    }
+    return 0;
+  }
+
+  // --- Journal: replay (resume) or start fresh -----------------------------
+  const exp::JournalHeader header = exp::journal_header_for(*spec);
+  std::vector<std::optional<exp::RunOutput>> replayed(tasks.size());
+  std::size_t resumed = 0;
+  if (opt->resume) {
+    if (file_exists(journal_path)) {
+      const auto replay = exp::read_journal(journal_path, header, tasks, &err);
+      if (!replay) {
+        std::fprintf(stderr, "iosim-sweep: --resume: %s\n", err.c_str());
+        return 2;
+      }
+      replayed = replay->outputs;
+      resumed = replay->n_ok;
+      if (replay->truncated_tail) {
+        std::fprintf(stderr,
+                     "iosim-sweep: journal %s has a torn tail record "
+                     "(writer was killed mid-line); that run re-executes\n",
+                     journal_path.c_str());
+      }
+      if (replay->n_failed > 0) {
+        std::fprintf(stderr,
+                     "iosim-sweep: journal holds %zu failed run%s — re-executing\n",
+                     replay->n_failed, replay->n_failed == 1 ? "" : "s");
+      }
+    } else {
+      std::fprintf(stderr,
+                   "iosim-sweep: --resume: no journal at %s — starting fresh\n",
+                   journal_path.c_str());
+    }
+  } else if (file_exists(journal_path)) {
+    // A fresh sweep owns its journal path; a stale one (from a crashed run
+    // the user chose not to resume) must not leak into this run's records.
+    ::unlink(journal_path.c_str());
+  }
+
+  auto journal = exp::RunJournal::open(journal_path, header, &err);
+  if (!journal) {
+    std::fprintf(stderr, "iosim-sweep: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::vector<exp::RunTask> pending;
+  pending.reserve(tasks.size());
+  for (const auto& t : tasks) {
+    if (!replayed[t.run_index].has_value()) pending.push_back(t);
+  }
+
+  std::fprintf(stderr,
+               "sweep '%s': %zu points x %d repeats = %zu runs (%zu resumed, "
+               "%zu to run), %d worker%s\n",
+               spec->name.c_str(), points.size(), spec->repeats, tasks.size(), resumed,
+               pending.size(), workers, workers == 1 ? "" : "s");
+
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
 
   exp::ExecutorOptions eopts;
   eopts.workers = workers;
-  if (!opt->quiet) {
-    eopts.on_progress = [&points](const exp::ProgressEvent& ev) {
-      std::fprintf(stderr, "[%zu/%zu] %s %.1fs  %s (repeat %d)\n", ev.done, ev.total,
+  eopts.run_timeout_seconds = spec->timeout_seconds;
+  eopts.max_retries = opt->retries;
+  eopts.cancel = &g_cancel;
+  bool journal_broken = false;
+  eopts.on_progress = [&](const exp::ProgressEvent& ev) {
+    // Serialized by the executor: journal appends never interleave.
+    if (!journal_broken && !journal->append(*ev.task, *ev.output, ev.wall_seconds, &err)) {
+      journal_broken = true;
+      std::fprintf(stderr,
+                   "iosim-sweep: %s — journal disabled, this sweep cannot be "
+                   "resumed\n",
+                   err.c_str());
+    }
+    if (!opt->quiet) {
+      std::fprintf(stderr, "[%zu/%zu] %s %.1fs  %s (repeat %d)%s\n", ev.done, ev.total,
                    ev.ok ? "ok  " : "FAIL", ev.wall_seconds,
-                   points[ev.task->point_index].label().c_str(), ev.task->repeat);
-    };
-  }
+                   points[ev.task->point_index].label().c_str(), ev.task->repeat,
+                   ev.output->attempts > 1 ? " [retried]" : "");
+    }
+  };
 
   const double t0 = wall_now();
-  const auto exec = exp::execute_all(tasks, exp::make_run_fn(points), eopts);
+  const auto exec = exp::execute_all(pending, exp::make_run_fn(points), eopts);
   const double wall = wall_now() - t0;
 
-  if (!exec.all_ok()) {
+  // --- Merge journal replay + this execution into one matrix view ----------
+  exp::ExecResult merged;
+  merged.outputs.resize(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i < exec.outputs.size() && exec.outputs[i].has_value()) {
+      merged.outputs[i] = exec.outputs[i];
+    } else if (replayed[i].has_value()) {
+      merged.outputs[i] = replayed[i];
+    }
+    if (!merged.outputs[i].has_value()) continue;
+    if (merged.outputs[i]->ok) {
+      ++merged.completed;
+    } else {
+      ++merged.failed;
+      if (i < merged.first_error_run) {
+        merged.first_error_run = i;
+        merged.first_error = merged.outputs[i]->error;
+      }
+    }
+  }
+  merged.skipped = tasks.size() - merged.completed - merged.failed;
+  merged.cancelled = exec.cancelled;
+  merged.interrupted = exec.interrupted;
+
+  if (merged.failed > 0) {
     std::fprintf(stderr,
                  "iosim-sweep: run %zu failed (%s); %zu completed, %zu skipped — "
-                 "no BENCH JSON written\n",
-                 exec.first_error_run, exec.first_error.c_str(), exec.completed,
-                 exec.skipped);
+                 "no BENCH JSON written (journal kept at %s; fix the cause and "
+                 "rerun with --resume)\n",
+                 merged.first_error_run, merged.first_error.c_str(), merged.completed,
+                 merged.skipped, journal_path.c_str());
     return 1;
   }
 
-  const auto agg = exp::aggregate(*spec, points, tasks, exec);
+  if (merged.interrupted) {
+    // Graceful cancellation: dispatch stopped, in-flight runs drained and
+    // are already journaled. Write an honest partial artifact and exit 130.
+    const auto agg = exp::aggregate(*spec, points, tasks, merged);
+    const std::string json = exp::to_json(*spec, agg, /*partial=*/true);
+    if (!exp::write_file_atomic(out_path, json, &err)) {
+      std::fprintf(stderr, "iosim-sweep: %s\n", err.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "iosim-sweep: cancelled by signal — %zu/%zu runs journaled, "
+                   "partial BENCH -> %s (finish with --resume)\n",
+                   merged.completed, tasks.size(), out_path.c_str());
+    }
+    return 130;
+  }
+
+  const auto agg = exp::aggregate(*spec, points, tasks, merged);
   const std::string json = exp::to_json(*spec, agg);
-  const std::string out_path =
-      !opt->out_path.empty() ? opt->out_path : "BENCH_" + spec->name + ".json";
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out || !(out << json)) {
-    std::fprintf(stderr, "iosim-sweep: failed to write %s\n", out_path.c_str());
+  if (!exp::write_file_atomic(out_path, json, &err)) {
+    std::fprintf(stderr, "iosim-sweep: %s\n", err.c_str());
     return 1;
   }
-  out.close();
+  journal->close();
+  ::unlink(journal_path.c_str());  // the BENCH file is durable; journal done
 
   auto tab = exp::to_table(*spec, agg);
   if (opt->csv) {
@@ -216,8 +422,13 @@ int main(int argc, char** argv) {
   } else {
     tab.print();
   }
+  if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+    std::fprintf(stderr, "iosim-sweep: writing the table to stdout failed\n");
+    return 1;
+  }
   std::fprintf(stderr, "%zu runs in %.1fs wall (%.2f runs/s, %d workers) -> %s\n",
-               tasks.size(), wall, wall > 0 ? static_cast<double>(tasks.size()) / wall : 0.0,
-               workers, out_path.c_str());
+               pending.size(), wall,
+               wall > 0 ? static_cast<double>(pending.size()) / wall : 0.0, workers,
+               out_path.c_str());
   return 0;
 }
