@@ -1,0 +1,266 @@
+// micro_sim — events/sec microbenchmarks for the discrete-event hot path.
+//
+// Four probes, lowest layer first:
+//   schedule-fire   — self-rescheduling event chains through the heap
+//   schedule-cancel — schedule + cancel churn (anticipatory-timeout pattern)
+//   bio-roundtrip   — submit -> elevator -> disk -> completion round trips
+//   fig2-point      — one seeded wordcount run of the Fig. 2 testbed
+//
+// Each probe runs `--reps` times (default 3) and reports the best rep: the
+// minimum wall time is the least-noise estimate of the code's true cost,
+// which is what a CI regression gate needs. Metrics land in the standard
+// BENCH JSON via `--json FILE` (see bench_util.hpp); tools/bench_compare
+// gates them against bench/baselines/micro_sim.json in the perf-smoke CI
+// job. Metric naming contract: `*_per_sec` is higher-is-better,
+// `*_seconds` lower-is-better — bench_compare keys its direction off the
+// suffix.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "blk/block_layer.hpp"
+#include "blk/disk_device.hpp"
+#include "cluster/runner.hpp"
+#include "sim/simulator.hpp"
+
+using namespace iosim;
+using namespace iosim::sim::literals;
+
+namespace {
+
+double now_sec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// splitmix64 step — cheap deterministic jitter for event spacing.
+std::uint64_t mix(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// --- schedule-fire ---------------------------------------------------------
+//
+// kChains independent event chains, each firing kFiresPerChain times; every
+// callback schedules its successor a pseudorandom 1..64 us ahead. The heap
+// holds ~kChains events at all times, which matches the simulator's steady
+// state in a cluster run (one in-flight timer per disk, per task, per flow).
+// Captures are deliberately three words wide — the typical at()/after()
+// call-site shape (owner pointer + a payload or two).
+
+struct FireState {
+  sim::Simulator* s;
+  std::uint64_t remaining;  // fires left across all chains
+  std::uint64_t rng;
+  std::uint64_t fired = 0;
+};
+
+void fire_step(FireState* st, std::uint64_t salt);
+
+void schedule_chain(FireState* st, std::uint64_t salt) {
+  const sim::Time dt = sim::Time::from_us(1 + static_cast<std::int64_t>(salt % 64));
+  std::uint64_t pad = salt ^ 0x5bd1e995;  // widen the capture to 3 words
+  st->s->after(dt, [st, salt, pad] {
+    (void)pad;
+    fire_step(st, salt);
+  });
+}
+
+void fire_step(FireState* st, std::uint64_t salt) {
+  ++st->fired;
+  if (st->remaining == 0) return;
+  --st->remaining;
+  schedule_chain(st, mix(st->rng) ^ salt);
+}
+
+double bench_schedule_fire(std::uint64_t total_events, int chains) {
+  sim::Simulator s;
+  FireState st{&s, total_events - static_cast<std::uint64_t>(chains), 42, 0};
+  const double t0 = now_sec();
+  for (int c = 0; c < chains; ++c) schedule_chain(&st, mix(st.rng));
+  s.run();
+  const double wall = now_sec() - t0;
+  if (st.fired != total_events) {
+    std::fprintf(stderr, "schedule-fire: fired %" PRIu64 " != %" PRIu64 "\n",
+                 st.fired, total_events);
+  }
+  return wall;
+}
+
+// --- schedule-cancel -------------------------------------------------------
+//
+// Rounds of: schedule kBatch far-future timeouts, then cancel them in a
+// shuffled order — the anticipatory-scheduler pattern (arm an idle timeout,
+// almost always cancel it when the next request arrives). One live "clock"
+// event per round advances simulated time so the far-future entries never
+// fire. The old simulator paid an unordered_set insert per cancel plus a
+// tombstone pop per entry; this probe is the regression guard for that.
+
+double bench_schedule_cancel(std::uint64_t pairs, int batch) {
+  sim::Simulator s;
+  std::uint64_t rng = 7;
+  std::vector<sim::EventId> ids(static_cast<std::size_t>(batch));
+  std::uint64_t done = 0;
+  std::uint64_t fired = 0;
+  const double t0 = now_sec();
+  while (done < pairs) {
+    for (int i = 0; i < batch; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          s.after(sim::Time::from_sec(3600) +
+                      sim::Time::from_us(static_cast<std::int64_t>(mix(rng) % 4096)),
+                  [&fired] { ++fired; });
+    }
+    // Fisher-Yates with the bench rng: cancellation order is adversarial
+    // for any structure that likes FIFO cancels.
+    for (int i = batch - 1; i > 0; --i) {
+      const int j = static_cast<int>(mix(rng) % static_cast<std::uint64_t>(i + 1));
+      std::swap(ids[static_cast<std::size_t>(i)], ids[static_cast<std::size_t>(j)]);
+    }
+    for (int i = 0; i < batch; ++i) s.cancel(ids[static_cast<std::size_t>(i)]);
+    done += static_cast<std::uint64_t>(batch);
+    s.after(1_us, [] {});  // advance the clock past the round
+    s.run();
+  }
+  const double wall = now_sec() - t0;
+  if (fired != 0) std::fprintf(stderr, "schedule-cancel: %" PRIu64 " leaked fires\n", fired);
+  return wall;
+}
+
+// --- bio-roundtrip ---------------------------------------------------------
+//
+// One noop elevator over one disk, kDepth bios outstanding; every completion
+// submits the next bio (7/8 sequential, 1/8 a random jump — enough seeks to
+// keep the disk model honest without drowning the block layer in them).
+
+struct BioState {
+  blk::BlockLayer* layer;
+  std::uint64_t remaining;
+  std::uint64_t completed = 0;
+  std::uint64_t rng = 99;
+  disk::Lba next_lba = 0;
+};
+
+void submit_next(BioState* st) {
+  if (st->remaining == 0) return;
+  --st->remaining;
+  const std::uint64_t r = mix(st->rng);
+  if ((r & 7u) == 0) st->next_lba = static_cast<disk::Lba>(r % 1'000'000'000);
+  blk::Bio bio;
+  bio.lba = st->next_lba;
+  bio.sectors = 256;  // 128 KB, an HDFS-ish chunk
+  st->next_lba += bio.sectors;
+  bio.dir = (r & 8u) ? iosched::Dir::kWrite : iosched::Dir::kRead;
+  bio.ctx = r & 3u;
+  bio.on_complete = [st](sim::Time, iosched::IoStatus) {
+    ++st->completed;
+    submit_next(st);
+  };
+  st->layer->submit(std::move(bio));
+}
+
+double bench_bio_roundtrip(std::uint64_t total_bios, int depth) {
+  sim::Simulator s;
+  blk::DiskDevice dev(s, disk::DiskParams{}, /*seed=*/11);
+  blk::BlockLayerConfig cfg;
+  cfg.scheduler = iosched::SchedulerKind::kNoop;
+  cfg.name = "micro/blk";
+  blk::BlockLayer layer(s, dev, cfg);
+  BioState st{&layer, total_bios};
+  const double t0 = now_sec();
+  for (int i = 0; i < depth && st.remaining > 0; ++i) submit_next(&st);
+  s.run();
+  const double wall = now_sec() - t0;
+  if (st.completed != total_bios) {
+    std::fprintf(stderr, "bio-roundtrip: completed %" PRIu64 " != %" PRIu64 "\n",
+                 st.completed, total_bios);
+  }
+  return wall;
+}
+
+// --- fig2-point ------------------------------------------------------------
+//
+// One seeded (cfq, cfq) wordcount run on the paper testbed — the end-to-end
+// cost of one Fig. 2 matrix cell at the paper's full 512 MB per VM, i.e.
+// what iosim-sweep pays per scenario point.
+
+double bench_fig2_point() {
+  cluster::ClusterConfig cfg = bench::paper_cluster();
+  cfg.seed = 1;
+  const auto jc = workloads::make_job(workloads::wordcount());
+  const double t0 = now_sec();
+  const auto rr = cluster::run_job(cfg, jc);
+  const double wall = now_sec() - t0;
+  if (rr.failed) std::fprintf(stderr, "fig2-point: run failed: %s\n", rr.failure.c_str());
+  return wall;
+}
+
+double best_of(int reps, double (*fn)()) {
+  double best = fn();
+  for (int i = 1; i < reps; ++i) best = std::min(best, fn());
+  return best;
+}
+
+template <class Fn>
+double best_of_fn(int reps, Fn fn) {
+  double best = fn();
+  for (int i = 1; i < reps; ++i) best = std::min(best, fn());
+  return best;
+}
+
+void row(const char* name, double per_sec, double wall) {
+  std::printf("  %-18s %14.0f /sec   best wall %8.3f s\n", name, per_sec, wall);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Telemetry telemetry(argc, argv);
+  int reps = 3;
+  std::uint64_t scale = 1;  // divide workloads by this (for test smoke runs)
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) reps = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--quick") == 0) scale = 16;
+  }
+  if (reps < 1) reps = 1;
+
+  bench::print_header("micro_sim", "event-loop hot-path microbenchmarks");
+  std::printf("reps: %d (reporting the best), scale divisor: %" PRIu64 "\n\n", reps,
+              scale);
+
+  const std::uint64_t n_fire = 2'000'000 / scale;
+  const double fire_wall =
+      best_of_fn(reps, [&] { return bench_schedule_fire(n_fire, 4096); });
+  const double fire_rate = static_cast<double>(n_fire) / fire_wall;
+  row("schedule-fire", fire_rate, fire_wall);
+  bench::report().add("schedule_fire.events_per_sec", fire_rate);
+  bench::report().add("schedule_fire.wall_seconds", fire_wall);
+
+  const std::uint64_t n_cancel = 1'000'000 / scale;
+  const double cancel_wall =
+      best_of_fn(reps, [&] { return bench_schedule_cancel(n_cancel, 4096); });
+  const double cancel_rate = static_cast<double>(n_cancel) / cancel_wall;
+  row("schedule-cancel", cancel_rate, cancel_wall);
+  bench::report().add("schedule_cancel.pairs_per_sec", cancel_rate);
+  bench::report().add("schedule_cancel.wall_seconds", cancel_wall);
+
+  const std::uint64_t n_bio = 400'000 / scale;
+  const double bio_wall =
+      best_of_fn(reps, [&] { return bench_bio_roundtrip(n_bio, 64); });
+  const double bio_rate = static_cast<double>(n_bio) / bio_wall;
+  row("bio-roundtrip", bio_rate, bio_wall);
+  bench::report().add("bio_roundtrip.bios_per_sec", bio_rate);
+  bench::report().add("bio_roundtrip.wall_seconds", bio_wall);
+
+  const double fig2_wall = best_of(reps, bench_fig2_point);
+  std::printf("  %-18s %14s        best wall %8.3f s\n", "fig2-point", "-", fig2_wall);
+  bench::report().add("fig2_point.wall_seconds", fig2_wall);
+
+  std::printf("\n");
+  return 0;
+}

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "iosched/request.hpp"
 
@@ -26,7 +25,9 @@ struct Bio {
   std::uint64_t ctx = 0;
   /// Invoked exactly once when the containing request completes, with the
   /// request's outcome (kOk unless the device failed the request).
-  std::function<void(Time, IoStatus)> on_complete;
+  /// Small-buffer-optimized: captures up to CompletionFn's inline budget
+  /// cost no allocation per bio (see iosched::CompletionFn).
+  iosched::CompletionFn on_complete;
 };
 
 }  // namespace iosim::blk

@@ -2,10 +2,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "disk/disk_model.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace iosim::iosched {
@@ -26,6 +26,12 @@ enum class IoStatus : std::uint8_t { kOk = 0, kError = 1 };
 inline const char* to_string(IoStatus s) {
   return s == IoStatus::kOk ? "ok" : "error";
 }
+
+/// Completion callback carried by bios and accumulated on merged requests
+/// (arguments: completion time, outcome). Small-buffer-optimized: the
+/// HDFS/mapred issuers capture an owner pointer plus a couple of words,
+/// which stays inline — no allocation per I/O (see sim/event_fn.hpp).
+using CompletionFn = sim::SmallFn<void(Time, IoStatus)>;
 
 /// A queued block request. Created by the BlockLayer from submitted bios and
 /// owned by it for its whole life; schedulers and devices only see stable
@@ -60,7 +66,7 @@ struct Request {
   IoStatus status = IoStatus::kOk;
 
   /// Per-bio completion callbacks (arguments: completion time, outcome).
-  std::vector<std::function<void(Time, IoStatus)>> completions;
+  std::vector<CompletionFn> completions;
 
   Lba end() const { return lba + sectors; }
   std::int64_t bytes() const { return sectors * disk::kSectorBytes; }

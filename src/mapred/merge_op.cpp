@@ -7,7 +7,7 @@
 namespace iosim::mapred {
 
 void MergeOp::run(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
-                  std::function<void(sim::Time, iosched::IoStatus)> on_done) {
+                  iosched::CompletionFn on_done) {
   auto self = std::shared_ptr<MergeOp>(
       new MergeOp(vm, io_ctx, std::move(params), std::move(on_done)));
   if (self->total_in_ == 0) {
@@ -23,7 +23,7 @@ void MergeOp::run(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params
 }
 
 MergeOp::MergeOp(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
-                 std::function<void(sim::Time, iosched::IoStatus)> on_done)
+                 iosched::CompletionFn on_done)
     : vm_(vm), io_ctx_(io_ctx), p_(std::move(params)), on_done_(std::move(on_done)) {
   cursors_.reserve(p_.inputs.size());
   for (const auto& in : p_.inputs) {

@@ -44,7 +44,7 @@ struct MergeOpParams {
 class MergeOp {
  public:
   static void run(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
-                  std::function<void(sim::Time, iosched::IoStatus)> on_done);
+                  iosched::CompletionFn on_done);
 
  private:
   struct Cursor {
@@ -53,7 +53,7 @@ class MergeOp {
   };
 
   MergeOp(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
-          std::function<void(sim::Time, iosched::IoStatus)> on_done);
+          iosched::CompletionFn on_done);
 
   void pump(std::shared_ptr<MergeOp> self);
   void unit_read_done(std::shared_ptr<MergeOp> self, std::int64_t unit_bytes, sim::Time t);
@@ -62,7 +62,7 @@ class MergeOp {
   VmHandle vm_;
   std::uint64_t io_ctx_;
   MergeOpParams p_;
-  std::function<void(sim::Time, iosched::IoStatus)> on_done_;
+  iosched::CompletionFn on_done_;
 
   std::vector<Cursor> cursors_;
   std::size_t rr_ = 0;            // round-robin input cursor

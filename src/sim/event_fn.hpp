@@ -1,0 +1,213 @@
+// iosim: small-buffer-optimized type-erased callable for the event hot path.
+//
+// `std::function` on libstdc++ inlines captures up to 16 bytes; anything
+// larger — three words, i.e. most of the simulator's `at()`/`after()` call
+// sites once they carry an owner pointer plus a payload or two — costs one
+// heap allocation per scheduled event and one free per fire. `SmallFn`
+// raises the inline budget to `InlineBytes` (default 48: measured to cover
+// every lambda the simulator, block layer, and MapReduce model schedule
+// today) so the event loop allocates nothing per event; larger callables
+// still work, falling back to the heap exactly like std::function.
+//
+// Semantics match the std::function subset the simulator used: copyable,
+// movable (moved-from is empty), bool-testable, and callable. Each concrete
+// callable type gets one static ops table (invoke/copy/move/destroy), so an
+// empty or disabled check is a single pointer test and a call is one
+// indirect call — same as std::function, minus the allocator traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iosim::sim {
+
+template <class Sig, std::size_t InlineBytes = 48>
+class SmallFn;  // undefined primary; use the R(Args...) specialization
+
+template <class R, class... Args, std::size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct<D>(std::forward<F>(f));
+  }
+
+  SmallFn(const SmallFn& o) : ops_(o.ops_) {
+    if (ops_) {
+      if (ops_->trivial) {
+        storage_ = o.storage_;
+      } else {
+        ops_->copy(&storage_, &o.storage_);
+      }
+    }
+  }
+  SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_) {
+      // Trivially-copyable inline callables (the hot-path lambdas: a few
+      // pointers and integers) move as one fixed-size copy — no indirect
+      // call. The branch is highly predictable: one ops table per callable
+      // type, and the event loop schedules the same few types in a loop.
+      if (ops_->trivial) {
+        storage_ = o.storage_;
+      } else {
+        ops_->move(&storage_, &o.storage_);
+      }
+      o.ops_ = nullptr;
+    }
+  }
+  SmallFn& operator=(const SmallFn& o) {
+    if (this != &o) {
+      reset();
+      if (o.ops_) {
+        if (o.ops_->trivial) {
+          storage_ = o.storage_;
+        } else {
+          o.ops_->copy(&storage_, &o.storage_);
+        }
+        ops_ = o.ops_;
+      }
+    }
+    return *this;
+  }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      if (o.ops_) {
+        if (o.ops_->trivial) {
+          storage_ = o.storage_;
+        } else {
+          o.ops_->move(&storage_, &o.storage_);
+        }
+        ops_ = o.ops_;
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    construct<D>(std::forward<F>(f));
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Const like std::function's call operator (the callable itself is
+  /// invoked as non-const, matching std::function semantics).
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<Storage*>(&storage_),
+                        std::forward<Args>(args)...);
+  }
+
+  /// True when the held callable lives in the inline buffer (no heap node).
+  /// Diagnostic only — used by tests and the capture-size assertions.
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+  /// Whether a callable of type F would be stored inline.
+  template <class F>
+  static constexpr bool fits_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= InlineBytes && alignof(D) <= alignof(Storage) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct alignas(std::max_align_t) Storage {
+    unsigned char bytes[InlineBytes];
+  };
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*copy)(void*, const void*);
+    void (*move)(void*, void*);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+    bool inline_stored;
+    /// Inline + trivially copyable + trivially destructible: relocate and
+    /// destroy with plain byte copies, skipping the indirect calls.
+    bool trivial;
+  };
+
+  template <class F>
+  struct InlineOps {
+    static F* get(void* s) { return std::launder(reinterpret_cast<F*>(s)); }
+    static R invoke(void* s, Args&&... args) {
+      return (*get(s))(std::forward<Args>(args)...);
+    }
+    static void copy(void* dst, const void* src) {
+      ::new (dst) F(*std::launder(reinterpret_cast<const F*>(src)));
+    }
+    static void move(void* dst, void* src) {
+      F* f = get(src);
+      ::new (dst) F(std::move(*f));
+      f->~F();
+    }
+    static void destroy(void* s) { get(s)->~F(); }
+    static constexpr Ops ops{&invoke, &copy, &move, &destroy, true,
+                             std::is_trivially_copyable_v<F> &&
+                                 std::is_trivially_destructible_v<F>};
+  };
+
+  template <class F>
+  struct HeapOps {
+    static F*& slot(void* s) { return *std::launder(reinterpret_cast<F**>(s)); }
+    static R invoke(void* s, Args&&... args) {
+      return (*slot(s))(std::forward<Args>(args)...);
+    }
+    static void copy(void* dst, const void* src) {
+      ::new (dst) F*(new F(*const_cast<F* const&>(
+          *std::launder(reinterpret_cast<F* const*>(src)))));
+    }
+    static void move(void* dst, void* src) {
+      ::new (dst) F*(slot(src));
+      slot(src) = nullptr;  // harmless: the source's ops_ is cleared anyway
+    }
+    static void destroy(void* s) { delete slot(s); }
+    static constexpr Ops ops{&invoke, &copy, &move, &destroy, false, false};
+  };
+
+  template <class D, class F>
+  void construct(F&& f) {
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  void reset() {
+    if (ops_) {
+      if (!ops_->trivial) ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  Storage storage_;  // uninitialized while ops_ == nullptr
+  const Ops* ops_ = nullptr;
+};
+
+/// The event-loop callback type: every `Simulator::at()/after()` callback
+/// and pooled event node holds one of these.
+using EventFn = SmallFn<void()>;
+
+}  // namespace iosim::sim

@@ -1,0 +1,22 @@
+// iosim: branch hint shared by the tracer and metrics-registry accessors.
+//
+// Benches and production sweeps run with tracing/metrics OFF, so the null
+// instrumentation pointer is the expected case at every guard site. The
+// hint (propagated through the inline accessors into every
+// `if (auto* tr = trace::tracer())` site) makes the compiler lay the emit
+// code out of the fall-through path: the disabled check costs a load plus
+// one never-taken forward branch, and the hot loop's i-cache footprint
+// excludes all the argument marshalling.
+#pragma once
+
+namespace iosim::trace::detail {
+
+#if defined(__GNUC__) || defined(__clang__)
+inline bool unlikely_on(bool enabled) {
+  return __builtin_expect(enabled, false);
+}
+#else
+inline bool unlikely_on(bool enabled) { return enabled; }
+#endif
+
+}  // namespace iosim::trace::detail

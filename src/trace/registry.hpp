@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/hint.hpp"
+
 namespace iosim::trace {
 
 /// Monotonically increasing integer metric.
@@ -124,7 +126,13 @@ class Registry {
 namespace detail {
 inline thread_local Registry* g_registry = nullptr;
 }
-inline Registry* registry() { return detail::g_registry; }
+/// Same disabled-is-expected branch hint as trace::tracer(): metrics-off
+/// call sites fall straight through and the recording code moves off the
+/// hot path's cache lines.
+inline Registry* registry() {
+  Registry* r = detail::g_registry;
+  return detail::unlikely_on(r != nullptr) ? r : nullptr;
+}
 inline void set_registry(Registry* r) { detail::g_registry = r; }
 
 /// RAII install/uninstall of a registry as the process global.

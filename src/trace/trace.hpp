@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "trace/hint.hpp"
 
 namespace iosim::trace {
 
@@ -175,7 +176,13 @@ class Tracer {
 namespace detail {
 inline thread_local Tracer* g_tracer = nullptr;
 }
-inline Tracer* tracer() { return detail::g_tracer; }
+/// The return is hinted null-expected (see hint.hpp): call sites fall
+/// straight through when tracing is off and the emit code moves off the
+/// hot path's cache lines.
+inline Tracer* tracer() {
+  Tracer* t = detail::g_tracer;
+  return detail::unlikely_on(t != nullptr) ? t : nullptr;
+}
 inline void set_tracer(Tracer* t) { detail::g_tracer = t; }
 
 /// RAII install/uninstall of a tracer as the process global.

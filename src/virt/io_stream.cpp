@@ -8,7 +8,7 @@ namespace iosim::virt {
 
 void IoStream::run(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t bytes,
                    iosched::Dir dir, bool sync, IoStreamParams params,
-                   std::function<void(sim::Time, iosched::IoStatus)> on_done) {
+                   iosched::CompletionFn on_done) {
   assert(bytes > 0);
   const auto sectors =
       (bytes + disk::kSectorBytes - 1) / disk::kSectorBytes;

@@ -30,12 +30,12 @@ class IoStream {
   /// whole sectors.
   static void run(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t bytes,
                   iosched::Dir dir, bool sync, IoStreamParams params,
-                  std::function<void(sim::Time, iosched::IoStatus)> on_done);
+                  iosched::CompletionFn on_done);
 
  private:
   IoStream(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t sectors,
            iosched::Dir dir, bool sync, IoStreamParams params,
-           std::function<void(sim::Time, iosched::IoStatus)> on_done)
+           iosched::CompletionFn on_done)
       : vm_(vm), ctx_(ctx), next_lba_(vlba), end_lba_(vlba + sectors), dir_(dir),
         sync_(sync), p_(params), on_done_(std::move(on_done)) {}
 
@@ -48,7 +48,7 @@ class IoStream {
   iosched::Dir dir_;
   bool sync_;
   IoStreamParams p_;
-  std::function<void(sim::Time, iosched::IoStatus)> on_done_;
+  iosched::CompletionFn on_done_;
   int outstanding_ = 0;
   bool failed_ = false;
   bool done_fired_ = false;

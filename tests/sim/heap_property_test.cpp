@@ -1,0 +1,263 @@
+// Property tests for the indexed 4-ary event heap (simulator.hpp). The
+// heap replaced a binary std::priority_queue + tombstone set; these tests
+// pin the contract that replacement must keep forever:
+//
+//   * strict (time, schedule-order) execution — equal timestamps fire FIFO,
+//     no matter how pushes, cancels, and root-hole settles interleave;
+//   * a cancelled event never fires, and cancel of a consumed id is a no-op
+//     that can never resurrect or kill the slot's next tenant (generation
+//     tags);
+//   * cancel-heavy churn holds no garbage: the slot arena's high-water mark
+//     tracks *concurrent* events, not total events (the old tombstone set
+//     grew with total cancels).
+//
+// The main test is a randomized model check: the simulator runs against a
+// trivially-correct reference (a sorted multimap keyed by (time, seq)) and
+// both must fire the same events in the same order under an adversarial op
+// mix. Seeds are fixed — failures reproduce.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace iosim::sim {
+namespace {
+
+using namespace iosim::sim::literals;
+
+TEST(HeapProperty, EqualTimestampFifoSurvivesInterleavedCancels) {
+  // Schedule 64 events at each of 4 equal timestamps, cancel every third
+  // one, and interleave fresh same-time schedules from inside callbacks.
+  // Fire order must be exactly schedule order with the cancelled ids
+  // removed.
+  Simulator s;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  std::vector<EventId> ids;
+  int tag = 0;
+  for (int wave = 0; wave < 4; ++wave) {
+    const Time t = Time::from_ms(10 * (wave + 1));
+    for (int i = 0; i < 64; ++i) {
+      const int id_tag = tag++;
+      ids.push_back(s.at(t, [&fired, id_tag] { fired.push_back(id_tag); }));
+    }
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(s.cancel(ids[i]));
+    } else {
+      expected.push_back(static_cast<int>(i));
+    }
+  }
+  s.run();
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(HeapProperty, SameTimeScheduledFromCallbackRunsAfterEarlierSchedules) {
+  // An event scheduled *during* the firing wave at the current time must
+  // run after everything already queued at that time (seq order), even
+  // though the root hole lets it sift in from the top.
+  Simulator s;
+  std::vector<int> order;
+  s.at(5_ms, [&] {
+    order.push_back(0);
+    s.at(5_ms, [&] { order.push_back(3); });  // same time, scheduled last
+  });
+  s.at(5_ms, [&] { order.push_back(1); });
+  s.at(5_ms, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(HeapProperty, CancelThenFireNeverInvokes) {
+  // Cancel from outside the loop and from inside a callback (while the
+  // root hole is open — the cancel path must settle it first).
+  Simulator s;
+  bool outside = false, inside = false;
+  const EventId a = s.at(10_ms, [&] { outside = true; });
+  EventId b = kInvalidEvent;
+  s.at(1_ms, [&] { EXPECT_TRUE(s.cancel(b)); });
+  b = s.at(20_ms, [&] { inside = true; });
+  EXPECT_TRUE(s.cancel(a));
+  s.run();
+  EXPECT_FALSE(outside);
+  EXPECT_FALSE(inside);
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(HeapProperty, CancelOfRunningEventFails) {
+  Simulator s;
+  EventId id = kInvalidEvent;
+  bool cancel_result = true;
+  id = s.at(1_ms, [&] { cancel_result = s.cancel(id); });
+  s.run();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(HeapProperty, GenerationReuseNeverResurrectsStaleId) {
+  Simulator s;
+  // Consume one slot many times over; every stale handle must stay dead
+  // even though the slot index repeats.
+  std::vector<EventId> stale;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = s.after(1_sec, [] {});
+    EXPECT_TRUE(s.cancel(id));
+    stale.push_back(id);
+  }
+  // All 100 handles should have named the same arena slot (pure reuse)...
+  EXPECT_LE(s.pool_stats().slots, 2u);
+  // ...and none of them, nor double-cancel of the freshest, may touch the
+  // slot's current tenant.
+  bool tenant_fired = false;
+  const EventId tenant = s.after(1_ms, [&] { tenant_fired = true; });
+  for (const EventId id : stale) EXPECT_FALSE(s.cancel(id));
+  s.run();
+  EXPECT_TRUE(tenant_fired);
+  EXPECT_EQ(s.executed(), 1u);
+  EXPECT_FALSE(s.cancel(tenant));  // already ran
+}
+
+TEST(HeapProperty, CancelChurnHoldsBoundedMemory) {
+  // Regression guard for the unbounded `cancelled_` tombstone set the old
+  // simulator grew in cancel-heavy runs (anticipatory idle timeouts): one
+  // million schedule/cancel pairs — alone and in batches — must leave the
+  // arena at its concurrency high-water mark, not at total-events size.
+  Simulator s;
+  for (int i = 0; i < 500'000; ++i) {
+    EXPECT_TRUE(s.cancel(s.after(1_sec, [] {})));
+  }
+  constexpr int kBatch = 512;
+  EventId batch[kBatch];
+  for (int round = 0; round < 500'000 / kBatch; ++round) {
+    for (int i = 0; i < kBatch; ++i) batch[i] = s.after(1_sec, [] {});
+    for (int i = kBatch - 1; i >= 0; --i) EXPECT_TRUE(s.cancel(batch[i]));
+  }
+  const Simulator::PoolStats ps = s.pool_stats();
+  // High-water mark: kBatch concurrent timeouts (+1 for the serial phase).
+  EXPECT_LE(ps.slots, static_cast<std::size_t>(kBatch) + 1);
+  EXPECT_EQ(ps.free_slots, ps.slots);  // everything returned to the free list
+  EXPECT_LE(ps.heap_capacity, 2 * static_cast<std::size_t>(kBatch));
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+/// Reference scheduler: a std::multimap keyed by (time, global seq) fires
+/// in exactly the order the simulator promises. Values are test tags.
+class ReferenceModel {
+ public:
+  std::uint64_t schedule(std::int64_t t_ns, int tag) {
+    const std::uint64_t handle = next_++;
+    live_.emplace(std::make_pair(t_ns, handle), tag);
+    return handle;
+  }
+  bool cancel(std::uint64_t handle) {
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (it->first.second == handle) {
+        live_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  /// Pop everything with time <= deadline, in order, appending tags.
+  void run_until(std::int64_t deadline_ns, std::vector<int>* out) {
+    while (!live_.empty() && live_.begin()->first.first <= deadline_ns) {
+      out->push_back(live_.begin()->second);
+      live_.erase(live_.begin());
+    }
+  }
+  bool empty() const { return live_.empty(); }
+
+ private:
+  std::map<std::pair<std::int64_t, std::uint64_t>, int> live_;
+  std::uint64_t next_ = 1;
+};
+
+TEST(HeapProperty, RandomizedModelCheck) {
+  // Adversarial op soup against the reference model. Ops: schedule at a
+  // random near-future time (heavy equal-timestamp collisions: times are
+  // drawn from a small lattice), cancel a random live event, cancel a
+  // random stale handle, and advance the clock with run_until. After every
+  // advance both fire logs must match exactly.
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1337ull}) {
+    Simulator s;
+    ReferenceModel ref;
+    Rng rng(seed);
+    std::vector<int> got, want;
+    struct Live {
+      EventId id;
+      std::uint64_t handle;
+      std::int64_t t_ns;
+    };
+    std::vector<Live> live;
+    std::vector<Live> stale;  // cancelled or fired: handles must stay dead
+    int tag = 0;
+    for (int op = 0; op < 20'000; ++op) {
+      const std::uint64_t pick = rng.below(100);
+      if (pick < 60 || live.empty()) {
+        // Times on a 16-slot lattice inside the next millisecond: dense
+        // collisions exercise the FIFO tie-break on every run.
+        const Time t = s.now() + Time::from_us(
+            static_cast<std::int64_t>(rng.below(16)) * 50);
+        const int my_tag = tag++;
+        const EventId id = s.at(t, [&got, my_tag] { got.push_back(my_tag); });
+        live.push_back({id, ref.schedule(t.ns(), my_tag), t.ns()});
+      } else if (pick < 80) {
+        const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+        EXPECT_TRUE(s.cancel(live[i].id));
+        EXPECT_TRUE(ref.cancel(live[i].handle));
+        stale.push_back(live[i]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (pick < 90 && !stale.empty()) {
+        const std::size_t i = static_cast<std::size_t>(rng.below(stale.size()));
+        EXPECT_FALSE(s.cancel(stale[i].id));
+      } else {
+        const Time deadline =
+            s.now() + Time::from_us(static_cast<std::int64_t>(rng.below(400)));
+        s.run_until(deadline);
+        ref.run_until(deadline.ns(), &want);
+        ASSERT_EQ(got, want) << "divergence at op " << op << " seed " << seed;
+        // Everything at or before the deadline has fired in both worlds;
+        // its handles join the stale pool for resurrect probes.
+        for (auto it = live.begin(); it != live.end();) {
+          if (it->t_ns <= deadline.ns()) {
+            stale.push_back(*it);
+            it = live.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    s.run();
+    ref.run_until(std::numeric_limits<std::int64_t>::max(), &want);
+    EXPECT_EQ(got, want) << "final divergence, seed " << seed;
+  }
+}
+
+TEST(HeapProperty, DrainWithoutReschedulingSettlesCleanly) {
+  // Events that schedule nothing exercise the settle() path (root hole
+  // collapsed by the next queue access instead of a push).
+  Simulator s;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    s.at(Time::from_us(i % 37), [&] { ++fired; });
+  }
+  while (s.step()) {
+    // pending() reads through the hole arithmetic after every fire.
+    EXPECT_EQ(s.pending() + static_cast<std::size_t>(fired), 1000u);
+  }
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace iosim::sim
