@@ -1,9 +1,16 @@
 // micro_sim — events/sec microbenchmarks for the discrete-event hot path.
 //
-// Four probes, lowest layer first:
+// Six probes, lowest layer first:
 //   schedule-fire   — self-rescheduling event chains through the heap
 //   schedule-cancel — schedule + cancel churn (anticipatory-timeout pattern)
 //   bio-roundtrip   — submit -> elevator -> disk -> completion round trips
+//   domu-roundtrip  — the same through the whole split-driver path
+//                     (guest elevator -> blkfront ring -> Dom0 elevator ->
+//                     disk), once with attribution off and once with an
+//                     AttributionSession installed: the off/on delta is the
+//                     full cost of the obs stamping hooks, and the off
+//                     number guards the disabled path staying a
+//                     branch-hinted pointer check
 //   fig2-point      — one seeded wordcount run of the Fig. 2 testbed
 //
 // Each probe runs `--reps` times (default 3) and reports the best rep: the
@@ -19,13 +26,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "blk/block_layer.hpp"
 #include "blk/disk_device.hpp"
 #include "cluster/runner.hpp"
+#include "obs/attribution.hpp"
 #include "sim/simulator.hpp"
+#include "virt/physical_host.hpp"
 
 using namespace iosim;
 using namespace iosim::sim::literals;
@@ -183,6 +193,71 @@ double bench_bio_roundtrip(std::uint64_t total_bios, int depth) {
   return wall;
 }
 
+// --- domu-roundtrip --------------------------------------------------------
+//
+// bio-roundtrip through the whole split-driver path: one host, one VM, noop
+// elevators at both levels, kDepth guest I/Os outstanding, each completion
+// submitting the next (same 7/8-sequential stream as bio-roundtrip). Run
+// with `attr_on` false this is the baseline cost of the DomU->Dom0 path;
+// with true, every request additionally pays the six attribution stamps and
+// the completion-time sketch fold. The off/on pair is the perf contract of
+// src/obs/: off must track the baseline (one hinted pointer check per
+// site), on should cost a few percent, not a multiple.
+
+struct DomuState {
+  virt::DomU* vm;
+  std::uint64_t remaining;
+  std::uint64_t completed = 0;
+  std::uint64_t rng = 99;
+  disk::Lba next_lba = 0;
+};
+
+void submit_next_domu(DomuState* st) {
+  if (st->remaining == 0) return;
+  --st->remaining;
+  const std::uint64_t r = mix(st->rng);
+  const std::int64_t sectors = 256;
+  if ((r & 7u) == 0) {
+    st->next_lba = static_cast<disk::Lba>(r % static_cast<std::uint64_t>(
+                                                  st->vm->image_sectors() - sectors));
+  }
+  if (st->next_lba + sectors > st->vm->image_sectors()) st->next_lba = 0;
+  const disk::Lba lba = st->next_lba;
+  st->next_lba += sectors;
+  st->vm->submit_io(r & 3u, lba, sectors,
+                    (r & 8u) ? iosched::Dir::kWrite : iosched::Dir::kRead,
+                    /*sync=*/(r & 8u) == 0,
+                    [st](sim::Time, iosched::IoStatus) {
+                      ++st->completed;
+                      submit_next_domu(st);
+                    });
+}
+
+double bench_domu_roundtrip(std::uint64_t total_bios, int depth, bool attr_on) {
+  sim::Simulator s;
+  virt::HostConfig hc;
+  hc.dom0_blk.scheduler = iosched::SchedulerKind::kNoop;
+  hc.domu.guest_blk.scheduler = iosched::SchedulerKind::kNoop;
+  virt::PhysicalHost host(s, hc, /*host_id=*/0, /*vm_ctx_base=*/0, /*seed=*/11);
+  virt::DomU& vm = host.add_vm();
+  std::optional<obs::AttributionSession> obs;
+  if (attr_on) obs.emplace();
+  DomuState st{&vm, total_bios};
+  const double t0 = now_sec();
+  for (int i = 0; i < depth && st.remaining > 0; ++i) submit_next_domu(&st);
+  s.run();
+  const double wall = now_sec() - t0;
+  if (st.completed != total_bios) {
+    std::fprintf(stderr, "domu-roundtrip: completed %" PRIu64 " != %" PRIu64 "\n",
+                 st.completed, total_bios);
+  }
+  if (attr_on && obs->attribution().records_completed() != total_bios) {
+    std::fprintf(stderr, "domu-roundtrip: attributed %" PRIu64 " != %" PRIu64 "\n",
+                 obs->attribution().records_completed(), total_bios);
+  }
+  return wall;
+}
+
 // --- fig2-point ------------------------------------------------------------
 //
 // One seeded (cfq, cfq) wordcount run on the paper testbed — the end-to-end
@@ -256,6 +331,23 @@ int main(int argc, char** argv) {
   row("bio-roundtrip", bio_rate, bio_wall);
   bench::report().add("bio_roundtrip.bios_per_sec", bio_rate);
   bench::report().add("bio_roundtrip.wall_seconds", bio_wall);
+
+  const std::uint64_t n_domu = 200'000 / scale;
+  const double domu_off_wall =
+      best_of_fn(reps, [&] { return bench_domu_roundtrip(n_domu, 32, false); });
+  const double domu_off_rate = static_cast<double>(n_domu) / domu_off_wall;
+  row("domu-rt (attr off)", domu_off_rate, domu_off_wall);
+  bench::report().add("domu_roundtrip_attr_off.bios_per_sec", domu_off_rate);
+  bench::report().add("domu_roundtrip_attr_off.wall_seconds", domu_off_wall);
+
+  const double domu_on_wall =
+      best_of_fn(reps, [&] { return bench_domu_roundtrip(n_domu, 32, true); });
+  const double domu_on_rate = static_cast<double>(n_domu) / domu_on_wall;
+  row("domu-rt (attr on)", domu_on_rate, domu_on_wall);
+  bench::report().add("domu_roundtrip_attr_on.bios_per_sec", domu_on_rate);
+  bench::report().add("domu_roundtrip_attr_on.wall_seconds", domu_on_wall);
+  std::printf("  attribution overhead: %+.1f%% wall\n",
+              100.0 * (domu_on_wall - domu_off_wall) / domu_off_wall);
 
   const double fig2_wall = best_of(reps, bench_fig2_point);
   std::printf("  %-18s %14s        best wall %8.3f s\n", "fig2-point", "-", fig2_wall);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "iosched/request.hpp"
+#include "obs/attr.hpp"
 
 namespace iosim::blk {
 
@@ -23,6 +24,10 @@ struct Bio {
   bool sync = true;
   /// Issuing context (task id in a guest, VM id in Dom0).
   std::uint64_t ctx = 0;
+  /// Attribution record handle (obs/attr.hpp); kNoAttr when attribution is
+  /// off or the bio is outside the DomU->Dom0 path. Guest layers allocate
+  /// it, the blkfront ring copies it onto each Dom0 segment bio.
+  obs::AttrHandle attr = obs::kNoAttr;
   /// Invoked exactly once when the containing request completes, with the
   /// request's outcome (kOk unless the device failed the request).
   /// Small-buffer-optimized: captures up to CompletionFn's inline budget

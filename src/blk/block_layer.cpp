@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/attribution.hpp"
 #include "trace/trace.hpp"
 
 namespace iosim::blk {
@@ -82,6 +83,18 @@ void BlockLayer::submit(Bio bio) {
                 tr->ids.lba, bio.lba, tr->ids.sectors, bio.sectors);
   }
 
+  // Dom0 arrival stamp. Taken before the bio joins/creates a request so the
+  // "who was ahead" snapshot excludes the arriving segment itself; the
+  // Attribution keeps only the first segment's stamp per guest request.
+  if (cfg_.obs_role == obs::LayerRole::kDom0 && bio.attr != obs::kNoAttr) {
+    if (auto* at = obs::attribution()) {
+      at->on_dom0_arrive(bio.attr, now,
+                         queued_by_dir_[static_cast<int>(iosched::Dir::kRead)],
+                         queued_by_dir_[static_cast<int>(iosched::Dir::kWrite)],
+                         in_flight_);
+    }
+  }
+
   // Back-merge: a queued request of the same direction/sync/context ending
   // exactly where this bio starts grows to absorb it (the common sequential
   // pattern; the kernel's dominant merge path).
@@ -92,6 +105,13 @@ void BlockLayer::submit(Bio bio) {
       merge_idx_.erase(it);
       rq->sectors += bio.sectors;
       if (bio.on_complete) rq->completions.push_back(std::move(bio.on_complete));
+      // A Dom0 request absorbs the records of every guest request whose
+      // segments merged into it (distinct handles only; one guest request
+      // contributes many segments).
+      if (bio.attr != obs::kNoAttr &&
+          std::find(rq->attrs.begin(), rq->attrs.end(), bio.attr) == rq->attrs.end()) {
+        rq->attrs.push_back(bio.attr);
+      }
       merge_idx_.emplace(rq->end(), rq);
       sched_->note_back_merge(rq);
       ++counters_.back_merges;
@@ -113,8 +133,20 @@ void BlockLayer::submit(Bio bio) {
   rq->ctx = bio.ctx;
   rq->submit = now;
   if (bio.on_complete) rq->completions.push_back(std::move(bio.on_complete));
+  if (cfg_.obs_role == obs::LayerRole::kGuest) {
+    // A fresh guest request starts a new attribution record (merged bios
+    // ride on it; the record tracks the request, not individual bios).
+    if (auto* at = obs::attribution()) {
+      rq->attrs.push_back(at->on_submit(cfg_.obs_host, cfg_.obs_vm,
+                                        rq->dir == iosched::Dir::kWrite,
+                                        rq->sync, rq->lba, rq->sectors, now));
+    }
+  } else if (bio.attr != obs::kNoAttr) {
+    rq->attrs.push_back(bio.attr);
+  }
   requests_.emplace(rq->id, std::move(rq_owned));
   merge_idx_.emplace(rq->end(), rq);
+  ++queued_by_dir_[static_cast<int>(rq->dir)];
   sched_->add(rq, now);
   kick();
 }
@@ -194,7 +226,18 @@ void BlockLayer::kick() {
     merge_idx_.erase(rq->end());
     ++counters_.requests_dispatched;
     ++in_flight_;
+    assert(queued_by_dir_[static_cast<int>(rq->dir)] > 0);
+    --queued_by_dir_[static_cast<int>(rq->dir)];
     rq->dispatch = simr_.now();
+    if (cfg_.obs_role != obs::LayerRole::kNone && !rq->attrs.empty()) {
+      if (auto* at = obs::attribution()) {
+        const bool guest = cfg_.obs_role == obs::LayerRole::kGuest;
+        for (const auto h : rq->attrs) {
+          guest ? at->on_guest_dispatch(h, rq->dispatch)
+                : at->on_dom0_dispatch(h, rq->dispatch);
+        }
+      }
+    }
     // Index loop: a callback may register further observers (growing the
     // vector); unregistering from inside a callback is not supported.
     for (std::size_t i = 0; i < observers_->dispatch.size(); ++i) {
@@ -217,6 +260,17 @@ void BlockLayer::on_sink_complete(Request* rq, Time now) {
   }
   counters_.bytes_completed[static_cast<int>(rq->dir)] += rq->bytes();
   sched_->on_complete(*rq, now);
+  if (cfg_.obs_role != obs::LayerRole::kNone && !rq->attrs.empty()) {
+    // Dom0: stamp media completion (a guest request's last segment wins).
+    // Guest: the request is done end to end — fold the waterfall and
+    // recycle the record (safe: every Dom0 segment completed before us).
+    if (auto* at = obs::attribution()) {
+      const bool guest = cfg_.obs_role == obs::LayerRole::kGuest;
+      for (const auto h : rq->attrs) {
+        guest ? at->on_complete(h, now) : at->on_dom0_complete(h, now);
+      }
+    }
+  }
   if (auto* tr = trace::tracer()) {
     const auto track = tr->track(cfg_.name);
     const bool read = rq->dir == iosched::Dir::kRead;

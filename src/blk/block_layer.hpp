@@ -19,6 +19,7 @@
 #include "blk/bio.hpp"
 #include "blk/request_sink.hpp"
 #include "iosched/scheduler.hpp"
+#include "obs/attr.hpp"
 #include "sim/simulator.hpp"
 
 namespace iosim::blk {
@@ -79,6 +80,12 @@ struct BlockLayerConfig {
   sim::Time switch_freeze = sim::Time::from_ms(1000);
   /// Human-readable name for traces ("host0/dom0", "host0/vm2", ...).
   std::string name = "blk";
+  /// Request-path attribution role (obs/attr.hpp). kNone (the default)
+  /// disables the stamping hooks entirely; PhysicalHost sets kDom0/kGuest
+  /// plus the coordinates when it assembles the split-driver path.
+  obs::LayerRole obs_role = obs::LayerRole::kNone;
+  int obs_host = 0;
+  int obs_vm = 0;
 };
 
 /// Lifetime/throughput counters, cheap enough to always keep.
@@ -119,6 +126,11 @@ class BlockLayer {
 
   /// Number of requests queued in the elevator (not yet at the device).
   std::size_t queued() const { return sched_->size(); }
+  /// Queued requests of one direction — the stall detector's "who was
+  /// ahead" snapshot (counts requests, not merged bios, like queued()).
+  std::size_t queued(iosched::Dir d) const {
+    return queued_by_dir_[static_cast<int>(d)];
+  }
   /// Number of requests handed to the sink and not yet completed.
   std::size_t in_flight() const { return in_flight_; }
 
@@ -149,6 +161,7 @@ class BlockLayer {
   std::unordered_map<Lba, Request*> merge_idx_;
 
   std::size_t in_flight_ = 0;
+  std::size_t queued_by_dir_[iosched::kNumDirs] = {0, 0};
   bool frozen_ = false;
   // Elevator-switch state: while draining, the old scheduler empties and
   // arriving bios queue up in held_.

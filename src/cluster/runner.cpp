@@ -1,7 +1,9 @@
 #include "cluster/runner.hpp"
 
 #include <cassert>
+#include <utility>
 
+#include "obs/attribution.hpp"
 #include "sim/random.hpp"
 
 namespace iosim::cluster {
@@ -12,6 +14,21 @@ RunResult run_job(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
   cl.simr().set_budget(cfg.budget);
   mapred::Job job(cl.env(), job_conf, cfg.seed ^ 0x9E3779B97F4A7C15ULL);
   if (setup) setup(cl, job);
+  if (auto* at = obs::attribution()) {
+    // Key attribution records by MapReduce phase: 0 = map, 1 = shuffle,
+    // 2 = reduce. Chain onto (not over) any milestone hooks `setup` set.
+    at->set_phase(0);
+    auto prev_maps = std::move(job.on_maps_done);
+    job.on_maps_done = [at, prev = std::move(prev_maps)](sim::Time t) {
+      if (prev) prev(t);
+      at->set_phase(1);
+    };
+    auto prev_shuffle = std::move(job.on_shuffle_done);
+    job.on_shuffle_done = [at, prev = std::move(prev_shuffle)](sim::Time t) {
+      if (prev) prev(t);
+      at->set_phase(2);
+    };
+  }
   job.run();
   cl.simr().run();
 

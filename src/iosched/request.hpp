@@ -68,6 +68,13 @@ struct Request {
   /// Per-bio completion callbacks (arguments: completion time, outcome).
   std::vector<CompletionFn> completions;
 
+  /// Attribution record handles (obs::AttrHandle) of the guest requests
+  /// this request carries — empty when attribution is off. A guest request
+  /// holds at most one; a Dom0 request accumulates the distinct handles of
+  /// the ring segments merged into it. Kept as raw u32 so iosched/ stays
+  /// independent of obs/.
+  std::vector<std::uint32_t> attrs;
+
   Lba end() const { return lba + sectors; }
   std::int64_t bytes() const { return sectors * disk::kSectorBytes; }
 };

@@ -86,6 +86,21 @@ void IostatSampler::tick() {
   }
 
   if (stop_pred_ && stop_pred_()) return;
+  // Drain guard: when every watched layer is idle and no other event is
+  // pending (our own tick has already fired, so pending() counts only
+  // foreign events), the simulation is over except for us — rescheduling
+  // would keep the loop alive forever on runs whose stop predicate never
+  // trips (or that never set one). Auto-stop instead.
+  if (simr_.pending() == 0) {
+    bool idle = true;
+    for (const auto& w : watched_) {
+      if (w.layer->queued() != 0 || w.layer->in_flight() != 0) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) return;
+  }
   ev_ = simr_.after(opt_.period, [this] { tick(); });
 }
 

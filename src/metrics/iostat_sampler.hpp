@@ -9,8 +9,11 @@
 // registry (gauges + histograms), when either is installed.
 //
 // The sampler reschedules itself on the simulator; because the simulator
-// runs until its queue is empty, a stop predicate (typically "the job is
-// done") must be supplied or stop() called, or the simulation never drains.
+// runs until its queue is empty, a self-rescheduling sampler could keep a
+// finished simulation alive forever. Three things end it: a stop predicate
+// (typically "the job is done"), an explicit stop(), or the built-in drain
+// guard — when a tick finds every watched layer idle and no event besides
+// the sampler's own pending, it declines to reschedule and the loop drains.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,126 @@
+// iosim: request-path attribution vocabulary — the stage model.
+//
+// A guest request's life crosses two block layers and the split-driver
+// ring; the attribution layer stamps it at six points:
+//
+//   kSubmit        bio enters the guest elevator (DomU submit)
+//   kGuestDispatch guest elevator hands the request to the blkfront ring
+//   kDom0Arrive    first ring segment reaches the Dom0 elevator
+//   kDom0Dispatch  Dom0 elevator hands the (merged) request to the disk
+//   kDom0Complete  last Dom0 segment carrying this request completes
+//   kComplete      the guest request completes back in the DomU
+//
+// Adjacent stamps bound the five lanes of the latency waterfall; their sum
+// is exactly the end-to-end latency (kTotal). A guest request's segments
+// may merge with other requests' segments inside the Dom0 elevator, so the
+// Dom0 stamps use first-arrival / first-dispatch / last-completion
+// semantics — the same request-level view blktrace gives on real kernels.
+//
+// This header has no dependencies beyond <cstdint> on purpose: blk/ and
+// virt/ include it to carry roles and handles without obs/ ever needing to
+// include them back.
+#pragma once
+
+#include <cstdint>
+
+namespace iosim::obs {
+
+/// Opaque handle to an in-flight attribution record. 0 = none; bios and
+/// requests carry it as plain data (see blk::Bio::attr).
+using AttrHandle = std::uint32_t;
+inline constexpr AttrHandle kNoAttr = 0;
+
+/// Which rung of the split-driver path a BlockLayer occupies. Layers
+/// outside the DomU->Dom0 path (bare layers in unit tests and benches)
+/// keep kNone and skip even the attribution pointer check.
+enum class LayerRole : std::uint8_t { kNone = 0, kGuest = 1, kDom0 = 2 };
+
+enum class Stage : std::uint8_t {
+  kSubmit = 0,
+  kGuestDispatch = 1,
+  kDom0Arrive = 2,
+  kDom0Dispatch = 3,
+  kDom0Complete = 4,
+  kComplete = 5,
+};
+inline constexpr int kNumStages = 6;
+
+/// The waterfall lanes: lane i spans stage i -> stage i+1; kTotal spans
+/// kSubmit -> kComplete and equals the sum of the other five.
+enum class Lane : std::uint8_t {
+  kGuestQueue = 0,  // guest elevator residence
+  kRingWait = 1,    // blkfront ring crossing + slot wait
+  kElvWait = 2,     // Dom0 elevator residence — the paper's battleground
+  kService = 3,     // device service (Dom0 dispatch -> last completion)
+  kReturn = 4,      // completion path back through the ring
+  kTotal = 5,
+};
+inline constexpr int kNumLanes = 6;
+
+/// Short machine names ("elv_wait"), used in registry metric names and
+/// report tables.
+inline const char* lane_name(Lane l) {
+  switch (l) {
+    case Lane::kGuestQueue: return "guest_queue";
+    case Lane::kRingWait: return "ring_wait";
+    case Lane::kElvWait: return "elv_wait";
+    case Lane::kService: return "service";
+    case Lane::kReturn: return "ret";
+    case Lane::kTotal: return "total";
+  }
+  return "?";
+}
+
+/// Sketch key: every completed request folds into the sketches of exactly
+/// one key. phase is the MapReduce phase index at *submit* time (0 = map,
+/// 1 = shuffle, 2 = reduce tail; 0 outside a phase-tracked job).
+struct AttrKey {
+  std::uint16_t host = 0;
+  std::uint16_t vm = 0;
+  std::uint8_t dir = 0;   // 0 = read, 1 = write
+  std::uint8_t sync = 0;  // 0 = async, 1 = sync
+  std::uint8_t phase = 0;
+
+  /// Dense packing for map lookup (host 12b | vm 12b | dir | sync | phase 6b).
+  std::uint32_t pack() const {
+    return (static_cast<std::uint32_t>(host & 0xFFFu) << 20) |
+           (static_cast<std::uint32_t>(vm & 0xFFFu) << 8) |
+           (static_cast<std::uint32_t>(dir & 1u) << 7) |
+           (static_cast<std::uint32_t>(sync & 1u) << 6) |
+           static_cast<std::uint32_t>(phase & 0x3Fu);
+  }
+};
+
+/// One in-flight request's stamp record. Lives in the Attribution arena
+/// from guest submit to guest completion, then recycles.
+struct AttrRecord {
+  /// Stage timestamps in ns; -1 = not stamped yet.
+  std::int64_t stamp[kNumStages];
+  std::int64_t lba = 0;
+  std::int64_t sectors = 0;
+  AttrKey key;
+  /// Dom0 elevator snapshot taken at kDom0Arrive ("who was ahead").
+  std::uint32_t reads_ahead = 0;
+  std::uint32_t writes_ahead = 0;
+  std::uint32_t dom0_in_flight = 0;
+  bool in_use = false;
+};
+
+/// One stall-detector hit: a completed request whose end-to-end latency
+/// exceeded the percentile-based threshold of its key.
+struct StallEvent {
+  AttrKey key;
+  std::int64_t lba = 0;
+  std::int64_t sectors = 0;
+  std::int64_t submit_ns = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t threshold_ns = 0;
+  /// Per-lane breakdown of the stalled request (kTotal included).
+  std::int64_t lane_ns[kNumLanes] = {0, 0, 0, 0, 0, 0};
+  /// Dom0 queue at the moment the request arrived there.
+  std::uint32_t reads_ahead = 0;
+  std::uint32_t writes_ahead = 0;
+  std::uint32_t dom0_in_flight = 0;
+};
+
+}  // namespace iosim::obs

@@ -100,6 +100,30 @@ Tracer::Tracer(TracerConfig cfg) {
   ids.read_mb_s = intern("read MB/s");
   ids.write_mb_s = intern("write MB/s");
   ids.attempt = intern("attempt");
+  ids.cat_obs = intern("obs");
+  ids.io_stall = intern("io stall");
+  ids.io_stall_wait = intern("io stall wait");
+  ids.obs_summary = intern("obs summary");
+  ids.trace_overflow = intern("trace overflow");
+  ids.obs_lane[0] = intern("obs guest_queue");
+  ids.obs_lane[1] = intern("obs ring_wait");
+  ids.obs_lane[2] = intern("obs elv_wait");
+  ids.obs_lane[3] = intern("obs service");
+  ids.obs_lane[4] = intern("obs ret");
+  ids.obs_lane[5] = intern("obs total");
+  ids.obs_total_win = intern("obs total win");
+  ids.count = intern("count");
+  ids.sum_ns = intern("sum_ns");
+  ids.max_ns = intern("max_ns");
+  ids.p50_ns = intern("p50_ns");
+  ids.p95_ns = intern("p95_ns");
+  ids.p99_ns = intern("p99_ns");
+  ids.elv_wait_ns = intern("elv_wait_ns");
+  ids.service_ns = intern("service_ns");
+  ids.total_ns = intern("total_ns");
+  ids.writes_ahead = intern("writes_ahead");
+  ids.reads_ahead = intern("reads_ahead");
+  ids.stalls = intern("stalls");
 
   // Rare structural events survive ring overflow: a multi-million-event bio
   // flood must not push the handful of switch / phase / lifecycle markers
@@ -115,7 +139,11 @@ Tracer::Tracer(TracerConfig cfg) {
                 ids.maps_done, ids.shuffle_done, ids.job_done, ids.fault,
                 ids.io_error, ids.vm_down, ids.vm_up, ids.switch_fail,
                 ids.task_fail, ids.task_retry, ids.task_speculate,
-                ids.hdfs_failover, ids.fetch_retry, ids.job_failed}) {
+                ids.hdfs_failover, ids.fetch_retry, ids.job_failed,
+                ids.io_stall, ids.io_stall_wait, ids.obs_summary,
+                ids.trace_overflow, ids.obs_lane[0], ids.obs_lane[1],
+                ids.obs_lane[2], ids.obs_lane[3], ids.obs_lane[4],
+                ids.obs_lane[5], ids.obs_total_win}) {
     pin_name(s);
   }
 }
@@ -153,7 +181,20 @@ void Tracer::emit(const Event& e) {
     // Full: overwrite the oldest event.
     ring_[head_] = e;
     head_ = (head_ + 1) % ring_.size();
-    ++dropped_;
+    if (++dropped_ == 1 && pinned_.size() < pinned_capacity_) {
+      // First overflow: park a pinned marker (pushed directly — going back
+      // through emit() would recurse) so the export shows *when* the flight
+      // recorder started losing history, not just that it did. The final
+      // drop count lives in the export header / CSV summary.
+      Event marker;
+      marker.ph = Ph::kInstant;
+      marker.name = ids.trace_overflow;
+      marker.cat = ids.cat_meta;
+      marker.track = e.track;
+      marker.ts_ns = e.ts_ns;
+      pinned_.push_back(marker);
+      ++emitted_;  // keep emitted() == size() + dropped()
+    }
     return;
   }
   ring_[(head_ + count_) % ring_.size()] = e;
@@ -312,12 +353,26 @@ std::string Tracer::to_csv() const {
     }
     out += '\n';
   });
+  if (dropped_ > 0) {
+    // Summary row (ph 'M' like the JSON metadata) so a CSV consumer sees
+    // the loss too; zero-drop exports are byte-identical to before.
+    out += "M,,dropped_events,,0,0,count," + std::to_string(dropped_) +
+           ",,,,\n";
+  }
   return out;
 }
 
 bool Tracer::write_file(const std::string& path, bool csv) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
+  if (dropped_ > 0) {
+    // A silently truncated flight recording invalidates whatever analysis
+    // reads it — say so where the invoking human will see it.
+    std::fprintf(stderr,
+                 "trace: WARNING: ring overflow dropped %llu events (capacity "
+                 "%zu); raise TracerConfig::capacity for a complete trace\n",
+                 static_cast<unsigned long long>(dropped_), ring_.size());
+  }
   const std::string data = csv ? to_csv() : to_json();
   const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
   return std::fclose(f) == 0 && ok;

@@ -145,6 +145,13 @@ class Tracer {
     Str job_failed;
     Str lba, sectors, value, index, pair, host, task, bytes, target, share;
     Str queued, in_flight, read_mb_s, write_mb_s, attempt;
+    // Attribution / observability (obs/): lane summaries, stall markers,
+    // and the ring-overflow marker. All pinned.
+    Str cat_obs, io_stall, io_stall_wait, obs_summary, trace_overflow;
+    Str obs_lane[6];  // "obs guest_queue" .. "obs total", Lane order
+    Str obs_total_win;
+    Str count, sum_ns, max_ns, p50_ns, p95_ns, p99_ns;
+    Str elv_wait_ns, service_ns, total_ns, writes_ahead, reads_ahead, stalls;
   };
   CommonIds ids;
 

@@ -61,6 +61,9 @@ class BlkfrontRing final : public blk::RequestSink {
         bio.dir = rq->dir;
         bio.sync = rq->sync;
         bio.ctx = vm_ctx_;
+        // Every segment carries the guest request's attribution handle so
+        // the Dom0 layer can stamp arrival/dispatch/completion on it.
+        bio.attr = rq->attrs.empty() ? obs::kNoAttr : rq->attrs.front();
         bio.on_complete = [this, rq, remaining](Time, blk::IoStatus st) {
           // Any failed segment fails the whole guest request (blkback
           // reports one status per ring request).

@@ -13,6 +13,8 @@ PhysicalHost::PhysicalHost(sim::Simulator& simr, HostConfig cfg, int host_id,
   disk_->set_trace_name("host" + std::to_string(host_id) + "/disk");
   blk::BlockLayerConfig dcfg = cfg_.dom0_blk;
   dcfg.name = "host" + std::to_string(host_id) + "/dom0";
+  dcfg.obs_role = obs::LayerRole::kDom0;
+  dcfg.obs_host = host_id;
   dom0_ = std::make_unique<blk::BlockLayer>(simr_, *disk_, dcfg);
 }
 
@@ -27,6 +29,9 @@ DomU& PhysicalHost::add_vm() {
   DomUConfig vcfg = cfg_.domu;
   vcfg.guest_blk.name =
       "host" + std::to_string(host_id_) + "/vm" + std::to_string(i);
+  vcfg.guest_blk.obs_role = obs::LayerRole::kGuest;
+  vcfg.guest_blk.obs_host = host_id_;
+  vcfg.guest_blk.obs_vm = i;
   vms_.push_back(std::make_unique<DomU>(simr_, vm_ctx_base_ + static_cast<std::uint64_t>(i),
                                         *dom0_, base, image_sectors, vcfg));
   if (auto* tr = trace::tracer()) {

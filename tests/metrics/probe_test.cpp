@@ -1,0 +1,176 @@
+// Direct unit tests for the latency and throughput probes: observer
+// lifetime (handle removal), direction/sync bucketing, and a two-request
+// scenario with hand-computed timings through a fixed-latency sink.
+#include "metrics/latency_probe.hpp"
+#include "metrics/throughput_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "blk/block_layer.hpp"
+#include "blk/request_sink.hpp"
+
+namespace iosim::metrics {
+namespace {
+
+using blk::Bio;
+using blk::BlockLayer;
+using blk::BlockLayerConfig;
+using iosched::Dir;
+using iosched::SchedulerKind;
+using sim::Time;
+
+/// Capacity-1 sink that completes every request exactly `latency` after
+/// dispatch — timings become pencil-and-paper checkable, unlike DiskDevice
+/// whose service time depends on seek distance.
+class FixedLatencySink : public blk::RequestSink {
+ public:
+  FixedLatencySink(sim::Simulator& simr, Time latency)
+      : simr_(simr), latency_(latency) {}
+
+  bool can_accept() const override { return !busy_; }
+
+  void submit(blk::Request* rq, Time) override {
+    busy_ = true;
+    simr_.after(latency_, [this, rq] {
+      const Time t = simr_.now();
+      busy_ = false;
+      complete(rq, t);
+      ready(t);
+    });
+  }
+
+ private:
+  sim::Simulator& simr_;
+  Time latency_;
+  bool busy_ = false;
+};
+
+struct Rig {
+  sim::Simulator simr;
+  FixedLatencySink sink;
+  BlockLayer layer;
+
+  explicit Rig(Time latency = Time::from_ms(2))
+      : sink(simr, latency), layer(simr, sink, [] {
+          BlockLayerConfig cfg;
+          cfg.scheduler = SchedulerKind::kNoop;
+          return cfg;
+        }()) {}
+
+  void submit(disk::Lba lba, std::int64_t sectors, Dir dir, bool sync) {
+    Bio b;
+    b.lba = lba;
+    b.sectors = sectors;
+    b.dir = dir;
+    b.sync = sync;
+    layer.submit(std::move(b));
+  }
+};
+
+TEST(LatencyProbe, HandComputedTwoRequestScenario) {
+  // Sink latency 2ms, noop scheduler, capacity 1.
+  //   t=0ms: sync read submitted, dispatches immediately, completes t=2ms
+  //          -> read latency exactly 2ms.
+  //   t=1ms: async write submitted, sink busy until 2ms, dispatches then,
+  //          completes t=4ms -> write latency exactly 3ms.
+  Rig r;
+  LatencyProbe probe(r.layer);
+  r.submit(1'000, 8, Dir::kRead, /*sync=*/true);
+  r.simr.after(Time::from_ms(1),
+               [&] { r.submit(50'000, 8, Dir::kWrite, /*sync=*/false); });
+  r.simr.run();
+
+  ASSERT_EQ(probe.all().size(), 2u);
+  ASSERT_EQ(probe.reads().size(), 1u);
+  ASSERT_EQ(probe.writes().size(), 1u);
+  ASSERT_EQ(probe.sync().size(), 1u);  // only the read was sync
+  EXPECT_DOUBLE_EQ(probe.read_p50(), 2.0);
+  EXPECT_DOUBLE_EQ(probe.read_p99(), 2.0);
+  EXPECT_DOUBLE_EQ(probe.write_p50(), 3.0);
+  EXPECT_DOUBLE_EQ(probe.write_p99(), 3.0);
+  EXPECT_DOUBLE_EQ(probe.sync().quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(probe.all().mean(), 2.5);
+}
+
+TEST(LatencyProbe, BucketsByDirectionAndSyncClass) {
+  Rig r(Time::from_us(100));
+  LatencyProbe probe(r.layer);
+  // Spaced-out submissions (no queueing, no merging): 2 sync reads,
+  // 1 async read, 3 async writes.
+  const struct {
+    Dir dir;
+    bool sync;
+  } plan[] = {{Dir::kRead, true},  {Dir::kRead, true},   {Dir::kRead, false},
+              {Dir::kWrite, false}, {Dir::kWrite, false}, {Dir::kWrite, false}};
+  int i = 0;
+  for (const auto& p : plan) {
+    r.simr.after(Time::from_ms(i),
+                 [&r, p] { r.submit(1'000'000, 8, p.dir, p.sync); });
+    ++i;
+  }
+  r.simr.run();
+  EXPECT_EQ(probe.all().size(), 6u);
+  EXPECT_EQ(probe.reads().size(), 3u);
+  EXPECT_EQ(probe.writes().size(), 3u);
+  EXPECT_EQ(probe.sync().size(), 2u);
+  // Every request saw the same idle-sink latency.
+  EXPECT_DOUBLE_EQ(probe.all().quantile(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(probe.all().quantile(0.0), 0.1);
+}
+
+TEST(LatencyProbe, DestructionRemovesObserver) {
+  Rig r;
+  auto probe = std::make_unique<LatencyProbe>(r.layer);
+  LatencyProbe survivor(r.layer);
+  r.submit(1'000, 8, Dir::kRead, true);
+  r.simr.run();
+  EXPECT_EQ(probe->all().size(), 1u);
+  probe.reset();  // unregisters; the layer must not call into freed memory
+  r.submit(2'000, 8, Dir::kRead, true);
+  r.simr.run();
+  EXPECT_EQ(survivor.all().size(), 2u);  // still observing after the removal
+}
+
+TEST(ThroughputProbe, HandComputedTwoRequestScenario) {
+  // Same two-request timeline as the latency test: completions of 4096
+  // bytes each at t=2ms and t=4ms.
+  Rig r;
+  ThroughputProbe probe(r.layer);
+  r.submit(1'000, 8, Dir::kRead, true);
+  r.simr.after(Time::from_ms(1), [&] { r.submit(50'000, 8, Dir::kWrite, false); });
+  r.simr.run();
+
+  EXPECT_EQ(probe.completions(), 2u);
+  EXPECT_EQ(probe.total_bytes(), 2 * 8 * disk::kSectorBytes);
+  // 8192 bytes over the 2ms first-to-last span.
+  EXPECT_DOUBLE_EQ(probe.mean_bps(), 8192.0 / 0.002);
+
+  // 1ms windows over [0, 5ms): completions land in windows 2 and 4 at
+  // 4096 B / 1ms = 4.096 MB/s each.
+  const auto with_idle =
+      probe.windowed_mb_s(Time::zero(), Time::from_ms(5), Time::from_ms(1), true);
+  EXPECT_EQ(with_idle.size(), 6u);  // (5ms / 1ms) + 1 windows, idle included
+  EXPECT_DOUBLE_EQ(with_idle.quantile(1.0), 4.096);
+  const auto busy_only =
+      probe.windowed_mb_s(Time::zero(), Time::from_ms(5), Time::from_ms(1), false);
+  EXPECT_EQ(busy_only.size(), 2u);
+  EXPECT_DOUBLE_EQ(busy_only.mean(), 4.096);
+}
+
+TEST(ThroughputProbe, DestructionRemovesObserver) {
+  Rig r;
+  std::optional<ThroughputProbe> probe(std::in_place, r.layer);
+  r.submit(1'000, 8, Dir::kRead, true);
+  r.simr.run();
+  EXPECT_EQ(probe->completions(), 1u);
+  probe.reset();
+  r.submit(2'000, 8, Dir::kRead, true);
+  r.simr.run();  // no crash: the observer list no longer references the probe
+  EXPECT_EQ(r.layer.counters().requests_completed, 2u);
+}
+
+}  // namespace
+}  // namespace iosim::metrics

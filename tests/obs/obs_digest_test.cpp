@@ -1,0 +1,85 @@
+// Byte-identity guard for the attribution-enabled path: the same seeded
+// run that pins the attribution-off trace digest (tests/cluster/
+// trace_digest_test.cpp) must, with an AttributionSession installed,
+// produce a byte-identical trace export AND a byte-identical HTML report
+// run over run. The constants below were computed from this test's first
+// run; like the pre-refactor digest, a mismatch means same-seed work was
+// reordered or the export format changed — only an intentional format
+// change may update them (and must say so in its commit).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/runner.hpp"
+#include "exp/artifact.hpp"
+#include "exp/report.hpp"
+#include "obs/attribution.hpp"
+#include "trace/trace.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace iosim {
+namespace {
+
+/// FNV-1a 64 of the attribution-enabled trace JSON / HTML report of the
+/// seeded run below (2 hosts, 2 VMs, seed 7, 32 MiB wordcount).
+inline constexpr std::uint64_t kObsTraceDigest = 0x9c8a62d8fc983271ULL;
+inline constexpr std::uint64_t kObsReportDigest = 0xc7009f05917388cfULL;
+
+struct ObsRun {
+  std::string trace_json;
+  std::string report_html;
+};
+
+ObsRun obs_run() {
+  trace::TraceSession session;
+  obs::AttributionSession attr;
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = 2;
+  cfg.vms_per_host = 2;
+  cfg.seed = 7;
+  const auto jc = workloads::make_job(workloads::wordcount(), 32 * mapred::kMiB);
+  const auto rr = cluster::run_job(cfg, jc);
+  EXPECT_FALSE(rr.failed) << rr.failure;
+  EXPECT_GT(attr.attribution().records_completed(), 0u);
+  EXPECT_EQ(attr.attribution().records_live(), 0u);
+  attr.attribution().export_to_trace(session.tracer());
+
+  ObsRun out;
+  out.trace_json = session.tracer().to_json();
+  std::string err;
+  exp::ReportOptions opt;
+  opt.title = "obs digest run";
+  out.report_html = exp::render_report(out.trace_json, {}, opt, &err);
+  EXPECT_FALSE(out.report_html.empty()) << err;
+  return out;
+}
+
+TEST(ObsDigest, SeededRunMatchesPinnedTraceDigest) {
+  const ObsRun run = obs_run();
+  const std::uint64_t digest = exp::fnv1a64(run.trace_json);
+  EXPECT_EQ(digest, kObsTraceDigest)
+      << "obs trace digest changed: 0x" << std::hex << digest << std::dec
+      << " (json bytes: " << run.trace_json.size() << ")";
+}
+
+TEST(ObsDigest, SeededRunMatchesPinnedReportDigest) {
+  const ObsRun run = obs_run();
+  const std::uint64_t digest = exp::fnv1a64(run.report_html);
+  EXPECT_EQ(digest, kObsReportDigest)
+      << "obs report digest changed: 0x" << std::hex << digest << std::dec
+      << " (html bytes: " << run.report_html.size() << ")";
+  // The report actually carries the attribution surface, not an empty shell.
+  EXPECT_NE(run.report_html.find("Latency waterfalls"), std::string::npos);
+  EXPECT_NE(run.report_html.find("host0 vm0"), std::string::npos);
+}
+
+TEST(ObsDigest, SameSeedIsByteIdenticalWithinProcess) {
+  const ObsRun a = obs_run();
+  const ObsRun b = obs_run();
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.report_html, b.report_html);
+}
+
+}  // namespace
+}  // namespace iosim

@@ -158,15 +158,29 @@ TEST(Tracer, RingOverflowDropsOldestAndCounts) {
   for (int i = 0; i < 20; ++i) {
     tr.instant(t, bulk, tr.ids.cat_blk, sim::Time::from_ns(i));
   }
-  EXPECT_EQ(tr.size(), 8u);
+  // The first drop also pins one "trace overflow" marker (and counts it as
+  // emitted), so the loss is visible in the export even if the counter is
+  // overlooked: 8 ring events + 1 marker.
+  EXPECT_EQ(tr.size(), 9u);
   EXPECT_EQ(tr.dropped(), 12u);
-  EXPECT_EQ(tr.emitted(), 20u);
+  EXPECT_EQ(tr.emitted(), 21u);
+  EXPECT_EQ(tr.pinned_size(), 1u);
   std::vector<std::int64_t> ts;
-  tr.for_each([&](const Event& e) { ts.push_back(e.ts_ns); });
+  std::size_t markers = 0;
+  tr.for_each([&](const Event& e) {
+    if (e.name == tr.ids.trace_overflow) {
+      ++markers;
+      return;
+    }
+    ts.push_back(e.ts_ns);
+  });
+  EXPECT_EQ(markers, 1u);  // exactly one marker, no matter how many drops
   ASSERT_EQ(ts.size(), 8u);
   EXPECT_EQ(ts.front(), 12);  // oldest surviving = event 12
   EXPECT_EQ(ts.back(), 19);
-  EXPECT_NE(tr.to_json().find("\"dropped_events\":\"12\""), std::string::npos);
+  const std::string json = tr.to_json();
+  EXPECT_NE(json.find("\"dropped_events\":\"12\""), std::string::npos);
+  EXPECT_NE(json.find("trace overflow"), std::string::npos);
 }
 
 TEST(Tracer, PinnedEventsSurviveRingOverflow) {
@@ -182,10 +196,16 @@ TEST(Tracer, PinnedEventsSurviveRingOverflow) {
   for (int i = 0; i < 100; ++i) {
     tr.instant(t, bulk, tr.ids.cat_blk, sim::Time::from_ns(10 + i));
   }
-  EXPECT_EQ(tr.pinned_size(), 1u);
+  // The milestone plus the first-drop overflow marker.
+  EXPECT_EQ(tr.pinned_size(), 2u);
   bool phase_alive = false;
-  tr.for_each([&](const Event& e) { phase_alive |= (e.name == tr.ids.phase); });
+  bool marker_alive = false;
+  tr.for_each([&](const Event& e) {
+    phase_alive |= (e.name == tr.ids.phase);
+    marker_alive |= (e.name == tr.ids.trace_overflow);
+  });
   EXPECT_TRUE(phase_alive);
+  EXPECT_TRUE(marker_alive);
 }
 
 TEST(Tracer, PinnedStoreOverflowFallsBackToRing) {

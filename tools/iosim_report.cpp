@@ -1,0 +1,122 @@
+// iosim-report — render a self-contained HTML report from run artifacts.
+//
+//   iosim-report --trace trace.json --bench BENCH_smoke.json -o report.html
+//
+// Consumes the trace JSON an instrumented run exports (iosimctl run
+// --trace ... --obs, which pins the attribution lane summaries and the
+// stall log into the trace) and any number of BENCH JSON files (flat bench
+// reports or sweep-engine outputs), and writes one dependency-free HTML
+// document: latency waterfalls per (host, vm, dir, sync, phase) key,
+// per-phase percentile breakdowns, the stall log with its Dom0 queue
+// snapshots, dropped-event accounting, and one table per BENCH file. The
+// output is deterministic: same input bytes, same HTML bytes (the CI smoke
+// job archives it next to the BENCH JSON).
+//
+// Exit codes: 0 report written; 1 unreadable/malformed input or write
+// failure; 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/artifact.hpp"
+#include "exp/report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trace FILE] [--bench FILE]... [--title TEXT] -o OUT.html\n"
+               "  --trace FILE   Chrome-trace JSON from an instrumented run\n"
+               "  --bench FILE   BENCH JSON (repeatable; flat or sweep format)\n"
+               "  --title TEXT   report title (default: iosim report)\n"
+               "  -o OUT.html    output path (written atomically)\n"
+               "at least one of --trace / --bench is required\n",
+               argv0);
+  return 2;
+}
+
+bool slurp(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "iosim-report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::vector<std::string> bench_paths;
+  std::string out_path;
+  iosim::exp::ReportOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "iosim-report: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--trace") == 0) {
+      const char* v = need_value(a);
+      if (v == nullptr) return 2;
+      trace_path = v;
+    } else if (std::strcmp(a, "--bench") == 0) {
+      const char* v = need_value(a);
+      if (v == nullptr) return 2;
+      bench_paths.push_back(v);
+    } else if (std::strcmp(a, "--title") == 0) {
+      const char* v = need_value(a);
+      if (v == nullptr) return 2;
+      opt.title = v;
+    } else if (std::strcmp(a, "-o") == 0 || std::strcmp(a, "--out") == 0) {
+      const char* v = need_value(a);
+      if (v == nullptr) return 2;
+      out_path = v;
+    } else {
+      std::fprintf(stderr, "iosim-report: unknown flag %s\n", a);
+      return usage(argv[0]);
+    }
+  }
+  if (out_path.empty() || (trace_path.empty() && bench_paths.empty())) {
+    return usage(argv[0]);
+  }
+
+  std::string trace_json;
+  if (!trace_path.empty() && !slurp(trace_path, &trace_json)) return 1;
+
+  std::vector<iosim::exp::ReportBench> benches;
+  for (const auto& p : bench_paths) {
+    iosim::exp::ReportBench b;
+    // Label = basename, so reports don't bake in CI scratch directories.
+    const auto slash = p.find_last_of('/');
+    b.label = slash == std::string::npos ? p : p.substr(slash + 1);
+    if (!slurp(p, &b.text)) return 1;
+    benches.push_back(std::move(b));
+  }
+
+  std::string error;
+  const std::string html =
+      iosim::exp::render_report(trace_json, benches, opt, &error);
+  if (html.empty()) {
+    std::fprintf(stderr, "iosim-report: %s\n", error.c_str());
+    return 1;
+  }
+  if (!iosim::exp::write_file_atomic(out_path, html, &error)) {
+    std::fprintf(stderr, "iosim-report: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "iosim-report: wrote %s (%zu bytes)\n", out_path.c_str(),
+               html.size());
+  return 0;
+}

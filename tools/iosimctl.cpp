@@ -30,6 +30,7 @@
 #include "metrics/iostat_sampler.hpp"
 #include "metrics/registry_table.hpp"
 #include "metrics/table.hpp"
+#include "obs/attribution.hpp"
 #include "trace/registry.hpp"
 #include "trace/trace.hpp"
 #include "workloads/benchmarks.hpp"
@@ -73,6 +74,10 @@ int usage() {
                "trace-event JSON (chrome://tracing / ui.perfetto.dev)\n"
                "--metrics      collect the named-metrics registry and print it "
                "after the run\n"
+               "--obs          enable request-path latency attribution: per-"
+               "(host,vm,dir,sync,phase) waterfall table after the run, lane "
+               "sketch summaries + stall log pinned into the trace (feed the "
+               "JSON to iosim-report), obs.* gauges in --metrics\n"
                "--fault SPEC   inject faults (repeatable); SPEC is "
                "kind:key=value,... — e.g. transient:host=0,p=0.01 "
                "lse:host=1,lba=1000-2000 failslow:host=0,factor=4 "
@@ -126,17 +131,26 @@ std::optional<Args> parse(int argc, char** argv, int from, const std::string& cm
   return a;
 }
 
-/// RAII wrapper for --trace / --metrics: installs the global tracer and/or
-/// registry for the duration of a command, then writes the trace file and
-/// prints the registry table on the way out.
+/// RAII wrapper for --trace / --metrics / --obs: installs the global tracer,
+/// registry, and/or attribution layer for the duration of a command, then
+/// writes the trace file and prints the tables on the way out.
 class Telemetry {
  public:
   explicit Telemetry(const Args& a)
       : trace_path_(a.str("trace", "")), want_metrics_(a.has("metrics")) {
     if (!trace_path_.empty()) trace_.emplace();
     if (want_metrics_) metrics_.emplace();
+    if (a.has("obs")) obs_.emplace();
   }
   ~Telemetry() {
+    if (obs_) {
+      // Export attribution *before* the trace file is written / the registry
+      // is printed, so both carry the lane summaries.
+      auto& at = obs_->attribution();
+      if (trace_) at.export_to_trace(trace_->tracer());
+      if (metrics_) at.publish(metrics_->registry());
+      print_waterfall(at);
+    }
     if (trace_) {
       const bool csv = trace_path_.size() >= 4 &&
                        trace_path_.compare(trace_path_.size() - 4, 4, ".csv") == 0;
@@ -182,10 +196,37 @@ class Telemetry {
   }
 
  private:
+  /// Per-key latency waterfall: lane means (µs) plus end-to-end percentiles.
+  static void print_waterfall(obs::Attribution& at) {
+    metrics::Table tab("latency attribution (" + std::to_string(at.records_completed()) +
+                       " requests, " + std::to_string(at.stalls_total()) + " stalls)");
+    tab.headers({"key", "count", "guest q µs", "ring µs", "elv wait µs",
+                 "service µs", "ret µs", "p50 ms", "p99 ms"});
+    for (std::size_t i = 0; i < at.n_keys(); ++i) {
+      const auto& total = at.lane(i, obs::Lane::kTotal);
+      auto mean_us = [&](obs::Lane l) {
+        const auto& sk = at.lane(i, l);
+        return metrics::Table::num(
+            sk.count() > 0
+                ? static_cast<double>(sk.sum()) / static_cast<double>(sk.count()) / 1e3
+                : 0.0,
+            1);
+      };
+      tab.row({obs::Attribution::key_name(at.key_at(i)),
+               std::to_string(total.count()), mean_us(obs::Lane::kGuestQueue),
+               mean_us(obs::Lane::kRingWait), mean_us(obs::Lane::kElvWait),
+               mean_us(obs::Lane::kService), mean_us(obs::Lane::kReturn),
+               metrics::Table::num(static_cast<double>(total.quantile(0.5)) / 1e6, 2),
+               metrics::Table::num(static_cast<double>(total.quantile(0.99)) / 1e6, 2)});
+    }
+    tab.print();
+  }
+
   std::string trace_path_;
   bool want_metrics_;
   std::optional<trace::TraceSession> trace_;
   std::optional<trace::MetricsSession> metrics_;
+  std::optional<obs::AttributionSession> obs_;
   std::vector<std::shared_ptr<metrics::IostatSampler>> samplers_;
 };
 
@@ -421,7 +462,7 @@ int main(int argc, char** argv) {
 
   const FlagSet cluster_flags{{"workload", "hosts", "vms", "mb", "pair", "seed",
                                "seeds", "trace", "fault", "fault-file"},
-                              {"csv", "metrics", "speculate"}};
+                              {"csv", "metrics", "obs", "speculate"}};
   FlagSet adapt_flags = cluster_flags;
   adapt_flags.valued.insert("phases");
   adapt_flags.boolean.insert("verbose");
