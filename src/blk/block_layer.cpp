@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/check.hpp"
 #include "obs/attribution.hpp"
 #include "trace/trace.hpp"
 
@@ -78,6 +79,9 @@ void BlockLayer::submit(Bio bio) {
 
   ++counters_.bios_submitted;
   const Time now = simr_.now();
+  if (auto* ck = check::auditor()) {
+    ck->on_bio_submitted(this, cfg_.name, now.ns());
+  }
   if (auto* tr = trace::tracer()) {
     tr->instant(tr->track(cfg_.name), tr->ids.bio_submit, tr->ids.cat_blk, now,
                 tr->ids.lba, bio.lba, tr->ids.sectors, bio.sectors);
@@ -104,6 +108,7 @@ void BlockLayer::submit(Bio bio) {
         rq->sectors + bio.sectors <= cfg_.max_request_sectors) {
       merge_idx_.erase(it);
       rq->sectors += bio.sectors;
+      ++rq->n_bios;
       if (bio.on_complete) rq->completions.push_back(std::move(bio.on_complete));
       // A Dom0 request absorbs the records of every guest request whose
       // segments merged into it (distinct handles only; one guest request
@@ -118,6 +123,10 @@ void BlockLayer::submit(Bio bio) {
       if (auto* tr = trace::tracer()) {
         tr->instant(tr->track(cfg_.name), tr->ids.bio_merge, tr->ids.cat_blk, now,
                     tr->ids.lba, rq->lba, tr->ids.sectors, rq->sectors);
+      }
+      if (auto* ck = check::auditor()) {
+        ck->on_queue_accounting(this, cfg_.name, queued_by_dir_[0],
+                                queued_by_dir_[1], sched_->size(), now.ns());
       }
       return;
     }
@@ -148,6 +157,10 @@ void BlockLayer::submit(Bio bio) {
   merge_idx_.emplace(rq->end(), rq);
   ++queued_by_dir_[static_cast<int>(rq->dir)];
   sched_->add(rq, now);
+  if (auto* ck = check::auditor()) {
+    ck->on_queue_accounting(this, cfg_.name, queued_by_dir_[0],
+                            queued_by_dir_[1], sched_->size(), now.ns());
+  }
   kick();
 }
 
@@ -229,6 +242,12 @@ void BlockLayer::kick() {
     assert(queued_by_dir_[static_cast<int>(rq->dir)] > 0);
     --queued_by_dir_[static_cast<int>(rq->dir)];
     rq->dispatch = simr_.now();
+    if (auto* ck = check::auditor()) {
+      ck->on_request_dispatched(this, cfg_.name, rq->id, rq->dispatch.ns());
+      ck->on_queue_accounting(this, cfg_.name, queued_by_dir_[0],
+                              queued_by_dir_[1], sched_->size(),
+                              rq->dispatch.ns());
+    }
     if (cfg_.obs_role != obs::LayerRole::kNone && !rq->attrs.empty()) {
       if (auto* at = obs::attribution()) {
         const bool guest = cfg_.obs_role == obs::LayerRole::kGuest;
@@ -248,6 +267,10 @@ void BlockLayer::kick() {
 }
 
 void BlockLayer::on_sink_complete(Request* rq, Time now) {
+  if (auto* ck = check::auditor()) {
+    ck->on_request_completed(this, cfg_.name, rq->id, rq->n_bios,
+                             rq->status == iosched::IoStatus::kOk, now.ns());
+  }
   assert(in_flight_ > 0);
   --in_flight_;
   ++counters_.requests_completed;

@@ -1,0 +1,382 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulator.hpp"
+
+namespace iosim::check {
+
+const char* to_string(Invariant inv) {
+  switch (inv) {
+    case Invariant::kEventArenaLeak: return "event-arena-leak";
+    case Invariant::kEventArenaCorrupt: return "event-arena-corrupt";
+    case Invariant::kBioConservation: return "bio-conservation";
+    case Invariant::kDoubleDispatch: return "double-dispatch";
+    case Invariant::kDoubleCompletion: return "double-completion";
+    case Invariant::kElevatorAccounting: return "elevator-accounting";
+    case Invariant::kRingBounds: return "ring-bounds";
+    case Invariant::kStampMonotonicity: return "stamp-monotonicity";
+    case Invariant::kTaskStateMachine: return "task-state-machine";
+    case Invariant::kBlockRefcount: return "block-refcount";
+  }
+  return "?";
+}
+
+std::string CheckReport::to_string() const {
+  if (ok()) return "";
+  std::string s = "invariant violations: " + std::to_string(total) + "\n";
+  for (int i = 0; i < kNumInvariants; ++i) {
+    if (counts[i] == 0) continue;
+    s += "  " + std::string(check::to_string(static_cast<Invariant>(i))) + ": " +
+         std::to_string(counts[i]) + "\n";
+  }
+  for (const auto& v : first) {
+    char t[40];
+    std::snprintf(t, sizeof t, "%.6f", static_cast<double>(v.t_ns) / 1e9);
+    s += "  [" + std::string(check::to_string(v.inv)) + "] t=" + t + "s " +
+         v.where + ": " + v.detail + "\n";
+  }
+  if (total > first.size()) {
+    s += "  (" + std::to_string(total - first.size()) + " more not logged)\n";
+  }
+  return s;
+}
+
+void Auditor::violation(Invariant inv, std::string where, std::int64_t t_ns,
+                        std::string detail) {
+  ++report_.counts[static_cast<int>(inv)];
+  ++report_.total;
+  if (report_.first.size() < CheckReport::kMaxLogged) {
+    report_.first.push_back({inv, where, detail, t_ns});
+  }
+  if (mode_ == Mode::kAbort) {
+    std::fprintf(stderr,
+                 "iosim invariant violated: [%s] t=%.6fs %s: %s\n%s",
+                 check::to_string(inv), static_cast<double>(t_ns) / 1e9,
+                 where.c_str(), detail.c_str(), report_.to_string().c_str());
+    std::abort();
+  }
+}
+
+Auditor::LayerAccount& Auditor::layer_of(const void* layer, std::string_view name) {
+  if (auto it = layer_idx_.find(layer); it != layer_idx_.end()) {
+    return layers_[it->second];
+  }
+  layer_idx_.emplace(layer, layers_.size());
+  layers_.emplace_back();
+  layers_.back().name = std::string(name);
+  return layers_.back();
+}
+
+Auditor::RingAccount& Auditor::ring_of(const void* ring, std::uint64_t vm_ctx) {
+  if (auto it = ring_idx_.find(ring); it != ring_idx_.end()) {
+    return rings_[it->second];
+  }
+  ring_idx_.emplace(ring, rings_.size());
+  rings_.emplace_back();
+  rings_.back().vm_ctx = vm_ctx;
+  return rings_.back();
+}
+
+void Auditor::on_bio_submitted(const void* layer, std::string_view name,
+                               std::int64_t t_ns) {
+  (void)t_ns;
+  ++layer_of(layer, name).bios_submitted;
+}
+
+void Auditor::on_queue_accounting(const void* layer, std::string_view name,
+                                  std::size_t queued_reads,
+                                  std::size_t queued_writes,
+                                  std::size_t sched_size, std::int64_t t_ns) {
+  if (queued_reads + queued_writes == sched_size) return;
+  LayerAccount& acct = layer_of(layer, name);
+  violation(Invariant::kElevatorAccounting, acct.name, t_ns,
+            "per-direction counts (reads=" + std::to_string(queued_reads) +
+                " + writes=" + std::to_string(queued_writes) +
+                ") != elevator size " + std::to_string(sched_size));
+}
+
+void Auditor::on_request_dispatched(const void* layer, std::string_view name,
+                                    std::uint64_t rq_id, std::int64_t t_ns) {
+  LayerAccount& acct = layer_of(layer, name);
+  if (!acct.in_flight.insert(rq_id).second) {
+    violation(Invariant::kDoubleDispatch, acct.name, t_ns,
+              "request " + std::to_string(rq_id) +
+                  " dispatched while already in flight");
+  }
+}
+
+void Auditor::on_request_completed(const void* layer, std::string_view name,
+                                   std::uint64_t rq_id, std::uint32_t n_bios,
+                                   bool ok, std::int64_t t_ns) {
+  LayerAccount& acct = layer_of(layer, name);
+  if (acct.in_flight.erase(rq_id) == 0) {
+    violation(Invariant::kDoubleCompletion, acct.name, t_ns,
+              "completion of request " + std::to_string(rq_id) +
+                  " with no matching dispatch (completed twice or never "
+                  "dispatched)");
+    return;  // don't double-count its bios either
+  }
+  (ok ? acct.bios_completed : acct.bios_errored) += n_bios;
+}
+
+void Auditor::on_ring_submit(const void* ring, std::uint64_t vm_ctx, int before,
+                             int n_segs, int slots, std::int64_t t_ns) {
+  RingAccount& acct = ring_of(ring, vm_ctx);
+  const std::string where = "ring/vm" + std::to_string(vm_ctx);
+  if (before >= slots) {
+    violation(Invariant::kRingBounds, where, t_ns,
+              "submit with ring full: outstanding " + std::to_string(before) +
+                  " >= slots " + std::to_string(slots));
+  }
+  if (n_segs <= 0) {
+    violation(Invariant::kRingBounds, where, t_ns,
+              "submit split into " + std::to_string(n_segs) + " segments");
+  }
+  if (before != acct.outstanding) {
+    violation(Invariant::kRingBounds, where, t_ns,
+              "ring outstanding " + std::to_string(before) +
+                  " != audited count " + std::to_string(acct.outstanding));
+  }
+  acct.outstanding = before + n_segs;
+}
+
+void Auditor::on_ring_complete(const void* ring, int after, std::int64_t t_ns) {
+  RingAccount& acct = ring_of(ring, 0);
+  const std::string where = "ring/vm" + std::to_string(acct.vm_ctx);
+  if (after < 0) {
+    violation(Invariant::kRingBounds, where, t_ns,
+              "outstanding went negative: " + std::to_string(after));
+  }
+  --acct.outstanding;
+  if (after != acct.outstanding) {
+    violation(Invariant::kRingBounds, where, t_ns,
+              "ring outstanding " + std::to_string(after) + " != audited count " +
+                  std::to_string(acct.outstanding));
+    acct.outstanding = after;  // resync so one bug reports once, not per I/O
+  }
+}
+
+void Auditor::on_stamps(int host, int vm, const std::int64_t* stamp,
+                        int n_stages, std::int64_t t_ns) {
+  const auto where = [&] {
+    return "host" + std::to_string(host) + "/vm" + std::to_string(vm);
+  };
+  if (n_stages <= 0) return;
+  if (stamp[0] < 0) {
+    violation(Invariant::kStampMonotonicity, where(), t_ns,
+              "record completed without a submit stamp");
+  }
+  if (stamp[n_stages - 1] < 0) {
+    violation(Invariant::kStampMonotonicity, where(), t_ns,
+              "record completed without a completion stamp");
+  }
+  std::int64_t prev = -1;
+  int prev_stage = -1;
+  for (int s = 0; s < n_stages; ++s) {
+    if (stamp[s] < 0) continue;  // unstamped stages are legal mid-path
+    if (prev_stage >= 0 && stamp[s] < prev) {
+      violation(Invariant::kStampMonotonicity, where(), t_ns,
+                "stage " + std::to_string(s) + " stamped at " +
+                    std::to_string(stamp[s]) + "ns, before stage " +
+                    std::to_string(prev_stage) + " at " + std::to_string(prev) +
+                    "ns");
+    }
+    prev = stamp[s];
+    prev_stage = s;
+  }
+}
+
+void Auditor::on_job_start(int n_maps, int n_reduces, int max_attempts) {
+  job_seen_ = true;
+  job_done_seen_ = false;
+  n_maps_ = n_maps;
+  n_reduces_ = n_reduces;
+  max_attempts_ = max_attempts;
+  map_committed_.assign(static_cast<std::size_t>(n_maps < 0 ? 0 : n_maps), 0);
+  reduce_committed_.assign(static_cast<std::size_t>(n_reduces < 0 ? 0 : n_reduces), 0);
+  map_commits_ = 0;
+  reduce_commits_ = 0;
+  block_replicas_.clear();
+}
+
+void Auditor::on_map_attempt_start(int map_id, int attempt, int running_after,
+                                   bool speculative, std::int64_t t_ns) {
+  const std::string where = "map" + std::to_string(map_id);
+  if (map_id < 0 || map_id >= n_maps_) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "attempt for out-of-range map id (maps_total=" +
+                  std::to_string(n_maps_) + ")");
+    return;
+  }
+  if (running_after < 1 || running_after > 2) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "running copies = " + std::to_string(running_after) +
+                  " (a task runs as at most primary + one speculative copy)");
+  }
+  if (!speculative && (attempt < 1 || attempt > max_attempts_)) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "attempt " + std::to_string(attempt) + " outside budget 1.." +
+                  std::to_string(max_attempts_));
+  }
+  if (map_committed_[static_cast<std::size_t>(map_id)]) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "attempt launched after the task already committed");
+  }
+}
+
+void Auditor::on_map_commit(int map_id, std::int64_t t_ns) {
+  const std::string where = "map" + std::to_string(map_id);
+  if (map_id < 0 || map_id >= n_maps_) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "commit for out-of-range map id");
+    return;
+  }
+  auto& done = map_committed_[static_cast<std::size_t>(map_id)];
+  if (done) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "map committed twice (photo-finish guard failed)");
+    return;
+  }
+  done = 1;
+  ++map_commits_;
+}
+
+void Auditor::on_reduce_commit(int reduce_id, std::int64_t t_ns) {
+  const std::string where = "reduce" + std::to_string(reduce_id);
+  if (reduce_id < 0 || reduce_id >= n_reduces_) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "commit for out-of-range reduce id");
+    return;
+  }
+  auto& done = reduce_committed_[static_cast<std::size_t>(reduce_id)];
+  if (done) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "reduce committed twice");
+    return;
+  }
+  done = 1;
+  ++reduce_commits_;
+}
+
+void Auditor::on_job_done(int maps_done, int reduces_done, std::int64_t t_ns) {
+  job_done_seen_ = true;
+  if (maps_done != n_maps_ || map_commits_ != n_maps_) {
+    violation(Invariant::kTaskStateMachine, "job", t_ns,
+              "job done with maps_done=" + std::to_string(maps_done) +
+                  ", committed=" + std::to_string(map_commits_) + ", total=" +
+                  std::to_string(n_maps_));
+  }
+  if (reduces_done != n_reduces_ || reduce_commits_ != n_reduces_) {
+    violation(Invariant::kTaskStateMachine, "job", t_ns,
+              "job done with reduces_done=" + std::to_string(reduces_done) +
+                  ", committed=" + std::to_string(reduce_commits_) +
+                  ", total=" + std::to_string(n_reduces_));
+  }
+}
+
+void Auditor::on_block_created(int block_id, int n_replicas, int vm0, int vm1,
+                               int n_vms, std::int64_t t_ns) {
+  const std::string where = "block" + std::to_string(block_id);
+  if (n_replicas != 2) {
+    violation(Invariant::kBlockRefcount, where, t_ns,
+              "created with " + std::to_string(n_replicas) +
+                  " replicas (expected 2)");
+  }
+  if (vm0 < 0 || vm0 >= n_vms || vm1 < 0 || vm1 >= n_vms) {
+    violation(Invariant::kBlockRefcount, where, t_ns,
+              "replica VM out of range: " + std::to_string(vm0) + "," +
+                  std::to_string(vm1) + " of " + std::to_string(n_vms) + " VMs");
+  }
+  if (n_vms > 1 && vm0 == vm1) {
+    violation(Invariant::kBlockRefcount, where, t_ns,
+              "both replicas on vm" + std::to_string(vm0) +
+                  " in a multi-VM cluster");
+  }
+  if (block_id >= 0) {
+    if (static_cast<std::size_t>(block_id) >= block_replicas_.size()) {
+      block_replicas_.resize(static_cast<std::size_t>(block_id) + 1, {-1, -1});
+    }
+    block_replicas_[static_cast<std::size_t>(block_id)] = {vm0, vm1};
+  }
+}
+
+void Auditor::on_hdfs_failover(int map_id, int from_vm, int to_vm,
+                               std::int64_t t_ns) {
+  const std::string where = "map" + std::to_string(map_id);
+  if (to_vm == from_vm) {
+    violation(Invariant::kBlockRefcount, where, t_ns,
+              "failover to the failing replica itself (vm" +
+                  std::to_string(to_vm) + ")");
+  }
+  // Map input blocks are created 1:1 with map ids; the failover target must
+  // be one of the block's recorded replicas.
+  if (map_id >= 0 && static_cast<std::size_t>(map_id) < block_replicas_.size()) {
+    const auto [vm0, vm1] = block_replicas_[static_cast<std::size_t>(map_id)];
+    if (to_vm != vm0 && to_vm != vm1) {
+      violation(Invariant::kBlockRefcount, where, t_ns,
+                "failover to vm" + std::to_string(to_vm) +
+                    ", which holds no replica of the block (replicas: vm" +
+                    std::to_string(vm0) + ", vm" + std::to_string(vm1) + ")");
+    }
+  }
+}
+
+void Auditor::verify_end_of_run(std::int64_t t_ns) {
+  for (const auto& acct : layers_) {
+    if (!acct.in_flight.empty()) {
+      violation(Invariant::kBioConservation, acct.name, t_ns,
+                std::to_string(acct.in_flight.size()) +
+                    " request(s) still in flight at drain");
+    }
+    if (acct.bios_submitted != acct.bios_completed + acct.bios_errored) {
+      violation(Invariant::kBioConservation, acct.name, t_ns,
+                "submitted " + std::to_string(acct.bios_submitted) +
+                    " != completed " + std::to_string(acct.bios_completed) +
+                    " + errored " + std::to_string(acct.bios_errored));
+    }
+  }
+  for (const auto& acct : rings_) {
+    if (acct.outstanding != 0) {
+      violation(Invariant::kRingBounds, "ring/vm" + std::to_string(acct.vm_ctx),
+                t_ns,
+                std::to_string(acct.outstanding) +
+                    " segment(s) outstanding at drain");
+    }
+  }
+  if (job_seen_ && job_done_seen_) {
+    if (map_commits_ != n_maps_) {
+      violation(Invariant::kTaskStateMachine, "job", t_ns,
+                "drained with " + std::to_string(map_commits_) + "/" +
+                    std::to_string(n_maps_) + " maps committed");
+    }
+    if (reduce_commits_ != n_reduces_) {
+      violation(Invariant::kTaskStateMachine, "job", t_ns,
+                "drained with " + std::to_string(reduce_commits_) + "/" +
+                    std::to_string(n_reduces_) + " reduces committed");
+    }
+  }
+}
+
+void verify_simulator(Auditor& a, const sim::Simulator& simr, bool drained) {
+  std::string why;
+  if (!simr.audit(&why)) {
+    a.violation(Invariant::kEventArenaCorrupt, "sim", simr.now().ns(),
+                std::move(why));
+  }
+  if (!drained) return;
+  if (simr.pending() != 0) {
+    a.violation(Invariant::kEventArenaLeak, "sim", simr.now().ns(),
+                std::to_string(simr.pending()) +
+                    " event(s) pending after a drained run");
+  }
+  const auto ps = simr.pool_stats();
+  if (ps.free_slots != ps.slots) {
+    a.violation(Invariant::kEventArenaLeak, "sim", simr.now().ns(),
+                std::to_string(ps.slots - ps.free_slots) +
+                    " arena slot(s) not back on the free list at drain");
+  }
+}
+
+}  // namespace iosim::check

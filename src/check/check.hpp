@@ -1,0 +1,244 @@
+// iosim: the simulation invariant auditor.
+//
+// An always-compiled correctness net over the whole request path: block
+// layers, the blkfront ring, the attribution stamps, the MapReduce task
+// state machine, HDFS block placement, and the event arena. Instrumented
+// layers call the on_*() hooks with plain scalars (so check/ depends on
+// nothing above sim/); the auditor cross-checks them against the invariant
+// catalog (DESIGN.md §10) and aggregates violations into a report that
+// keeps the first occurrences with their simulated-time context.
+//
+// Like the tracer, the metrics registry, and the attribution layer, the
+// auditor is reached through a thread-local pointer that is null by
+// default: with no AuditorSession installed every hook site costs one
+// hinted pointer check and nothing else — the pinned trace digests and the
+// micro_sim baseline gate that claim. Armed sessions come in two modes:
+//
+//   * Mode::kAbort (the default): the first violation prints its full
+//     context to stderr and aborts the process — CI soaks and local
+//     debugging want the loudest possible failure at the earliest moment.
+//   * Mode::kRecord: violations accumulate in the report; harnesses that
+//     need to keep running (iosim-soak's minimizer, the mutation tests
+//     that prove the auditor is not vacuous) read it afterwards.
+//
+// End-of-run verification (drain checks) is driven by cluster::run_job via
+// verify_simulator() + Auditor::verify_end_of_run(): conservation and
+// emptiness invariants only hold once the event queue actually drained, so
+// budget-stopped runs skip them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/hint.hpp"
+
+namespace iosim::sim {
+class Simulator;
+}
+
+namespace iosim::check {
+
+/// The invariant catalog. One enumerator per checkable property; DESIGN.md
+/// §10 states each invariant, its layer, and its disarmed cost.
+enum class Invariant : std::uint8_t {
+  kEventArenaLeak = 0,    // sim: events pending / slots unreleased at drain
+  kEventArenaCorrupt,     // sim: heap/free-list/generation integrity broken
+  kBioConservation,       // blk: submitted != completed + errored at drain
+  kDoubleDispatch,        // blk: a request dispatched while already in flight
+  kDoubleCompletion,      // blk: a completion with no matching dispatch
+  kElevatorAccounting,    // blk: per-direction queue counts != elevator size
+  kRingBounds,            // virt: ring overfilled / negative outstanding / not drained
+  kStampMonotonicity,     // obs: six-stamp stage times regress or endpoints missing
+  kTaskStateMachine,      // mapred: illegal task transition under retry/speculation
+  kBlockRefcount,         // hdfs: replica placement/failover accounting broken
+};
+inline constexpr int kNumInvariants = 10;
+
+const char* to_string(Invariant inv);
+
+/// One recorded violation: which invariant, where (layer/track name), when
+/// (simulated nanoseconds), and a one-line diagnostic.
+struct Violation {
+  Invariant inv = Invariant::kEventArenaLeak;
+  std::string where;
+  std::string detail;
+  std::int64_t t_ns = 0;
+};
+
+/// Aggregated audit outcome: per-invariant counts plus the first
+/// occurrences (capped) with their trace context.
+struct CheckReport {
+  std::uint64_t counts[kNumInvariants] = {};
+  std::vector<Violation> first;  // first kMaxLogged violations, in order
+  std::uint64_t total = 0;
+
+  bool ok() const { return total == 0; }
+  /// Human-readable multi-line summary ("" when ok()).
+  std::string to_string() const;
+
+  static constexpr std::size_t kMaxLogged = 64;
+};
+
+class Auditor {
+ public:
+  enum class Mode : std::uint8_t {
+    kAbort = 0,   // first violation prints and aborts the process
+    kRecord = 1,  // violations accumulate in the report
+  };
+
+  explicit Auditor(Mode mode = Mode::kAbort) : mode_(mode) {}
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  // -- blk/iosched hooks (called by blk::BlockLayer) ------------------------
+  // `layer` is an opaque identity (the BlockLayer address); the name is
+  // captured on first touch for diagnostics.
+
+  /// A bio entered the layer (counted exactly like
+  /// BlockLayerCounters::bios_submitted — held bios count on release).
+  void on_bio_submitted(const void* layer, std::string_view name, std::int64_t t_ns);
+  /// Elevator accounting snapshot after a queue mutation: the per-direction
+  /// counts must always sum to the elevator's request count.
+  void on_queue_accounting(const void* layer, std::string_view name,
+                           std::size_t queued_reads, std::size_t queued_writes,
+                           std::size_t sched_size, std::int64_t t_ns);
+  /// A request left the elevator for the sink.
+  void on_request_dispatched(const void* layer, std::string_view name,
+                             std::uint64_t rq_id, std::int64_t t_ns);
+  /// A request completed (ok or errored); `n_bios` = merged bios it carried.
+  void on_request_completed(const void* layer, std::string_view name,
+                            std::uint64_t rq_id, std::uint32_t n_bios, bool ok,
+                            std::int64_t t_ns);
+
+  // -- virt hooks (called by virt::BlkfrontRing) -----------------------------
+
+  /// A guest request of `n_segs` segments entered the ring; `before` is the
+  /// outstanding segment count before the submit (must be < slots).
+  void on_ring_submit(const void* ring, std::uint64_t vm_ctx, int before,
+                      int n_segs, int slots, std::int64_t t_ns);
+  /// One ring segment completed; `after` is the outstanding count after the
+  /// decrement (must stay >= 0).
+  void on_ring_complete(const void* ring, int after, std::int64_t t_ns);
+
+  // -- obs hooks (called by obs::Attribution on record completion) -----------
+
+  /// The six stage stamps of a completed record (-1 = unstamped). Endpoints
+  /// (submit, complete) must be stamped; stamped stages must be
+  /// non-decreasing in stage order.
+  void on_stamps(int host, int vm, const std::int64_t* stamp, int n_stages,
+                 std::int64_t t_ns);
+
+  // -- mapred/hdfs hooks (called by mapred::Job / hdfs::Hdfs) ----------------
+
+  void on_job_start(int n_maps, int n_reduces, int max_attempts);
+  /// A map attempt launched; `running_after` counts live copies of the task
+  /// (primary + speculative, never more than 2).
+  void on_map_attempt_start(int map_id, int attempt, int running_after,
+                            bool speculative, std::int64_t t_ns);
+  void on_map_commit(int map_id, std::int64_t t_ns);
+  void on_reduce_commit(int reduce_id, std::int64_t t_ns);
+  void on_job_done(int maps_done, int reduces_done, std::int64_t t_ns);
+  void on_block_created(int block_id, int n_replicas, int vm0, int vm1,
+                        int n_vms, std::int64_t t_ns);
+  void on_hdfs_failover(int map_id, int from_vm, int to_vm, std::int64_t t_ns);
+
+  // -- end-of-run verification ------------------------------------------------
+
+  /// Drain-time checks over everything the hooks accumulated: per-layer bio
+  /// conservation and empty in-flight sets, ring outstanding == 0, and (when
+  /// a job committed) commit counts matching the job's totals. Only valid
+  /// after the event queue drained — budget-stopped runs must skip it.
+  void verify_end_of_run(std::int64_t t_ns);
+
+  /// Record (or, in kAbort mode, die on) one violation.
+  void violation(Invariant inv, std::string where, std::int64_t t_ns,
+                 std::string detail);
+
+  Mode mode() const { return mode_; }
+  const CheckReport& report() const { return report_; }
+  bool ok() const { return report_.ok(); }
+  std::uint64_t violations_total() const { return report_.total; }
+  std::uint64_t count(Invariant inv) const {
+    return report_.counts[static_cast<int>(inv)];
+  }
+
+ private:
+  struct LayerAccount {
+    std::string name;
+    std::uint64_t bios_submitted = 0;
+    std::uint64_t bios_completed = 0;  // via completed requests, ok status
+    std::uint64_t bios_errored = 0;    // via completed requests, error status
+    std::unordered_set<std::uint64_t> in_flight;  // dispatched, not completed
+  };
+  struct RingAccount {
+    std::uint64_t vm_ctx = 0;
+    long long outstanding = 0;
+  };
+
+  LayerAccount& layer_of(const void* layer, std::string_view name);
+  RingAccount& ring_of(const void* ring, std::uint64_t vm_ctx);
+
+  Mode mode_;
+  CheckReport report_;
+
+  // Layers and rings in first-touch order (deterministic verify output).
+  std::unordered_map<const void*, std::size_t> layer_idx_;
+  std::vector<LayerAccount> layers_;
+  std::unordered_map<const void*, std::size_t> ring_idx_;
+  std::vector<RingAccount> rings_;
+
+  // Job state (reset by on_job_start; one job per run).
+  bool job_seen_ = false;
+  bool job_done_seen_ = false;
+  int n_maps_ = 0;
+  int n_reduces_ = 0;
+  int max_attempts_ = 0;
+  std::vector<std::uint8_t> map_committed_;
+  std::vector<std::uint8_t> reduce_committed_;
+  int map_commits_ = 0;
+  int reduce_commits_ = 0;
+  // HDFS replica map: block id -> its (up to two) replica VMs.
+  std::vector<std::pair<int, int>> block_replicas_;
+};
+
+/// Per-thread auditor; null (default) = auditing off. Inline thread_local +
+/// branch hint for the same hot-path and sweep-worker isolation reasons as
+/// trace::tracer() — see trace/trace.hpp.
+namespace detail {
+inline thread_local Auditor* g_auditor = nullptr;
+}
+inline Auditor* auditor() {
+  Auditor* a = detail::g_auditor;
+  return trace::detail::unlikely_on(a != nullptr) ? a : nullptr;
+}
+inline void set_auditor(Auditor* a) { detail::g_auditor = a; }
+
+/// RAII install/uninstall, mirroring TraceSession / AttributionSession.
+class AuditorSession {
+ public:
+  explicit AuditorSession(Auditor::Mode mode = Auditor::Mode::kAbort)
+      : auditor_(mode), prev_(check::auditor()) {
+    set_auditor(&auditor_);
+  }
+  ~AuditorSession() { set_auditor(prev_); }
+  AuditorSession(const AuditorSession&) = delete;
+  AuditorSession& operator=(const AuditorSession&) = delete;
+
+  Auditor& auditor() { return auditor_; }
+
+ private:
+  Auditor auditor_;
+  Auditor* prev_;
+};
+
+/// Event-arena checks against a simulator: structural integrity always
+/// (Simulator::audit()), plus leak checks when `drained` — a drained loop
+/// must hold zero pending events and every arena slot must be back on the
+/// free list.
+void verify_simulator(Auditor& a, const sim::Simulator& simr, bool drained);
+
+}  // namespace iosim::check

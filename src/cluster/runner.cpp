@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "check/check.hpp"
 #include "obs/attribution.hpp"
 #include "sim/random.hpp"
 
@@ -31,6 +32,14 @@ RunResult run_job(const ClusterConfig& cfg, const mapred::JobConf& job_conf,
   }
   job.run();
   cl.simr().run();
+
+  if (auto* ck = check::auditor()) {
+    // Drain-only invariants (conservation, emptiness) are meaningless after
+    // a budget stop — the run was cut mid-flight by design.
+    const bool drained = cl.simr().stop_reason() == sim::StopReason::kDrained;
+    check::verify_simulator(*ck, cl.simr(), drained);
+    if (drained) ck->verify_end_of_run(cl.simr().now().ns());
+  }
 
   RunResult r;
   r.stop = cl.simr().stop_reason();

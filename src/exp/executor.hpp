@@ -63,6 +63,10 @@ struct RunOutput {
   /// exception or watchdog timeout. Infra failures are retryable;
   /// deterministic sim failures are not.
   bool infra_failure = false;
+  /// The simulation hit its event/time budget instead of draining. Neither
+  /// retryable nor a legitimate simulated outcome — callers that certify
+  /// correctness (iosim-soak) treat it as a failure in its own right.
+  bool budget_stop = false;
   /// Executions this output took (1 = first attempt; >1 = infra retries).
   int attempts = 1;
   std::vector<std::pair<std::string, double>> metrics;

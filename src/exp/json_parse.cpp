@@ -66,9 +66,10 @@ class Parser {
 
   bool parse_object(JsonValue* out) {
     out->kind = JsonValue::Kind::kObject;
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
     ++pos_;  // '{'
     skip_ws();
-    if (eat('}')) return true;
+    if (eat('}')) return done_nesting();
     while (true) {
       skip_ws();
       std::string key;
@@ -81,16 +82,17 @@ class Parser {
       out->obj.emplace_back(std::move(key), std::move(v));
       skip_ws();
       if (eat(',')) continue;
-      if (eat('}')) return true;
+      if (eat('}')) return done_nesting();
       return fail("expected ',' or '}' in object");
     }
   }
 
   bool parse_array(JsonValue* out) {
     out->kind = JsonValue::Kind::kArray;
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
     ++pos_;  // '['
     skip_ws();
-    if (eat(']')) return true;
+    if (eat(']')) return done_nesting();
     while (true) {
       skip_ws();
       JsonValue v;
@@ -98,7 +100,7 @@ class Parser {
       out->arr.push_back(std::move(v));
       skip_ws();
       if (eat(',')) continue;
-      if (eat(']')) return true;
+      if (eat(']')) return done_nesting();
       return fail("expected ',' or ']' in array");
     }
   }
@@ -207,8 +209,20 @@ class Parser {
     return true;
   }
 
+  bool done_nesting() {
+    --depth_;
+    return true;
+  }
+
+  /// Recursion guard: parse_value -> parse_object/parse_array recurses one
+  /// native stack frame per nesting level, so a `[[[[...` document of a few
+  /// hundred KB would otherwise overflow the stack. No legitimate iosim
+  /// artifact nests past ~6 levels; 128 is generous.
+  static constexpr int kMaxDepth = 128;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string* error_;
 };
 

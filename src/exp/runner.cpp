@@ -32,6 +32,8 @@ void note_run_failure(RunOutput* out, const cluster::RunResult& r) {
   out->ok = false;
   out->error = r.failure;
   out->infra_failure = (r.stop == sim::StopReason::kAborted);
+  out->budget_stop = (r.stop == sim::StopReason::kEventBudget ||
+                      r.stop == sim::StopReason::kTimeBudget);
 }
 
 }  // namespace

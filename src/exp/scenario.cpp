@@ -285,7 +285,39 @@ std::optional<ScenarioSpec> ScenarioSpec::parse(std::string_view text,
     }
     seen.push_back(key);
   }
+  {
+    std::string err;
+    if (!spec.validate(&err)) {
+      if (error) *error = err;
+      return std::nullopt;
+    }
+  }
   return spec;
+}
+
+bool ScenarioSpec::validate(std::string* error) const {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  // Overflow-safe product: bail as soon as the running product can no
+  // longer stay under the cap (axis sizes are never 0 — split_list rejects
+  // empty elements and the defaults are non-empty).
+  std::size_t points = 1;
+  for (const std::size_t n : {workloads.size(), hosts.size(), vms.size(), mb.size(),
+                              pairs.size(), faults.size()}) {
+    if (n == 0) return fail("empty axis");
+    if (points > kMaxPoints / n) {
+      return fail("scenario cross product exceeds " + std::to_string(kMaxPoints) +
+                  " points");
+    }
+    points *= n;
+  }
+  if (points > kMaxRuns / static_cast<std::size_t>(repeats)) {
+    return fail("scenario matrix exceeds " + std::to_string(kMaxRuns) +
+                " runs (points x repeats)");
+  }
+  return true;
 }
 
 std::vector<ScenarioPoint> ScenarioSpec::expand() const {

@@ -118,6 +118,17 @@ struct ScenarioSpec {
   }
   std::size_t n_runs() const { return n_points() * static_cast<std::size_t>(repeats); }
 
+  /// Matrix-size sanity check: the point cross product (and the run count
+  /// with repeats) must stay within kMaxPoints/kMaxRuns. Each axis value is
+  /// individually bounded, but six unbounded list *lengths* multiply —
+  /// without this check a hostile or typo'd spec can overflow size_t in
+  /// n_points() or OOM-abort in expand()'s reserve. Called by parse();
+  /// callers that mutate axes afterwards (--set) must re-validate.
+  bool validate(std::string* error = nullptr) const;
+
+  static constexpr std::size_t kMaxPoints = 1'000'000;
+  static constexpr std::size_t kMaxRuns = 10'000'000;
+
   /// Canonical spec text (round-trips through parse).
   std::string to_string() const;
 

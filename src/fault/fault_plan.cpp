@@ -1,5 +1,7 @@
 #include "fault/fault_plan.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -28,20 +30,27 @@ bool parse_double(std::string_view v, double* out) {
   char* end = nullptr;
   const std::string s(v);
   *out = std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
+  // Reject nan/inf here, once for every numeric key: NaN slips through
+  // range checks (every comparison is false) and non-finite seconds would
+  // hit undefined float→int64 conversion in Time::from_sec_f.
+  return end == s.c_str() + s.size() && std::isfinite(*out);
 }
 
 bool parse_int(std::string_view v, long long* out) {
   if (v.empty()) return false;
   char* end = nullptr;
   const std::string s(v);
+  errno = 0;
   *out = std::strtoll(s.c_str(), &end, 10);
-  return end == s.c_str() + s.size();
+  return end == s.c_str() + s.size() && errno != ERANGE;
 }
 
 bool parse_seconds(std::string_view v, sim::Time* out) {
   double secs = 0.0;
-  if (!parse_double(v, &secs) || secs < 0.0) return false;
+  // Time stores int64 nanoseconds, which overflows past ~9.22e9 s; beyond
+  // that from_sec_f would be UB. 9.2e9 s ≈ 291 years keeps room for large
+  // "never fires" sentinels (tests use from=9e9) while staying in range.
+  if (!parse_double(v, &secs) || !(secs >= 0.0) || secs > 9.2e9) return false;
   *out = sim::Time::from_sec_f(secs);
   return true;
 }
@@ -81,6 +90,7 @@ std::optional<FaultSpec> FaultPlan::parse_spec(std::string_view text,
   }
 
   bool saw_lba = false, saw_p = false, saw_factor = false, saw_delay = false;
+  std::vector<std::string_view> seen_keys;
   std::string_view rest = colon == std::string_view::npos ? std::string_view{}
                                                           : text.substr(colon + 1);
   while (!rest.empty()) {
@@ -96,6 +106,17 @@ std::optional<FaultSpec> FaultPlan::parse_spec(std::string_view text,
     }
     const std::string_view key = kv.substr(0, eq);
     const std::string_view val = kv.substr(eq + 1);
+
+    // Silent last-wins on a repeated key hides typos in long plans; reject,
+    // matching the ScenarioSpec grammar's all-or-nothing contract.
+    for (const auto k : seen_keys) {
+      if (k == key) {
+        set_error(error, "duplicate key '" + std::string(key) + "' in '" +
+                             std::string(text) + "'");
+        return std::nullopt;
+      }
+    }
+    seen_keys.push_back(key);
 
     auto bad_value = [&] {
       set_error(error, "bad value for '" + std::string(key) + "': '" +
@@ -182,18 +203,56 @@ std::optional<FaultSpec> FaultPlan::parse_spec(std::string_view text,
 std::optional<FaultPlan> FaultPlan::parse(std::string_view text,
                                           std::string* error) {
   FaultPlan plan;
+  std::vector<int> spec_line;  // line each accepted spec came from
+  int line_no = 0;
   while (!text.empty()) {
-    auto sep = text.find_first_of(";\n");
-    std::string_view item = text.substr(0, sep);
-    text = sep == std::string_view::npos ? std::string_view{} : text.substr(sep + 1);
-    if (auto hash = item.find('#'); hash != std::string_view::npos) {
-      item = item.substr(0, hash);
+    ++line_no;
+    const auto nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view{} : text.substr(nl + 1);
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
     }
-    item = trim(item);
-    if (item.empty()) continue;
-    auto spec = parse_spec(item, error);
-    if (!spec.has_value()) return std::nullopt;
-    plan.specs.push_back(*spec);
+    while (!line.empty()) {
+      const auto sep = line.find(';');
+      std::string_view item = trim(line.substr(0, sep));
+      line = sep == std::string_view::npos ? std::string_view{} : line.substr(sep + 1);
+      if (item.empty()) continue;
+      std::string err;
+      auto spec = parse_spec(item, &err);
+      if (!spec.has_value()) {
+        set_error(error, "line " + std::to_string(line_no) + ": " + err);
+        return std::nullopt;
+      }
+      // Overlapping latent-sector ranges on hosts that can collide (equal,
+      // or either side targets every host) would make error attribution
+      // ambiguous and almost always indicate a typo'd plan — reject even if
+      // the time windows differ (windows can drift during tuning; the LBA
+      // map should stay disjoint regardless).
+      if (spec->kind == FaultKind::kLatentSector) {
+        for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+          const FaultSpec& prev = plan.specs[i];
+          if (prev.kind != FaultKind::kLatentSector) continue;
+          const bool hosts_collide =
+              prev.host == spec->host || prev.host == -1 || spec->host == -1;
+          const bool lba_overlap =
+              spec->lba_begin < prev.lba_end && prev.lba_begin < spec->lba_end;
+          if (hosts_collide && lba_overlap) {
+            set_error(error,
+                      "line " + std::to_string(line_no) + ": lse lba=" +
+                          std::to_string(spec->lba_begin) + "-" +
+                          std::to_string(spec->lba_end) +
+                          " overlaps the lse from line " +
+                          std::to_string(spec_line[i]) + " (lba=" +
+                          std::to_string(prev.lba_begin) + "-" +
+                          std::to_string(prev.lba_end) + ")");
+            return std::nullopt;
+          }
+        }
+      }
+      plan.specs.push_back(*spec);
+      spec_line.push_back(line_no);
+    }
   }
   return plan;
 }

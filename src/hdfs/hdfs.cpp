@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/check.hpp"
+
 namespace iosim::hdfs {
 
 std::vector<DfsBlock> Hdfs::create_input(int blocks_per_vm, std::int64_t block_bytes,
@@ -30,6 +32,13 @@ std::vector<DfsBlock> Hdfs::create_input(int blocks_per_vm, std::int64_t block_b
         other = vm;  // degenerate single-VM cluster: both replicas local
       }
       b.replicas.push_back({other, alloc(other, sectors)});
+      if (auto* ck = check::auditor()) {
+        // Hdfs runs before the clock starts (input layout precedes the job),
+        // so the timestamp is simply t=0.
+        ck->on_block_created(b.id, static_cast<int>(b.replicas.size()),
+                             b.replicas[0].vm, b.replicas[1].vm, n_vms_,
+                             /*t_ns=*/0);
+      }
       blocks.push_back(std::move(b));
     }
   }

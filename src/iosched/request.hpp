@@ -52,6 +52,11 @@ struct Request {
   /// this is a task identifier; inside Dom0 it is the VM (blkback) id.
   std::uint64_t ctx = 0;
 
+  /// Bios merged into this request (1 for a fresh request, +1 per back
+  /// merge). The invariant auditor's conservation check counts completed
+  /// requests in bio units against BlockLayerCounters::bios_submitted.
+  std::uint32_t n_bios = 1;
+
   /// Time the request entered the block layer (deadline bookkeeping).
   Time submit;
 

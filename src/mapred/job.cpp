@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/check.hpp"
 #include "trace/trace.hpp"
 
 namespace iosim::mapred {
@@ -42,6 +43,10 @@ void Job::run() {
     tr->instant(tr->track("mapred"), tr->ids.job_start, tr->ids.cat_mapred,
                 stats_.t_start, tr->ids.task, stats_.maps_total, tr->ids.value,
                 stats_.reduces_total);
+  }
+  if (auto* ck = check::auditor()) {
+    ck->on_job_start(stats_.maps_total, stats_.reduces_total,
+                     conf_.max_task_attempts);
   }
 
   maps_.reserve(blocks_.size());
@@ -103,6 +108,11 @@ void Job::try_assign_maps() {
       maps_[idx] = std::make_unique<MapTask>(*this, map_id, blocks_[idx], v,
                                              /*attempt=*/map_failures_[idx] + 1);
       ++map_running_[idx];
+      if (auto* ck = check::auditor()) {
+        ck->on_map_attempt_start(map_id, map_failures_[idx] + 1,
+                                 map_running_[idx], /*speculative=*/false,
+                                 simr().now().ns());
+      }
       MapTask* task = maps_[idx].get();
       simr().after(conf_.assign_latency, [task] { task->start(); });
     }
@@ -147,6 +157,7 @@ void Job::map_finished(MapTask& task, MapOutput out) {
     return;
   }
   map_done_flags_[idx] = 1;
+  if (auto* ck = check::auditor()) ck->on_map_commit(id, simr().now().ns());
   map_dur_sum_ += simr().now() - task.t_start();
 
   // Winner takes first: cancel the losing copy, free its slot.
@@ -255,6 +266,9 @@ void Job::reducer_shuffle_finished(ReduceTask& task) {
 void Job::reduce_finished(ReduceTask& task) {
   if (failed_) return;
   ++reduces_done_;
+  if (auto* ck = check::auditor()) {
+    ck->on_reduce_commit(task.task_id(), simr().now().ns());
+  }
   const int v = task.vm();
   ++free_reduce_slots_[static_cast<std::size_t>(v)];
 
@@ -279,6 +293,9 @@ void Job::reduce_finished(ReduceTask& task) {
     done_ = true;
     stats_.t_done = simr().now();
     job_instant(&trace::Tracer::CommonIds::job_done, stats_.t_done);
+    if (auto* ck = check::auditor()) {
+      ck->on_job_done(maps_done_, reduces_done_, stats_.t_done.ns());
+    }
     if (on_done) on_done(simr().now());
   }
 }
@@ -437,6 +454,10 @@ void Job::launch_speculative_map(int map_id) {
   if (v < 0) return;  // no spare capacity — try again next scan
   --free_map_slots_[static_cast<std::size_t>(v)];
   ++map_running_[idx];
+  if (auto* ck = check::auditor()) {
+    ck->on_map_attempt_start(map_id, primary->attempt(), map_running_[idx],
+                             /*speculative=*/true, simr().now().ns());
+  }
   if (spec_maps_[idx]) retired_maps_.push_back(std::move(spec_maps_[idx]));
   spec_maps_[idx] = std::make_unique<MapTask>(*this, map_id, blocks_[idx], v,
                                               primary->attempt(), /*speculative=*/true);
@@ -454,11 +475,14 @@ bool Job::map_pending(int map_id) const {
          pending_maps_.end();
 }
 
-void Job::note_hdfs_failover(int map_id, int from_vm, int) {
+void Job::note_hdfs_failover(int map_id, int from_vm, int to_vm) {
   ++stats_.hdfs_failovers;
   if (auto* tr = trace::tracer()) {
     tr->instant(tr->track("mapred"), tr->ids.hdfs_failover, tr->ids.cat_mapred,
                 simr().now(), tr->ids.task, map_id, tr->ids.value, from_vm);
+  }
+  if (auto* ck = check::auditor()) {
+    ck->on_hdfs_failover(map_id, from_vm, to_vm, simr().now().ns());
   }
 }
 

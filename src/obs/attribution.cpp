@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/check.hpp"
 #include "trace/registry.hpp"
 #include "trace/trace.hpp"
 
@@ -117,6 +118,9 @@ void Attribution::on_complete(AttrHandle h, sim::Time now) {
   if (r == nullptr) return;
   r->stamp[static_cast<int>(Stage::kComplete)] = now.ns();
   last_activity_ = now;
+  if (auto* ck = check::auditor()) {
+    ck->on_stamps(r->key.host, r->key.vm, r->stamp, kNumStages, now.ns());
+  }
 
   std::int64_t lanes[kNumLanes];
   lanes_of(*r, lanes);

@@ -193,6 +193,79 @@ void Simulator::run() {
   }
 }
 
+bool Simulator::audit(std::string* why) const {
+  const auto fail = [&](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+  // 0 = unaccounted, 1 = scheduled (in heap), 2 = free (on free list).
+  std::vector<std::uint8_t> state(meta_.size(), 0);
+
+  // Heap side: every entry's slot must exist, carry a live generation, and
+  // point back at its own heap position. With the root hole open, heap_[0]
+  // is a stale copy of the fired entry (its slot already freed) — skip it.
+  for (std::size_t i = hole_ ? 1 : 0; i < heap_.size(); ++i) {
+    const std::uint32_t slot = heap_[i].slot();
+    if (slot >= meta_.size()) {
+      return fail("heap entry " + std::to_string(i) + " names slot " +
+                  std::to_string(slot) + " beyond arena size " +
+                  std::to_string(meta_.size()));
+    }
+    if (state[slot] != 0) {
+      return fail("slot " + std::to_string(slot) +
+                  " appears twice in the heap");
+    }
+    state[slot] = 1;
+    if (meta_[slot].gen == 0) {
+      return fail("scheduled slot " + std::to_string(slot) +
+                  " has generation 0 (reserved for invalid ids)");
+    }
+    if (meta_[slot].pos != i) {
+      return fail("slot " + std::to_string(slot) + " back-pointer says pos " +
+                  std::to_string(meta_[slot].pos) + ", actual heap pos " +
+                  std::to_string(i));
+    }
+  }
+
+  // Free-list side: exactly free_count_ nodes, all in range, no revisits
+  // (a cycle or a scheduled slot on the list would revisit / collide).
+  std::size_t n_free = 0;
+  for (std::uint32_t s = free_head_; s != kNpos; s = meta_[s].pos) {
+    if (s >= meta_.size()) {
+      return fail("free list links to slot " + std::to_string(s) +
+                  " beyond arena size " + std::to_string(meta_.size()));
+    }
+    if (state[s] != 0) {
+      return fail(state[s] == 2
+                      ? "free list cycles through slot " + std::to_string(s)
+                      : "slot " + std::to_string(s) +
+                            " is both scheduled and on the free list");
+    }
+    state[s] = 2;
+    if (meta_[s].gen == 0) {
+      return fail("free slot " + std::to_string(s) + " has generation 0");
+    }
+    if (++n_free > free_count_) {
+      return fail("free list longer than free_count_ = " +
+                  std::to_string(free_count_));
+    }
+  }
+  if (n_free != free_count_) {
+    return fail("free list has " + std::to_string(n_free) +
+                " slots, free_count_ says " + std::to_string(free_count_));
+  }
+
+  // Conservation: every arena slot is scheduled or free. (The fired slot
+  // under an open hole was already freed, so it is accounted as free.)
+  for (std::size_t s = 0; s < state.size(); ++s) {
+    if (state[s] == 0) {
+      return fail("slot " + std::to_string(s) +
+                  " is neither scheduled nor on the free list (leaked)");
+    }
+  }
+  return true;
+}
+
 void Simulator::run_until(Time deadline) {
   const std::int64_t deadline_ns = deadline.ns();
   for (;;) {

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -158,6 +159,14 @@ class Simulator {
   PoolStats pool_stats() const {
     return {meta_.size(), free_count_, heap_.capacity()};
   }
+
+  /// Structural integrity check over the heap + slot arena, for the
+  /// invariant auditor (src/check/): every heap entry's slot back-pointer
+  /// must name its heap position, generations must never be 0, the free
+  /// list must be acyclic and exactly free_count_ long, and every arena
+  /// slot must be either scheduled or free (never both, never neither).
+  /// O(slots); returns false and fills `why` on the first inconsistency.
+  bool audit(std::string* why = nullptr) const;
 
  private:
   static constexpr std::uint32_t kNpos = 0xffffffffu;

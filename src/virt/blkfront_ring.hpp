@@ -14,6 +14,7 @@
 
 #include "blk/block_layer.hpp"
 #include "blk/request_sink.hpp"
+#include "check/check.hpp"
 #include "sim/simulator.hpp"
 
 namespace iosim::virt {
@@ -45,6 +46,10 @@ class BlkfrontRing final : public blk::RequestSink {
     (void)now;
     const auto n_segs = static_cast<int>(
         (rq->sectors + p_.max_segment_sectors - 1) / p_.max_segment_sectors);
+    if (auto* ck = check::auditor()) {
+      ck->on_ring_submit(this, vm_ctx_, outstanding_, n_segs, p_.slots,
+                         simr_.now().ns());
+    }
     outstanding_ += n_segs;
 
     // Split into blkif segments; each becomes a Dom0 bio. Adjacent segments
@@ -70,6 +75,9 @@ class BlkfrontRing final : public blk::RequestSink {
           if (st != blk::IoStatus::kOk) rq->status = st;
           simr_.after(p_.hop_latency, [this, rq, remaining] {
             --outstanding_;
+            if (auto* ck = check::auditor()) {
+              ck->on_ring_complete(this, outstanding_, simr_.now().ns());
+            }
             if (--*remaining == 0) {
               complete(rq, simr_.now());
             }

@@ -105,6 +105,24 @@ TEST(JsonParse, RejectsMalformedInput) {
   EXPECT_FALSE(json_parse("{'a':1}", &err).has_value());
 }
 
+TEST(JsonParse, RejectsPathologicalNesting) {
+  // Each nesting level recurses one native stack frame; without the depth
+  // guard a few hundred KB of "[[[[..." would overflow the stack (the
+  // original fuzzer-found crash). Moderate nesting must still parse.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_TRUE(json_parse(deep).has_value());
+
+  std::string err;
+  std::string too_deep(100'000, '[');
+  EXPECT_FALSE(json_parse(too_deep, &err).has_value());
+  EXPECT_NE(err.find("nesting too deep"), std::string::npos) << err;
+
+  std::string objs;
+  for (int i = 0; i < 1000; ++i) objs += "{\"k\":";
+  EXPECT_FALSE(json_parse(objs, &err).has_value());
+}
+
 // --- Run journal ----------------------------------------------------------
 
 const char* kSpecText =

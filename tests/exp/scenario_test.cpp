@@ -169,5 +169,34 @@ TEST(ScenarioSpec, ApplyOverridesForSetFlag) {
   EXPECT_FALSE(s->apply("mb", "not_a_number", &err));
 }
 
+TEST(ScenarioSpec, ValidateRejectsOversizedMatrix) {
+  // Six unbounded axis lengths multiply: a hostile spec can overflow
+  // size_t in n_points() or OOM in expand()'s reserve. parse() must
+  // reject the product, not just the individual values.
+  std::string big = "name=huge\nrepeats=1\npair=all16\n";
+  std::string vms = "vms=1";
+  for (int i = 2; i <= 400; ++i) vms += "," + std::to_string(i);
+  std::string hosts = "hosts=1";
+  for (int i = 2; i <= 400; ++i) hosts += "," + std::to_string(i);
+  big += vms + "\n" + hosts + "\n";
+  std::string err;
+  EXPECT_FALSE(ScenarioSpec::parse(big, &err).has_value());
+  EXPECT_NE(err.find("point"), std::string::npos) << err;
+
+  // Run count (points * repeats) is capped separately.
+  auto s = ScenarioSpec::parse("name=x\nrepeats=1000000\npair=all16\n");
+  EXPECT_FALSE(s.has_value());
+}
+
+TEST(ScenarioSpec, ValidateIsReusableAfterSetOverrides) {
+  auto s = ScenarioSpec::parse("name=x\n");
+  ASSERT_TRUE(s.has_value());
+  std::string err;
+  EXPECT_TRUE(s->validate(&err)) << err;
+  s->repeats = 100'000'000;  // what a bad --set repeats=... would do
+  EXPECT_FALSE(s->validate(&err));
+  EXPECT_FALSE(err.empty());
+}
+
 }  // namespace
 }  // namespace iosim::exp

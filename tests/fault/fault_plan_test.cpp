@@ -110,6 +110,60 @@ TEST(FaultPlanParse, EmptyTextIsEmptyPlan) {
   EXPECT_TRUE(p->empty());
 }
 
+TEST(FaultPlanParse, DuplicateKeyRejected) {
+  std::string err;
+  EXPECT_FALSE(
+      FaultPlan::parse_spec("transient:host=0,p=0.1,p=0.9", &err).has_value());
+  EXPECT_NE(err.find("duplicate key 'p'"), std::string::npos) << err;
+  EXPECT_FALSE(
+      FaultPlan::parse_spec("vmdown:vm=1,from=1,from=2,until=3", &err).has_value());
+  EXPECT_NE(err.find("duplicate key 'from'"), std::string::npos) << err;
+}
+
+TEST(FaultPlanParse, NonFiniteNumbersRejected) {
+  // NaN slips through ordinary range checks (every comparison is false) and
+  // inf seconds would overflow Time::from_sec_f — both must fail the parse.
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse_spec("transient:host=0,p=nan", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("switchdelay:delay=inf", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("switchfail:p=1,from=inf").has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("vmdown:vm=0,from=0,until=-inf").has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("failslow:host=0,factor=nan").has_value());
+}
+
+TEST(FaultPlanParse, SecondsBeyondTimeRangeRejected) {
+  // int64 nanoseconds overflow past ~9.22e9 seconds.
+  EXPECT_TRUE(FaultPlan::parse_spec("switchfail:p=1,from=9e9").has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("switchfail:p=1,from=1e10").has_value());
+  EXPECT_FALSE(FaultPlan::parse_spec("vmdown:vm=0,until=9.3e9").has_value());
+}
+
+TEST(FaultPlanParse, OverlappingLseRangesRejected) {
+  std::string err;
+  // Same host, intersecting LBA windows: ambiguous latent-sector state.
+  EXPECT_FALSE(
+      FaultPlan::parse("lse:host=0,lba=100-200\nlse:host=0,lba=150-300", &err)
+          .has_value());
+  EXPECT_NE(err.find("overlap"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  // host=-1 wildcards collide with every host.
+  EXPECT_FALSE(
+      FaultPlan::parse("lse:host=-1,lba=0-10;lse:host=3,lba=5-8", &err).has_value());
+  // Different hosts or disjoint ranges are fine.
+  EXPECT_TRUE(
+      FaultPlan::parse("lse:host=0,lba=100-200;lse:host=1,lba=150-300").has_value());
+  EXPECT_TRUE(
+      FaultPlan::parse("lse:host=0,lba=100-200;lse:host=0,lba=200-300").has_value());
+}
+
+TEST(FaultPlanParse, PlanErrorsCarryLineNumbers) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("transient:host=0,p=0.1\n\nbogus:x=1\n", &err)
+                   .has_value());
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
 TEST(FaultPlanParse, RoundTripsThroughToString) {
   const char* text =
       "transient:host=0,p=0.25,from=2;lse:host=1,lba=10-20;"

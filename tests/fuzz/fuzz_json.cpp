@@ -1,0 +1,62 @@
+// Fuzzer for json_parse (exp/json_parse.hpp) and report ingestion
+// (exp/report.hpp), the two surfaces that read machine-written JSON back in.
+//
+// Contract: json_parse never crashes or overflows the native stack (the
+// original fuzzer-found bug: unbounded recursion on `[[[[...`), and every
+// accepted document can be fully walked and queried. render_report must
+// treat the same bytes as an untrusted trace/BENCH payload: any input is
+// either rendered or rejected with a diagnostic, never a crash.
+
+#include <string>
+
+#include "exp/json_parse.hpp"
+#include "exp/report.hpp"
+#include "fuzz_util.hpp"
+
+namespace {
+
+using iosim::exp::JsonValue;
+
+// Exhaustively touch the parsed tree: every string/number accessor a real
+// consumer (journal, report) would call. Depth is parser-bounded (<= 128).
+std::size_t walk(const JsonValue& v) {
+  std::size_t n = 1;
+  if (v.kind == JsonValue::Kind::kNumber) (void)v.as_u64();
+  for (const auto& kv : v.obj) n += walk(kv.second);
+  for (const auto& child : v.arr) n += walk(child);
+  return n;
+}
+
+std::string check_json(const std::string& text) {
+  std::string err;
+  const auto v = iosim::exp::json_parse(text, &err);
+  if (v.has_value()) {
+    if (walk(*v) == 0) return "parsed document walked to zero nodes";
+  } else if (err.empty()) {
+    return "rejected input without a diagnostic";
+  }
+
+  // Report ingestion: the same bytes as a trace export and as a BENCH file.
+  // Empty result + diagnostic is the rejection path; both must be hygienic.
+  std::string rerr;
+  const std::string html = iosim::exp::render_report(
+      text, {{"fuzz.json", text}}, iosim::exp::ReportOptions{}, &rerr);
+  if (html.empty() && rerr.empty()) {
+    return "render_report returned empty output without a diagnostic";
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iosim::fuzz::FuzzOptions opt;
+  if (!iosim::fuzz::parse_args(argc, argv, &opt)) return iosim::fuzz::usage(argv[0]);
+  return iosim::fuzz::run_campaign(
+      "fuzz_json", opt, check_json,
+      {"{", "}", "[", "]", ":", ",", "\"", "true", "false", "null", "\\u0041",
+       "\\u", "1e308", "-1e308", "1e-308", "18446744073709551615",
+       "18446744073709551616", "\"traceEvents\"", "\"name\"", "\"ph\"", "\"ts\"",
+       "\"dur\"", "\"args\"", "\"pid\"", "\"tid\"", "\"X\"", "\"i\"",
+       "\"iosim_report\"", "\"rows\"", "\"schema\"", "\"label\"", "0.5", "-0"});
+}

@@ -1,0 +1,65 @@
+// Fuzzer for the scenario-spec grammar (exp/scenario.hpp).
+//
+// Contract: ScenarioSpec::parse never crashes; an accepted spec's canonical
+// to_string() re-parses, is idempotent, keeps its fingerprint, and its
+// expansion respects the validate() matrix caps.
+
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "fuzz_util.hpp"
+
+namespace {
+
+using iosim::exp::ScenarioSpec;
+
+std::string check_scenario(const std::string& text) {
+  std::string err;
+  const auto spec = ScenarioSpec::parse(text, &err);
+  if (!spec.has_value()) return "";  // rejection is always acceptable
+
+  if (spec->n_points() > ScenarioSpec::kMaxPoints) {
+    return "accepted spec exceeds kMaxPoints (" + std::to_string(spec->n_points()) +
+           " points)";
+  }
+  if (spec->n_runs() > ScenarioSpec::kMaxRuns) {
+    return "accepted spec exceeds kMaxRuns (" + std::to_string(spec->n_runs()) +
+           " runs)";
+  }
+
+  const std::string canon = spec->to_string();
+  std::string err2;
+  const auto re = ScenarioSpec::parse(canon, &err2);
+  if (!re.has_value()) {
+    return "canonical text failed to re-parse: " + err2 + " | canon: " +
+           iosim::fuzz::escape_for_log(canon);
+  }
+  if (re->to_string() != canon) return "to_string is not idempotent";
+  if (re->fingerprint() != spec->fingerprint()) {
+    return "fingerprint changed across a round-trip";
+  }
+
+  // Expanding a huge-but-legal matrix is valid and slow; only materialize
+  // small ones to verify the expansion really matches n_points().
+  if (spec->n_points() <= 4096) {
+    if (spec->expand().size() != spec->n_points()) {
+      return "expand() size disagrees with n_points()";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iosim::fuzz::FuzzOptions opt;
+  if (!iosim::fuzz::parse_args(argc, argv, &opt)) return iosim::fuzz::usage(argv[0]);
+  return iosim::fuzz::run_campaign(
+      "fuzz_scenario", opt, check_scenario,
+      {"name=", "mode=", "base_seed=", "repeats=", "pair=", "workload=", "hosts=",
+       "vms=", "mb=", "fault=", "timeout=", "max_events=", "max_sim_seconds=",
+       "all16", "run", "adapt", "sort", "wordcount", "wc-nocombiner",
+       "none", "transient:host=0,p=0.1", "lse:host=0,lba=0-100", "|", ",", ";",
+       "\n", "#", "=", "9e9", "1e10", "nan", "inf", "-1", "0",
+       "18446744073709551615", "999999999999999999999"});
+}

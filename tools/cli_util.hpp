@@ -1,0 +1,66 @@
+// iosim: shared helpers for the command-line tools.
+//
+// Every iosim CLI follows the same error-handling convention (set by
+// iosimctl): unknown or malformed flags print a one-line diagnostic plus the
+// usage text and exit 2. The strict numeric parsers here replace bare
+// std::atoi, which silently accepts trailing garbage ("4x" -> 4) and maps
+// unparseable input to 0 — both of which turn a typo into a quietly wrong
+// run instead of a usage error.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace iosim::tools {
+
+/// Strict base-10 integer parse: the whole string must be a number that
+/// fits a long long. Returns false on empty input, trailing garbage, or
+/// overflow.
+inline bool parse_ll_arg(const char* s, long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict int parse (rejects values outside int's range as well).
+inline bool parse_int_arg(const char* s, int* out) {
+  long long v = 0;
+  if (!parse_ll_arg(s, &v)) return false;
+  if (v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// Strict unsigned 64-bit parse (for seeds).
+inline bool parse_u64_arg(const char* s, unsigned long long* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict finite double parse.
+inline bool parse_double_arg(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  if (!(v == v) || v > std::numeric_limits<double>::max() ||
+      v < -std::numeric_limits<double>::max()) {
+    return false;  // NaN or +-inf
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace iosim::tools

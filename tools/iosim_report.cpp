@@ -69,19 +69,19 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(a, "--trace") == 0) {
       const char* v = need_value(a);
-      if (v == nullptr) return 2;
+      if (v == nullptr) return usage(argv[0]);
       trace_path = v;
     } else if (std::strcmp(a, "--bench") == 0) {
       const char* v = need_value(a);
-      if (v == nullptr) return 2;
+      if (v == nullptr) return usage(argv[0]);
       bench_paths.push_back(v);
     } else if (std::strcmp(a, "--title") == 0) {
       const char* v = need_value(a);
-      if (v == nullptr) return 2;
+      if (v == nullptr) return usage(argv[0]);
       opt.title = v;
     } else if (std::strcmp(a, "-o") == 0 || std::strcmp(a, "--out") == 0) {
       const char* v = need_value(a);
-      if (v == nullptr) return 2;
+      if (v == nullptr) return usage(argv[0]);
       out_path = v;
     } else {
       std::fprintf(stderr, "iosim-report: unknown flag %s\n", a);

@@ -54,6 +54,8 @@
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 
+#include "cli_util.hpp"
+
 using namespace iosim;
 
 namespace {
@@ -123,9 +125,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (s == "--workers") {
       const char* v = need_value("--workers");
       if (!v) return std::nullopt;
-      o.workers = std::atoi(v);
-      if (o.workers < 1) {
-        std::fprintf(stderr, "iosim-sweep: --workers must be >= 1\n");
+      if (!tools::parse_int_arg(v, &o.workers) || o.workers < 1) {
+        std::fprintf(stderr, "iosim-sweep: --workers must be an integer >= 1, got '%s'\n", v);
         return std::nullopt;
       }
     } else if (s == "--out") {
@@ -158,9 +159,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (s == "--retries") {
       const char* v = need_value("--retries");
       if (!v) return std::nullopt;
-      o.retries = std::atoi(v);
-      if (o.retries < 0) {
-        std::fprintf(stderr, "iosim-sweep: --retries must be >= 0\n");
+      if (!tools::parse_int_arg(v, &o.retries) || o.retries < 0) {
+        std::fprintf(stderr, "iosim-sweep: --retries must be an integer >= 0, got '%s'\n", v);
         return std::nullopt;
       }
     } else if (s == "--resume") {
@@ -220,6 +220,11 @@ int main(int argc, char** argv) {
                    err.c_str());
       return 2;
     }
+  }
+  // --set can grow axes past what the parsed spec validated — check again.
+  if (!spec->validate(&err)) {
+    std::fprintf(stderr, "iosim-sweep: %s\n", err.c_str());
+    return 2;
   }
 
   const auto points = spec->expand();
