@@ -80,7 +80,7 @@ void BlockLayer::submit(Bio bio) {
   ++counters_.bios_submitted;
   const Time now = simr_.now();
   if (auto* ck = check::auditor()) {
-    ck->on_bio_submitted(this, cfg_.name, now.ns());
+    ck->on_bio_submitted(this, cfg_.name, bio.ctx, now.ns());
   }
   if (auto* tr = trace::tracer()) {
     tr->instant(tr->track(cfg_.name), tr->ids.bio_submit, tr->ids.cat_blk, now,
@@ -148,7 +148,8 @@ void BlockLayer::submit(Bio bio) {
     if (auto* at = obs::attribution()) {
       rq->attrs.push_back(at->on_submit(cfg_.obs_host, cfg_.obs_vm,
                                         rq->dir == iosched::Dir::kWrite,
-                                        rq->sync, rq->lba, rq->sectors, now));
+                                        rq->sync, rq->lba, rq->sectors, now,
+                                        rq->ctx));
     }
   } else if (bio.attr != obs::kNoAttr) {
     rq->attrs.push_back(bio.attr);

@@ -19,6 +19,8 @@ const char* to_string(Invariant inv) {
     case Invariant::kStampMonotonicity: return "stamp-monotonicity";
     case Invariant::kTaskStateMachine: return "task-state-machine";
     case Invariant::kBlockRefcount: return "block-refcount";
+    case Invariant::kSlotConservation: return "slot-conservation";
+    case Invariant::kJobAttribution: return "job-attribution";
   }
   return "?";
 }
@@ -79,10 +81,40 @@ Auditor::RingAccount& Auditor::ring_of(const void* ring, std::uint64_t vm_ctx) {
   return rings_.back();
 }
 
+Auditor::JobAccount& Auditor::job_of(int job_id) {
+  if (auto it = job_idx_.find(job_id); it != job_idx_.end()) {
+    return jobs_[it->second];
+  }
+  job_idx_.emplace(job_id, jobs_.size());
+  jobs_.emplace_back();
+  jobs_.back().job_id = job_id;
+  return jobs_.back();
+}
+
+Auditor::JobAccount* Auditor::find_job(int job_id) {
+  const auto it = job_idx_.find(job_id);
+  return it == job_idx_.end() ? nullptr : &jobs_[it->second];
+}
+
 void Auditor::on_bio_submitted(const void* layer, std::string_view name,
-                               std::int64_t t_ns) {
-  (void)t_ns;
+                               std::uint64_t ctx, std::int64_t t_ns) {
   ++layer_of(layer, name).bios_submitted;
+  // Job-attribution guard, armed only once stream windows exist: a bio
+  // carrying a per-job ctx must come from an admitted, unretired job.
+  if (!windows_armed_ || ctx < 1'000'000) return;
+  for (const auto& j : jobs_) {
+    if (j.ctx_lo <= ctx && ctx < j.ctx_hi) {
+      if (j.retired) {
+        violation(Invariant::kJobAttribution, std::string(name), t_ns,
+                  "bio with ctx " + std::to_string(ctx) + " of retired job " +
+                      std::to_string(j.job_id));
+      }
+      return;
+    }
+  }
+  violation(Invariant::kJobAttribution, std::string(name), t_ns,
+            "bio ctx " + std::to_string(ctx) +
+                " lies in no admitted job's window");
 }
 
 void Auditor::on_queue_accounting(const void* layer, std::string_view name,
@@ -188,26 +220,32 @@ void Auditor::on_stamps(int host, int vm, const std::int64_t* stamp,
   }
 }
 
-void Auditor::on_job_start(int n_maps, int n_reduces, int max_attempts) {
-  job_seen_ = true;
-  job_done_seen_ = false;
-  n_maps_ = n_maps;
-  n_reduces_ = n_reduces;
-  max_attempts_ = max_attempts;
-  map_committed_.assign(static_cast<std::size_t>(n_maps < 0 ? 0 : n_maps), 0);
-  reduce_committed_.assign(static_cast<std::size_t>(n_reduces < 0 ? 0 : n_reduces), 0);
-  map_commits_ = 0;
-  reduce_commits_ = 0;
-  block_replicas_.clear();
+void Auditor::on_job_start(int job_id, int n_maps, int n_reduces,
+                           int max_attempts) {
+  JobAccount& j = job_of(job_id);
+  any_job_seen_ = true;
+  layout_job_ = job_idx_[job_id];
+  j.done_seen = false;
+  j.n_maps = n_maps;
+  j.n_reduces = n_reduces;
+  j.max_attempts = max_attempts;
+  j.map_committed.assign(static_cast<std::size_t>(n_maps < 0 ? 0 : n_maps), 0);
+  j.reduce_committed.assign(static_cast<std::size_t>(n_reduces < 0 ? 0 : n_reduces), 0);
+  j.map_commits = 0;
+  j.reduce_commits = 0;
+  j.block_replicas.clear();
 }
 
-void Auditor::on_map_attempt_start(int map_id, int attempt, int running_after,
-                                   bool speculative, std::int64_t t_ns) {
-  const std::string where = "map" + std::to_string(map_id);
-  if (map_id < 0 || map_id >= n_maps_) {
+void Auditor::on_map_attempt_start(int job_id, int map_id, int attempt,
+                                   int running_after, bool speculative,
+                                   std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id) + "/map" +
+                            std::to_string(map_id);
+  if (map_id < 0 || map_id >= j.n_maps) {
     violation(Invariant::kTaskStateMachine, where, t_ns,
               "attempt for out-of-range map id (maps_total=" +
-                  std::to_string(n_maps_) + ")");
+                  std::to_string(j.n_maps) + ")");
     return;
   }
   if (running_after < 1 || running_after > 2) {
@@ -215,64 +253,143 @@ void Auditor::on_map_attempt_start(int map_id, int attempt, int running_after,
               "running copies = " + std::to_string(running_after) +
                   " (a task runs as at most primary + one speculative copy)");
   }
-  if (!speculative && (attempt < 1 || attempt > max_attempts_)) {
+  if (!speculative && (attempt < 1 || attempt > j.max_attempts)) {
     violation(Invariant::kTaskStateMachine, where, t_ns,
               "attempt " + std::to_string(attempt) + " outside budget 1.." +
-                  std::to_string(max_attempts_));
+                  std::to_string(j.max_attempts));
   }
-  if (map_committed_[static_cast<std::size_t>(map_id)]) {
+  if (j.map_committed[static_cast<std::size_t>(map_id)]) {
     violation(Invariant::kTaskStateMachine, where, t_ns,
               "attempt launched after the task already committed");
   }
 }
 
-void Auditor::on_map_commit(int map_id, std::int64_t t_ns) {
-  const std::string where = "map" + std::to_string(map_id);
-  if (map_id < 0 || map_id >= n_maps_) {
+void Auditor::on_map_commit(int job_id, int map_id, std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id) + "/map" +
+                            std::to_string(map_id);
+  if (map_id < 0 || map_id >= j.n_maps) {
     violation(Invariant::kTaskStateMachine, where, t_ns,
               "commit for out-of-range map id");
     return;
   }
-  auto& done = map_committed_[static_cast<std::size_t>(map_id)];
+  auto& done = j.map_committed[static_cast<std::size_t>(map_id)];
   if (done) {
     violation(Invariant::kTaskStateMachine, where, t_ns,
               "map committed twice (photo-finish guard failed)");
     return;
   }
   done = 1;
-  ++map_commits_;
+  ++j.map_commits;
 }
 
-void Auditor::on_reduce_commit(int reduce_id, std::int64_t t_ns) {
-  const std::string where = "reduce" + std::to_string(reduce_id);
-  if (reduce_id < 0 || reduce_id >= n_reduces_) {
+void Auditor::on_reduce_commit(int job_id, int reduce_id, std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id) + "/reduce" +
+                            std::to_string(reduce_id);
+  if (reduce_id < 0 || reduce_id >= j.n_reduces) {
     violation(Invariant::kTaskStateMachine, where, t_ns,
               "commit for out-of-range reduce id");
     return;
   }
-  auto& done = reduce_committed_[static_cast<std::size_t>(reduce_id)];
+  auto& done = j.reduce_committed[static_cast<std::size_t>(reduce_id)];
   if (done) {
     violation(Invariant::kTaskStateMachine, where, t_ns,
               "reduce committed twice");
     return;
   }
   done = 1;
-  ++reduce_commits_;
+  ++j.reduce_commits;
 }
 
-void Auditor::on_job_done(int maps_done, int reduces_done, std::int64_t t_ns) {
-  job_done_seen_ = true;
-  if (maps_done != n_maps_ || map_commits_ != n_maps_) {
-    violation(Invariant::kTaskStateMachine, "job", t_ns,
+void Auditor::on_job_done(int job_id, int maps_done, int reduces_done,
+                          std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id);
+  j.done_seen = true;
+  if (maps_done != j.n_maps || j.map_commits != j.n_maps) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
               "job done with maps_done=" + std::to_string(maps_done) +
-                  ", committed=" + std::to_string(map_commits_) + ", total=" +
-                  std::to_string(n_maps_));
+                  ", committed=" + std::to_string(j.map_commits) + ", total=" +
+                  std::to_string(j.n_maps));
   }
-  if (reduces_done != n_reduces_ || reduce_commits_ != n_reduces_) {
-    violation(Invariant::kTaskStateMachine, "job", t_ns,
+  if (reduces_done != j.n_reduces || j.reduce_commits != j.n_reduces) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
               "job done with reduces_done=" + std::to_string(reduces_done) +
-                  ", committed=" + std::to_string(reduce_commits_) +
-                  ", total=" + std::to_string(n_reduces_));
+                  ", committed=" + std::to_string(j.reduce_commits) +
+                  ", total=" + std::to_string(j.n_reduces));
+  }
+}
+
+void Auditor::on_stream_job_admit(int job_id, std::uint64_t ctx_lo,
+                                  std::uint64_t ctx_hi, std::int64_t t_ns) {
+  const std::string where = "job" + std::to_string(job_id);
+  if (ctx_lo >= ctx_hi) {
+    violation(Invariant::kJobAttribution, where, t_ns,
+              "empty ctx window [" + std::to_string(ctx_lo) + ", " +
+                  std::to_string(ctx_hi) + ")");
+    return;
+  }
+  for (const auto& other : jobs_) {
+    if (other.ctx_hi == 0 || other.job_id == job_id) continue;
+    if (ctx_lo < other.ctx_hi && other.ctx_lo < ctx_hi) {
+      violation(Invariant::kJobAttribution, where, t_ns,
+                "ctx window overlaps job " + std::to_string(other.job_id));
+    }
+  }
+  JobAccount& j = job_of(job_id);
+  j.ctx_lo = ctx_lo;
+  j.ctx_hi = ctx_hi;
+  j.retired = false;
+  windows_armed_ = true;
+}
+
+void Auditor::on_stream_job_retire(int job_id, std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id);
+  if (j.retired) {
+    violation(Invariant::kJobAttribution, where, t_ns, "retired twice");
+  }
+  j.retired = true;
+  if (j.map_slots_held != 0 || j.reduce_slots_held != 0) {
+    violation(Invariant::kSlotConservation, where, t_ns,
+              "retired still holding " + std::to_string(j.map_slots_held) +
+                  " map / " + std::to_string(j.reduce_slots_held) +
+                  " reduce slot(s)");
+  }
+}
+
+void Auditor::on_slot_acquire(int job_id, int vm, bool reduce, int in_use_after,
+                              int capacity, std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id) + "/vm" +
+                            std::to_string(vm);
+  if (in_use_after > capacity) {
+    violation(Invariant::kSlotConservation, where, t_ns,
+              std::string(reduce ? "reduce" : "map") + " slots in use " +
+                  std::to_string(in_use_after) + " > capacity " +
+                  std::to_string(capacity));
+  }
+  ++(reduce ? j.reduce_slots_held : j.map_slots_held);
+}
+
+void Auditor::on_slot_release(int job_id, int vm, bool reduce, int in_use_before,
+                              std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id) + "/vm" +
+                            std::to_string(vm);
+  if (in_use_before <= 0) {
+    violation(Invariant::kSlotConservation, where, t_ns,
+              std::string(reduce ? "reduce" : "map") +
+                  " slot released with none in use on the VM");
+  }
+  auto& held = reduce ? j.reduce_slots_held : j.map_slots_held;
+  --held;
+  if (held < 0) {
+    violation(Invariant::kSlotConservation, where, t_ns,
+              "job released a " + std::string(reduce ? "reduce" : "map") +
+                  " slot it never held");
+    held = 0;  // resync so one bug reports once
   }
 }
 
@@ -295,25 +412,32 @@ void Auditor::on_block_created(int block_id, int n_replicas, int vm0, int vm1,
                   " in a multi-VM cluster");
   }
   if (block_id >= 0) {
-    if (static_cast<std::size_t>(block_id) >= block_replicas_.size()) {
-      block_replicas_.resize(static_cast<std::size_t>(block_id) + 1, {-1, -1});
+    // Blocks restart at id 0 for every job's input layout; attribute them to
+    // the job whose on_job_start was seen most recently (layout in progress).
+    auto& replicas = any_job_seen_ ? jobs_[layout_job_].block_replicas
+                                   : job_of(0).block_replicas;
+    if (static_cast<std::size_t>(block_id) >= replicas.size()) {
+      replicas.resize(static_cast<std::size_t>(block_id) + 1, {-1, -1});
     }
-    block_replicas_[static_cast<std::size_t>(block_id)] = {vm0, vm1};
+    replicas[static_cast<std::size_t>(block_id)] = {vm0, vm1};
   }
 }
 
-void Auditor::on_hdfs_failover(int map_id, int from_vm, int to_vm,
+void Auditor::on_hdfs_failover(int job_id, int map_id, int from_vm, int to_vm,
                                std::int64_t t_ns) {
-  const std::string where = "map" + std::to_string(map_id);
+  const std::string where = "job" + std::to_string(job_id) + "/map" +
+                            std::to_string(map_id);
   if (to_vm == from_vm) {
     violation(Invariant::kBlockRefcount, where, t_ns,
               "failover to the failing replica itself (vm" +
                   std::to_string(to_vm) + ")");
   }
   // Map input blocks are created 1:1 with map ids; the failover target must
-  // be one of the block's recorded replicas.
-  if (map_id >= 0 && static_cast<std::size_t>(map_id) < block_replicas_.size()) {
-    const auto [vm0, vm1] = block_replicas_[static_cast<std::size_t>(map_id)];
+  // be one of the block's recorded replicas (within the owning job).
+  const JobAccount* j = find_job(job_id);
+  if (j != nullptr && map_id >= 0 &&
+      static_cast<std::size_t>(map_id) < j->block_replicas.size()) {
+    const auto [vm0, vm1] = j->block_replicas[static_cast<std::size_t>(map_id)];
     if (to_vm != vm0 && to_vm != vm1) {
       violation(Invariant::kBlockRefcount, where, t_ns,
                 "failover to vm" + std::to_string(to_vm) +
@@ -345,16 +469,25 @@ void Auditor::verify_end_of_run(std::int64_t t_ns) {
                     " segment(s) outstanding at drain");
     }
   }
-  if (job_seen_ && job_done_seen_) {
-    if (map_commits_ != n_maps_) {
-      violation(Invariant::kTaskStateMachine, "job", t_ns,
-                "drained with " + std::to_string(map_commits_) + "/" +
-                    std::to_string(n_maps_) + " maps committed");
+  for (const auto& j : jobs_) {
+    const std::string where = "job" + std::to_string(j.job_id);
+    if (j.done_seen) {
+      if (j.map_commits != j.n_maps) {
+        violation(Invariant::kTaskStateMachine, where, t_ns,
+                  "drained with " + std::to_string(j.map_commits) + "/" +
+                      std::to_string(j.n_maps) + " maps committed");
+      }
+      if (j.reduce_commits != j.n_reduces) {
+        violation(Invariant::kTaskStateMachine, where, t_ns,
+                  "drained with " + std::to_string(j.reduce_commits) + "/" +
+                      std::to_string(j.n_reduces) + " reduces committed");
+      }
     }
-    if (reduce_commits_ != n_reduces_) {
-      violation(Invariant::kTaskStateMachine, "job", t_ns,
-                "drained with " + std::to_string(reduce_commits_) + "/" +
-                    std::to_string(n_reduces_) + " reduces committed");
+    if (j.map_slots_held != 0 || j.reduce_slots_held != 0) {
+      violation(Invariant::kSlotConservation, where, t_ns,
+                "drained holding " + std::to_string(j.map_slots_held) +
+                    " map / " + std::to_string(j.reduce_slots_held) +
+                    " reduce slot(s)");
     }
   }
 }

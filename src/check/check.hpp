@@ -55,8 +55,10 @@ enum class Invariant : std::uint8_t {
   kStampMonotonicity,     // obs: six-stamp stage times regress or endpoints missing
   kTaskStateMachine,      // mapred: illegal task transition under retry/speculation
   kBlockRefcount,         // hdfs: replica placement/failover accounting broken
+  kSlotConservation,      // tenancy: slots over capacity / released unheld / leaked
+  kJobAttribution,        // tenancy: bio ctx outside every admitted job's window
 };
-inline constexpr int kNumInvariants = 10;
+inline constexpr int kNumInvariants = 12;
 
 const char* to_string(Invariant inv);
 
@@ -100,7 +102,11 @@ class Auditor {
 
   /// A bio entered the layer (counted exactly like
   /// BlockLayerCounters::bios_submitted — held bios count on release).
-  void on_bio_submitted(const void* layer, std::string_view name, std::int64_t t_ns);
+  /// `ctx` is the issuing context: once stream jobs are registered, a ctx
+  /// inside the per-job window range must belong to an admitted, unretired
+  /// job (kJobAttribution — no cross-job / dangling-job I/O).
+  void on_bio_submitted(const void* layer, std::string_view name,
+                        std::uint64_t ctx, std::int64_t t_ns);
   /// Elevator accounting snapshot after a queue mutation: the per-direction
   /// counts must always sum to the elevator's request count.
   void on_queue_accounting(const void* layer, std::string_view name,
@@ -133,18 +139,41 @@ class Auditor {
                  std::int64_t t_ns);
 
   // -- mapred/hdfs hooks (called by mapred::Job / hdfs::Hdfs) ----------------
+  // All task-level hooks are keyed by `job_id` so concurrent jobs audit
+  // independently; single-job runs pass the legacy id 0. on_job_start must
+  // precede the job's HDFS layout — blocks created afterwards (ids restart
+  // at 0 per job) are attributed to the most recently started job.
 
-  void on_job_start(int n_maps, int n_reduces, int max_attempts);
+  void on_job_start(int job_id, int n_maps, int n_reduces, int max_attempts);
   /// A map attempt launched; `running_after` counts live copies of the task
   /// (primary + speculative, never more than 2).
-  void on_map_attempt_start(int map_id, int attempt, int running_after,
-                            bool speculative, std::int64_t t_ns);
-  void on_map_commit(int map_id, std::int64_t t_ns);
-  void on_reduce_commit(int reduce_id, std::int64_t t_ns);
-  void on_job_done(int maps_done, int reduces_done, std::int64_t t_ns);
+  void on_map_attempt_start(int job_id, int map_id, int attempt,
+                            int running_after, bool speculative,
+                            std::int64_t t_ns);
+  void on_map_commit(int job_id, int map_id, std::int64_t t_ns);
+  void on_reduce_commit(int job_id, int reduce_id, std::int64_t t_ns);
+  void on_job_done(int job_id, int maps_done, int reduces_done, std::int64_t t_ns);
   void on_block_created(int block_id, int n_replicas, int vm0, int vm1,
                         int n_vms, std::int64_t t_ns);
-  void on_hdfs_failover(int map_id, int from_vm, int to_vm, std::int64_t t_ns);
+  void on_hdfs_failover(int job_id, int map_id, int from_vm, int to_vm,
+                        std::int64_t t_ns);
+
+  // -- tenancy hooks (called by the slot arbiter / stream runner) ------------
+
+  /// A stream job was admitted with the exclusive guest-ctx window
+  /// [ctx_lo, ctx_hi). Windows of distinct jobs must not overlap.
+  void on_stream_job_admit(int job_id, std::uint64_t ctx_lo, std::uint64_t ctx_hi,
+                           std::int64_t t_ns);
+  /// The job left the cluster (completed/aborted, called once the run
+  /// drained): its window goes dead and its slot holdings must be zero.
+  void on_stream_job_retire(int job_id, std::int64_t t_ns);
+  /// One slot granted/returned on `vm`; `in_use_after`/`in_use_before` are
+  /// the arbiter's per-VM in-use count around the mutation and `capacity`
+  /// the VM's physical slot count (kSlotConservation).
+  void on_slot_acquire(int job_id, int vm, bool reduce, int in_use_after,
+                       int capacity, std::int64_t t_ns);
+  void on_slot_release(int job_id, int vm, bool reduce, int in_use_before,
+                       std::int64_t t_ns);
 
   // -- end-of-run verification ------------------------------------------------
 
@@ -179,30 +208,49 @@ class Auditor {
     long long outstanding = 0;
   };
 
+  /// Per-job audit state (keyed by job_id; concurrent jobs coexist).
+  struct JobAccount {
+    int job_id = 0;
+    bool done_seen = false;
+    bool retired = false;
+    int n_maps = 0;
+    int n_reduces = 0;
+    int max_attempts = 0;
+    std::vector<std::uint8_t> map_committed;
+    std::vector<std::uint8_t> reduce_committed;
+    int map_commits = 0;
+    int reduce_commits = 0;
+    // HDFS replica map: block id -> its (up to two) replica VMs. Block ids
+    // restart at 0 for every job's input layout.
+    std::vector<std::pair<int, int>> block_replicas;
+    // Tenancy: the job's exclusive guest-ctx window (0,0 = none registered)
+    // and its slot holdings as seen through the acquire/release hooks.
+    std::uint64_t ctx_lo = 0, ctx_hi = 0;
+    long long map_slots_held = 0;
+    long long reduce_slots_held = 0;
+  };
+
   LayerAccount& layer_of(const void* layer, std::string_view name);
   RingAccount& ring_of(const void* ring, std::uint64_t vm_ctx);
+  JobAccount& job_of(int job_id);
+  JobAccount* find_job(int job_id);
 
   Mode mode_;
   CheckReport report_;
 
-  // Layers and rings in first-touch order (deterministic verify output).
+  // Layers, rings, and jobs in first-touch order (deterministic verify
+  // output).
   std::unordered_map<const void*, std::size_t> layer_idx_;
   std::vector<LayerAccount> layers_;
   std::unordered_map<const void*, std::size_t> ring_idx_;
   std::vector<RingAccount> rings_;
-
-  // Job state (reset by on_job_start; one job per run).
-  bool job_seen_ = false;
-  bool job_done_seen_ = false;
-  int n_maps_ = 0;
-  int n_reduces_ = 0;
-  int max_attempts_ = 0;
-  std::vector<std::uint8_t> map_committed_;
-  std::vector<std::uint8_t> reduce_committed_;
-  int map_commits_ = 0;
-  int reduce_commits_ = 0;
-  // HDFS replica map: block id -> its (up to two) replica VMs.
-  std::vector<std::pair<int, int>> block_replicas_;
+  std::unordered_map<int, std::size_t> job_idx_;
+  std::vector<JobAccount> jobs_;
+  /// Index into jobs_ of the most recent on_job_start (owns block layout).
+  std::size_t layout_job_ = 0;
+  bool any_job_seen_ = false;
+  /// Whether any stream window was registered (arms kJobAttribution).
+  bool windows_armed_ = false;
 };
 
 /// Per-thread auditor; null (default) = auditing off. Inline thread_local +

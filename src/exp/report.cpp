@@ -106,6 +106,15 @@ struct Stall {
   std::int64_t elv_wait_ns = 0, service_ns = 0, total_ns = 0;
 };
 
+/// One multi-tenant job, joined from its tenancy-track milestone instants
+/// (job_admit carries the input size; job_done/job_fail carry the sojourn).
+struct StreamJobRow {
+  std::int64_t job = 0, cls = 0, size_mb = 0;
+  std::int64_t admit_ns = 0, end_ns = 0, sojourn_ms = 0;
+  bool admitted = false;
+  int state = 0;  // 0 = running at end of trace, 1 = done, 2 = failed
+};
+
 struct TraceModel {
   bool present = false;
   std::string dropped_events = "0";
@@ -114,7 +123,17 @@ struct TraceModel {
   std::vector<KeySummary> keys;  // file order
   std::vector<Stall> stalls;     // file order
   std::vector<std::pair<std::int64_t, std::int64_t>> phases;  // (ts, index)
+  std::vector<StreamJobRow> stream_jobs;  // admission order
 };
+
+StreamJobRow& stream_job_of(TraceModel& m, std::int64_t job) {
+  for (auto& r : m.stream_jobs) {
+    if (r.job == job) return r;
+  }
+  m.stream_jobs.push_back(StreamJobRow{});
+  m.stream_jobs.back().job = job;
+  return m.stream_jobs.back();
+}
 
 int lane_of(std::string_view name) {
   for (int l = 0; l < kLanes; ++l) {
@@ -242,6 +261,17 @@ bool build_trace_model(const std::string& text, TraceModel* m, std::string* erro
       }
     } else if (name->str == "phase") {
       m->phases.emplace_back(ts_ns(), num_i64(arg("index")));
+    } else if (name->str == "job_admit") {
+      StreamJobRow& r = stream_job_of(*m, num_i64(arg("job")));
+      r.admitted = true;
+      r.admit_ns = ts_ns();
+      r.cls = num_i64(arg("class"));
+      r.size_mb = num_i64(arg("arg"));
+    } else if (name->str == "job_done" || name->str == "job_fail") {
+      StreamJobRow& r = stream_job_of(*m, num_i64(arg("job")));
+      r.end_ns = ts_ns();
+      r.sojourn_ms = num_i64(arg("arg"));
+      r.state = name->str == "job_done" ? 1 : 2;
     }
   }
   return true;
@@ -261,6 +291,13 @@ int key_phase(const std::string& track) {
   const auto pos = track.rfind("/ph");
   if (pos == std::string::npos) return -1;
   return std::atoi(track.c_str() + pos + 3);
+}
+
+/// "/jobN" component of an obs track (multi-tenant runs), or -1.
+int key_job(const std::string& track) {
+  const auto pos = track.rfind("/job");
+  if (pos == std::string::npos) return -1;
+  return std::atoi(track.c_str() + pos + 4);
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +400,32 @@ void section_phases(std::string& out, const TraceModel& m) {
   out += "</table>\n";
 }
 
+void section_stream(std::string& out, const TraceModel& m) {
+  if (m.stream_jobs.empty()) return;  // single-job traces: no section at all
+  std::int64_t done = 0, failed = 0, running = 0;
+  for (const auto& r : m.stream_jobs) {
+    (r.state == 1 ? done : r.state == 2 ? failed : running) += 1;
+  }
+  out += "<h2>Job stream</h2>\n<p>Multi-tenant timeline from the tenancy "
+         "milestone instants: <b>" + std::to_string(done) + "</b> completed, <b>" +
+         std::to_string(failed) + "</b> failed, <b>" + std::to_string(running) +
+         "</b> still running at end of trace.</p>\n"
+         "<table>\n<tr><th>job</th><th>class</th><th>size MB</th>"
+         "<th>admitted</th><th>finished</th><th>sojourn</th><th>state</th></tr>\n";
+  for (const auto& r : m.stream_jobs) {
+    out += "<tr><td>" + std::to_string(r.job) + "</td><td>" + std::to_string(r.cls) +
+           "</td><td>" + (r.admitted ? std::to_string(r.size_mb) : std::string("-")) +
+           "</td><td>" + (r.admitted ? fmt_ns(r.admit_ns) : std::string("-")) +
+           "</td><td>" + (r.state != 0 ? fmt_ns(r.end_ns) : std::string("-")) +
+           "</td><td>" +
+           (r.state != 0 ? fmt_ns(r.sojourn_ms * 1'000'000) : std::string("-")) +
+           "</td><td>" +
+           (r.state == 1 ? "done" : r.state == 2 ? "failed" : "running") +
+           "</td></tr>\n";
+  }
+  out += "</table>\n";
+}
+
 void section_stalls(std::string& out, const TraceModel& m) {
   if (!m.have_summary && m.stalls.empty()) return;
   out += "<h2>Stall log</h2>\n";
@@ -370,15 +433,27 @@ void section_stalls(std::string& out, const TraceModel& m) {
     out += "<p>No stalls flagged.</p>\n";
     return;
   }
+  // The job column appears only when at least one stall is attributed to a
+  // stream job, so single-job reports keep their historical layout.
+  bool any_job = false;
+  for (const auto& s : m.stalls) any_job = any_job || key_job(s.track) >= 0;
   out += "<p>Requests whose end-to-end latency exceeded the per-key "
          "percentile threshold, with the Dom0 elevator queue they arrived "
          "behind (&ldquo;who was ahead&rdquo;).</p>\n"
-         "<table>\n<tr><th>submit</th><th>key</th><th>lba</th><th>total</th>"
+         "<table>\n<tr><th>submit</th><th>key</th>";
+  if (any_job) out += "<th>job</th>";
+  out += "<th>lba</th><th>total</th>"
          "<th>elv wait</th><th>service</th><th>writes ahead</th>"
          "<th>reads ahead</th></tr>\n";
   for (const auto& s : m.stalls) {
     out += "<tr><td>" + fmt_ns(s.ts_ns) + "</td><td>" + esc(key_label(s.track)) +
-           "</td><td>" + std::to_string(s.lba) + "</td><td>" +
+           "</td>";
+    if (any_job) {
+      const int job = key_job(s.track);
+      out += job >= 0 ? "<td>job" + std::to_string(job) + "</td>"
+                      : "<td>-</td>";
+    }
+    out += "<td>" + std::to_string(s.lba) + "</td><td>" +
            fmt_ns(s.wait_seen ? s.total_ns : s.dur_ns) + "</td><td>" +
            (s.wait_seen ? fmt_ns(s.elv_wait_ns) : std::string("-")) + "</td><td>" +
            (s.wait_seen ? fmt_ns(s.service_ns) : std::string("-")) + "</td><td>" +
@@ -464,6 +539,7 @@ std::string render_report(const std::string& trace_json,
          "</style>\n</head>\n<body>\n";
 
   section_header(out, opt, m);
+  section_stream(out, m);
   section_waterfalls(out, m);
   section_phases(out, m);
   section_stalls(out, m);

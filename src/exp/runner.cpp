@@ -2,6 +2,7 @@
 
 #include "cluster/runner.hpp"
 #include "core/meta_scheduler.hpp"
+#include "tenancy/stream_runner.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace iosim::exp {
@@ -48,6 +49,35 @@ RunOutput execute_point(const ScenarioPoint& pt, std::uint64_t seed) {
   }
   const auto jc = workloads::make_job(*model, pt.mb * mapred::kMiB);
   const auto cfg = cluster_of(pt, seed);
+
+  if (!pt.stream_text.empty()) {
+    // Multi-job stream point: the stream's classes define the workloads and
+    // sizes, so the point's workload/mb axes are inert here. Metric order is
+    // fixed: headline numbers, then per-class sojourn quantiles — `seconds`
+    // is the stream makespan so mixed sweeps share one table column.
+    const tenancy::StreamResult r = tenancy::run_stream(cfg, pt.stream);
+    if (!r.ok) {
+      out.ok = false;
+      out.error = r.error;
+      out.infra_failure = (r.stop == sim::StopReason::kAborted);
+      out.budget_stop = (r.stop == sim::StopReason::kEventBudget ||
+                         r.stop == sim::StopReason::kTimeBudget);
+    }
+    out.metrics = {{"seconds", r.makespan_s},
+                   {"jobs_completed", static_cast<double>(r.jobs_completed)},
+                   {"jobs_failed", static_cast<double>(r.jobs_failed)},
+                   {"sla_violations", static_cast<double>(r.sla_violations)}};
+    for (const auto& c : r.classes) {
+      out.metrics.push_back({c.name + "_jobs", static_cast<double>(c.jobs)});
+      out.metrics.push_back({c.name + "_p50_s", c.p50_s});
+      out.metrics.push_back({c.name + "_p95_s", c.p95_s});
+      out.metrics.push_back({c.name + "_p99_s", c.p99_s});
+      out.metrics.push_back({c.name + "_mean_s", c.mean_s});
+      out.metrics.push_back(
+          {c.name + "_sla_viol", static_cast<double>(c.sla_violations)});
+    }
+    return out;
+  }
 
   if (pt.mode == RunMode::kRun) {
     const cluster::RunResult r = cluster::run_job(cfg, jc);

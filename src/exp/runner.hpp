@@ -18,6 +18,10 @@ namespace iosim::exp {
 /// mode=run:   seconds, ph1_seconds, ph2_seconds, ph3_seconds, ph23_seconds
 /// mode=adapt: adaptive_seconds, default_seconds, best_single_seconds,
 ///             gain_vs_default_pct, gain_vs_best_pct, heuristic_evals
+/// stream points (stream_text set): seconds (= stream makespan),
+///             jobs_completed, jobs_failed, sla_violations, then per class
+///             <name>_jobs, <name>_p50_s, <name>_p95_s, <name>_p99_s,
+///             <name>_mean_s, <name>_sla_viol
 RunOutput execute_point(const ScenarioPoint& point, std::uint64_t seed);
 
 /// RunFn over a fixed expansion (the tasks' point_index selects the point).

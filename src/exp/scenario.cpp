@@ -105,6 +105,8 @@ std::string ScenarioPoint::label() const {
   s += " (" + std::string(1, iosched::to_letter(pair.vmm)) + "," +
        std::string(1, iosched::to_letter(pair.guest)) + ")";
   if (!fault_text.empty()) s += " fault=" + fault_text;
+  if (!stream_text.empty()) s += " stream=" + stream_text;
+  if (!stream_policy.empty()) s += " policy=" + stream_policy;
   return s;
 }
 
@@ -243,6 +245,35 @@ bool ScenarioSpec::apply(std::string_view key, std::string_view value,
     }
     return true;
   }
+  if (key == "stream") {
+    // `|`-separated like fault, because the stream grammar uses `,`/`;`.
+    if (!split_list(value, '|', &items, &lerr)) return fail(lerr + " in stream");
+    streams.clear();
+    for (const auto& it : items) {
+      if (it == "none") {
+        streams.push_back({{}, ""});
+        continue;
+      }
+      std::string serr;
+      auto st = tenancy::StreamSpec::parse(it, &serr);
+      if (!st) return fail("bad stream '" + it + "': " + serr);
+      streams.push_back({*st, it});
+    }
+    return true;
+  }
+  if (key == "stream_policy") {
+    if (!split_list(value, ',', &items, &lerr)) {
+      return fail(lerr + " in stream_policy");
+    }
+    stream_policies.clear();
+    for (const auto& it : items) {
+      if (!tenancy::policy_by_name(it)) {
+        return fail("bad stream_policy '" + it + "' (fifo|fair|capacity)");
+      }
+      stream_policies.push_back(it);
+    }
+    return true;
+  }
   return fail("unknown key '" + std::string(key) + "'");
 }
 
@@ -303,9 +334,23 @@ bool ScenarioSpec::validate(std::string* error) const {
   // Overflow-safe product: bail as soon as the running product can no
   // longer stay under the cap (axis sizes are never 0 — split_list rejects
   // empty elements and the defaults are non-empty).
+  const bool any_stream = [&] {
+    for (const auto& st : streams) {
+      if (!st.second.empty()) return true;
+    }
+    return false;
+  }();
+  if (any_stream && mode == RunMode::kAdapt) {
+    return fail("stream= requires mode=run (the meta-scheduler pipeline is "
+                "single-job)");
+  }
+  if (!any_stream && !(stream_policies.size() == 1 && stream_policies[0].empty())) {
+    return fail("stream_policy= without a stream= axis");
+  }
   std::size_t points = 1;
   for (const std::size_t n : {workloads.size(), hosts.size(), vms.size(), mb.size(),
-                              pairs.size(), faults.size()}) {
+                              pairs.size(), faults.size(), streams.size(),
+                              stream_policies.size()}) {
     if (n == 0) return fail("empty axis");
     if (points > kMaxPoints / n) {
       return fail("scenario cross product exceeds " + std::to_string(kMaxPoints) +
@@ -329,18 +374,28 @@ std::vector<ScenarioPoint> ScenarioSpec::expand() const {
         for (std::int64_t m : mb) {
           for (const auto& p : pairs) {
             for (const auto& f : faults) {
-              ScenarioPoint pt;
-              pt.mode = mode;
-              pt.pair = p;
-              pt.workload = w;
-              pt.hosts = h;
-              pt.vms = v;
-              pt.mb = m;
-              pt.faults = f.first;
-              pt.fault_text = f.second;
-              pt.max_events = max_events;
-              pt.max_sim_seconds = max_sim_seconds;
-              out.push_back(std::move(pt));
+              for (const auto& st : streams) {
+                for (const auto& pol : stream_policies) {
+                  ScenarioPoint pt;
+                  pt.mode = mode;
+                  pt.pair = p;
+                  pt.workload = w;
+                  pt.hosts = h;
+                  pt.vms = v;
+                  pt.mb = m;
+                  pt.faults = f.first;
+                  pt.fault_text = f.second;
+                  pt.stream = st.first;
+                  pt.stream_text = st.second;
+                  if (!st.second.empty() && !pol.empty()) {
+                    pt.stream_policy = pol;
+                    pt.stream.policy = *tenancy::policy_by_name(pol);
+                  }
+                  pt.max_events = max_events;
+                  pt.max_sim_seconds = max_sim_seconds;
+                  out.push_back(std::move(pt));
+                }
+              }
             }
           }
         }
@@ -387,6 +442,24 @@ std::string ScenarioSpec::to_string() const {
     s += faults[i].second.empty() ? "none" : faults[i].second;
   }
   s += "\n";
+  // Stream axes render only when set, so pre-tenancy specs keep their
+  // canonical text — and therefore their journal fingerprints — unchanged.
+  if (!(streams.size() == 1 && streams[0].second.empty())) {
+    s += "stream=";
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (i) s += "|";
+      s += streams[i].second.empty() ? "none" : streams[i].second;
+    }
+    s += "\n";
+  }
+  if (!(stream_policies.size() == 1 && stream_policies[0].empty())) {
+    s += "stream_policy=";
+    for (std::size_t i = 0; i < stream_policies.size(); ++i) {
+      if (i) s += ",";
+      s += stream_policies[i];
+    }
+    s += "\n";
+  }
   s += "max_events=" + std::to_string(max_events) + "\n";
   s += "max_sim_seconds=" + seconds_to_string(max_sim_seconds) + "\n";
   s += "timeout=" + seconds_to_string(timeout_seconds) + "\n";

@@ -26,6 +26,14 @@
 //   fault=none|SPEC       fault-plan alternatives separated by `|` (the
 //                         plan grammar itself uses `,` and `;`); `none` is
 //                         the fault-free cluster
+//   stream=none|SPEC      multi-job stream alternatives separated by `|`
+//                         (the stream grammar uses `,` and `;`); `none` is
+//                         the classic one-job-per-run point. A stream point
+//                         ignores the workload/mb axes (its classes carry
+//                         their own) and requires mode=run
+//   stream_policy=fifo,.. slot-policy alternatives (fifo|fair|capacity)
+//                         applied on top of each stream's own policy; omit
+//                         to keep what the stream spec says
 //   timeout=SECONDS       per-run wall-clock watchdog (0 = off, default).
 //                         Wall-clock only: it never changes simulated
 //                         results, so it is excluded from the resume
@@ -45,6 +53,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "iosched/pair.hpp"
+#include "tenancy/stream_spec.hpp"
 
 namespace iosim::exp {
 
@@ -65,6 +74,11 @@ struct ScenarioPoint {
   std::int64_t mb = 512;
   fault::FaultPlan faults;
   std::string fault_text;  // original spec text ("" = fault-free)
+  /// Multi-job stream for this point; meaningful only when stream_text is
+  /// non-empty (stream_policy, when set, is already folded into it).
+  tenancy::StreamSpec stream;
+  std::string stream_text;    // original spec text ("" = single-job point)
+  std::string stream_policy;  // policy override ("" = stream's own)
   /// Event-loop budgets copied from the spec (0 = unlimited); the runner
   /// installs them as the simulation's SimBudget.
   std::uint64_t max_events = 0;
@@ -88,6 +102,12 @@ struct ScenarioSpec {
   /// Parsed fault alternatives, paired with their original text. One entry
   /// with an empty plan = the fault-free default.
   std::vector<std::pair<fault::FaultPlan, std::string>> faults{{{}, ""}};
+  /// Stream alternatives, same shape as faults: one empty-text entry = the
+  /// classic single-job sweep.
+  std::vector<std::pair<tenancy::StreamSpec, std::string>> streams{{{}, ""}};
+  /// Slot-policy overrides crossed against the stream axis ("" = keep the
+  /// stream spec's policy). Only meaningful for stream points.
+  std::vector<std::string> stream_policies{""};
   /// Per-run wall-clock watchdog in seconds (0 = disabled). Wall-clock
   /// only — never affects simulated results.
   double timeout_seconds = 0.0;
@@ -109,12 +129,12 @@ struct ScenarioSpec {
   bool apply(std::string_view key, std::string_view value, std::string* error = nullptr);
 
   /// The cross product, in deterministic nested-loop order: workload,
-  /// hosts, vms, mb, pair, fault.
+  /// hosts, vms, mb, pair, fault, stream, stream_policy.
   std::vector<ScenarioPoint> expand() const;
 
   std::size_t n_points() const {
     return workloads.size() * hosts.size() * vms.size() * mb.size() * pairs.size() *
-           faults.size();
+           faults.size() * streams.size() * stream_policies.size();
   }
   std::size_t n_runs() const { return n_points() * static_cast<std::size_t>(repeats); }
 

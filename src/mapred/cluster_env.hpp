@@ -10,6 +10,7 @@
 #include "hdfs/hdfs.hpp"
 #include "mapred/vcpu.hpp"
 #include "net/flow_network.hpp"
+#include "obs/attr.hpp"
 #include "virt/domu.hpp"
 
 namespace iosim::mapred {
@@ -38,11 +39,37 @@ struct ClusterEnv {
 
 /// Guest-level context-id scheme: every task / service gets a distinct
 /// elevator context inside its VM.
+///
+/// Multi-tenancy: concurrent jobs must not collide in ctx space — the CFQ
+/// elevator keys per-process queues (and its think-time EWMA) by ctx, so a
+/// reused id would silently splice two jobs' I/O into one scheduling
+/// context. Each stream-admitted job therefore offsets its task ctxs by a
+/// private `base` = job_window(job_id); ids below kJobWindowBase stay the
+/// shared/legacy namespace (single-job runs, chains, and the per-VM server
+/// daemons, which genuinely are shared services).
 namespace ctx {
-inline std::uint64_t map_task(int task_id) { return 10'000 + static_cast<std::uint64_t>(task_id); }
-inline std::uint64_t reduce_task(int task_id) { return 20'000 + static_cast<std::uint64_t>(task_id); }
+/// First ctx id of the per-job windows; everything below is shared.
+inline constexpr std::uint64_t kJobWindowBase = 1'000'000;
+inline constexpr std::uint64_t kJobWindowSize = 1'000'000;
+/// The private ctx window of stream job `job_id` ([window, window + size)).
+inline std::uint64_t job_window(int job_id) {
+  return kJobWindowBase * (static_cast<std::uint64_t>(job_id) + 1);
+}
+inline std::uint64_t map_task(int task_id, std::uint64_t base = 0) {
+  return base + 10'000 + static_cast<std::uint64_t>(task_id);
+}
+inline std::uint64_t reduce_task(int task_id, std::uint64_t base = 0) {
+  return base + 20'000 + static_cast<std::uint64_t>(task_id);
+}
 /// The DataNode / shuffle-server daemon of a VM (serves remote reads).
+/// Deliberately never offset: the daemon is a VM-level service shared by
+/// every job reading from that VM.
 inline std::uint64_t server(int vm) { return 30'000 + static_cast<std::uint64_t>(vm); }
+
+// The attribution layer recovers the job id from a bio ctx with its own copy
+// of the window width (obs/ sits below mapred/ and cannot include us).
+static_assert(obs::kJobCtxWindow == kJobWindowBase,
+              "obs::kJobCtxWindow must mirror ctx::kJobWindowBase");
 }  // namespace ctx
 
 }  // namespace iosim::mapred

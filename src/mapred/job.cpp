@@ -29,6 +29,13 @@ void Job::run() {
   const auto blocks_per_vm =
       static_cast<int>((conf_.input_bytes_per_vm + conf_.block_bytes - 1) / conf_.block_bytes);
 
+  if (auto* ck = check::auditor()) {
+    // Before the HDFS layout, so the blocks created next are attributed to
+    // this job (block ids restart at 0 for every job's input).
+    ck->on_job_start(job_id_, blocks_per_vm * n_vms, conf_.n_reduces(n_vms),
+                     conf_.max_task_attempts);
+  }
+
   // Lay out the input in HDFS (allocations land in each VM's data zone).
   blocks_ = env_.dfs->create_input(
       blocks_per_vm, conf_.block_bytes, [this](int vm_id, disk::Lba sectors) {
@@ -43,10 +50,6 @@ void Job::run() {
     tr->instant(tr->track("mapred"), tr->ids.job_start, tr->ids.cat_mapred,
                 stats_.t_start, tr->ids.task, stats_.maps_total, tr->ids.value,
                 stats_.reduces_total);
-  }
-  if (auto* ck = check::auditor()) {
-    ck->on_job_start(stats_.maps_total, stats_.reduces_total,
-                     conf_.max_task_attempts);
   }
 
   maps_.reserve(blocks_.size());
@@ -65,6 +68,7 @@ void Job::run() {
   }
   reduce_failures_.assign(static_cast<std::size_t>(stats_.reduces_total), 0);
   reduce_shuffle_counted_.assign(static_cast<std::size_t>(stats_.reduces_total), 0);
+  reduce_assigned_.assign(static_cast<std::size_t>(stats_.reduces_total), 0);
 
   free_map_slots_.assign(static_cast<std::size_t>(n_vms), conf_.map_slots);
   free_reduce_slots_.assign(static_cast<std::size_t>(n_vms), conf_.reduce_slots);
@@ -81,11 +85,68 @@ void Job::run() {
   try_assign_maps();
 }
 
+bool Job::map_slot_free(int v) const {
+  return arbiter_ != nullptr ? arbiter_->can_acquire_map(job_id_, v)
+                             : free_map_slots_[static_cast<std::size_t>(v)] > 0;
+}
+
+void Job::take_map_slot(int v) {
+  if (arbiter_ != nullptr) {
+    arbiter_->acquire_map(job_id_, v);
+  } else {
+    --free_map_slots_[static_cast<std::size_t>(v)];
+  }
+}
+
+void Job::give_map_slot(int v) {
+  if (arbiter_ != nullptr) {
+    arbiter_->release_map(job_id_, v);
+  } else {
+    ++free_map_slots_[static_cast<std::size_t>(v)];
+  }
+}
+
+bool Job::reduce_slot_free(int v) const {
+  return arbiter_ != nullptr ? arbiter_->can_acquire_reduce(job_id_, v)
+                             : free_reduce_slots_[static_cast<std::size_t>(v)] > 0;
+}
+
+void Job::take_reduce_slot(int v) {
+  if (arbiter_ != nullptr) {
+    arbiter_->acquire_reduce(job_id_, v);
+  } else {
+    --free_reduce_slots_[static_cast<std::size_t>(v)];
+  }
+}
+
+void Job::give_reduce_slot(int v) {
+  if (arbiter_ != nullptr) {
+    arbiter_->release_reduce(job_id_, v);
+  } else {
+    ++free_reduce_slots_[static_cast<std::size_t>(v)];
+  }
+}
+
+int Job::queued_reduce_count() const {
+  if (!reducers_launched_ || done_ || failed_) return 0;
+  int n = 0;
+  for (const auto& rt : reduces_) {
+    if (rt && !reduce_assigned_[static_cast<std::size_t>(rt->task_id())]) ++n;
+  }
+  return n;
+}
+
+void Job::kick() {
+  if (done_ || failed_) return;
+  try_assign_maps();
+  pump_queued_reducers();
+}
+
 void Job::try_assign_maps() {
   const int n_vms = env_.n_vms();
   for (int v = 0; v < n_vms; ++v) {
     if (!env_.vm_alive(v)) continue;
-    while (free_map_slots_[static_cast<std::size_t>(v)] > 0 && !pending_maps_.empty()) {
+    while (map_slot_free(v) && !pending_maps_.empty()) {
       // Locality first: a pending map whose block has a replica here.
       auto chosen = pending_maps_.end();
       for (auto it = pending_maps_.begin(); it != pending_maps_.end(); ++it) {
@@ -101,7 +162,7 @@ void Job::try_assign_maps() {
 
       const int map_id = *chosen;
       pending_maps_.erase(chosen);
-      --free_map_slots_[static_cast<std::size_t>(v)];
+      take_map_slot(v);
 
       // Re-create the task bound to its VM (placement decided at assignment).
       const auto idx = static_cast<std::size_t>(map_id);
@@ -109,7 +170,7 @@ void Job::try_assign_maps() {
                                              /*attempt=*/map_failures_[idx] + 1);
       ++map_running_[idx];
       if (auto* ck = check::auditor()) {
-        ck->on_map_attempt_start(map_id, map_failures_[idx] + 1,
+        ck->on_map_attempt_start(job_id_, map_id, map_failures_[idx] + 1,
                                  map_running_[idx], /*speculative=*/false,
                                  simr().now().ns());
       }
@@ -117,6 +178,13 @@ void Job::try_assign_maps() {
       simr().after(conf_.assign_latency, [task] { task->start(); });
     }
   }
+}
+
+void Job::start_reducer(ReduceTask* task) {
+  simr().after(conf_.assign_latency, [this, task] {
+    for (const auto& mo : completed_outputs_) task->map_output_ready(mo);
+    task->start();
+  });
 }
 
 void Job::launch_reducers_if_ready() {
@@ -129,17 +197,26 @@ void Job::launch_reducers_if_ready() {
   for (auto& rt : reduces_) {
     if (!rt) continue;
     const int v = rt->vm();
-    if (free_reduce_slots_[static_cast<std::size_t>(v)] <= 0) {
+    if (!reduce_slot_free(v)) {
       // Over-subscribed (more reducers than slots): queue behind a slot by
       // keeping it unstarted; it will launch when a reducer on v finishes.
       continue;
     }
-    --free_reduce_slots_[static_cast<std::size_t>(v)];
-    ReduceTask* task = rt.get();
-    simr().after(conf_.assign_latency, [this, task] {
-      for (const auto& mo : completed_outputs_) task->map_output_ready(mo);
-      task->start();
-    });
+    reduce_assigned_[static_cast<std::size_t>(rt->task_id())] = 1;
+    take_reduce_slot(v);
+    start_reducer(rt.get());
+  }
+}
+
+void Job::pump_queued_reducers() {
+  if (!reducers_launched_) return;
+  for (auto& rt : reduces_) {
+    if (!rt || reduce_assigned_[static_cast<std::size_t>(rt->task_id())]) continue;
+    const int v = rt->vm();
+    if (!env_.vm_alive(v) || !reduce_slot_free(v)) continue;
+    reduce_assigned_[static_cast<std::size_t>(rt->task_id())] = 1;
+    take_reduce_slot(v);
+    start_reducer(rt.get());
   }
 }
 
@@ -148,7 +225,7 @@ void Job::map_finished(MapTask& task, MapOutput out) {
   const int id = out.map_id;
   const auto idx = static_cast<std::size_t>(id);
   --map_running_[idx];
-  ++free_map_slots_[static_cast<std::size_t>(task.vm())];
+  give_map_slot(task.vm());
 
   if (map_done_flags_[idx]) {
     // Photo finish: the other copy committed in the same event batch. The
@@ -157,7 +234,7 @@ void Job::map_finished(MapTask& task, MapOutput out) {
     return;
   }
   map_done_flags_[idx] = 1;
-  if (auto* ck = check::auditor()) ck->on_map_commit(id, simr().now().ns());
+  if (auto* ck = check::auditor()) ck->on_map_commit(job_id_, id, simr().now().ns());
   map_dur_sum_ += simr().now() - task.t_start();
 
   // Winner takes first: cancel the losing copy, free its slot.
@@ -166,7 +243,7 @@ void Job::map_finished(MapTask& task, MapOutput out) {
     MapTask* loser = holder.get();
     loser->cancel();
     --map_running_[static_cast<std::size_t>(loser->task_id())];
-    ++free_map_slots_[static_cast<std::size_t>(loser->vm())];
+    give_map_slot(loser->vm());
     retired_maps_.push_back(std::move(holder));
   };
   if (spec_maps_[idx] && spec_maps_[idx].get() != &task) cancel_copy(spec_maps_[idx]);
@@ -202,7 +279,7 @@ void Job::map_attempt_failed(MapTask& task) {
   const int id = task.task_id();
   const auto idx = static_cast<std::size_t>(id);
   --map_running_[idx];
-  ++free_map_slots_[static_cast<std::size_t>(task.vm())];
+  give_map_slot(task.vm());
   ++stats_.map_attempts_failed;
   const bool spec = task.speculative();
   const int failed_vm = task.vm();
@@ -245,7 +322,7 @@ void Job::map_input_lost(MapTask& task) {
   const int id = task.task_id();
   task.cancel();
   --map_running_[static_cast<std::size_t>(id)];
-  ++free_map_slots_[static_cast<std::size_t>(task.vm())];
+  give_map_slot(task.vm());
   retire_map_attempt(task);
   abort_job("map " + std::to_string(id) +
             " input block unreachable: every replica is on a dead VM");
@@ -267,22 +344,19 @@ void Job::reduce_finished(ReduceTask& task) {
   if (failed_) return;
   ++reduces_done_;
   if (auto* ck = check::auditor()) {
-    ck->on_reduce_commit(task.task_id(), simr().now().ns());
+    ck->on_reduce_commit(job_id_, task.task_id(), simr().now().ns());
   }
   const int v = task.vm();
-  ++free_reduce_slots_[static_cast<std::size_t>(v)];
+  give_reduce_slot(v);
 
   // Launch a queued reducer waiting for this slot, if any.
   if (reducers_launched_) {
     for (auto& rt : reduces_) {
-      if (rt && !rt->started() && rt->vm() == v &&
-          free_reduce_slots_[static_cast<std::size_t>(v)] > 0) {
-        --free_reduce_slots_[static_cast<std::size_t>(v)];
-        ReduceTask* t = rt.get();
-        simr().after(conf_.assign_latency, [this, t] {
-          for (const auto& mo : completed_outputs_) t->map_output_ready(mo);
-          t->start();
-        });
+      if (rt && !reduce_assigned_[static_cast<std::size_t>(rt->task_id())] &&
+          rt->vm() == v && reduce_slot_free(v)) {
+        reduce_assigned_[static_cast<std::size_t>(rt->task_id())] = 1;
+        take_reduce_slot(v);
+        start_reducer(rt.get());
         break;
       }
     }
@@ -294,7 +368,7 @@ void Job::reduce_finished(ReduceTask& task) {
     stats_.t_done = simr().now();
     job_instant(&trace::Tracer::CommonIds::job_done, stats_.t_done);
     if (auto* ck = check::auditor()) {
-      ck->on_job_done(maps_done_, reduces_done_, stats_.t_done.ns());
+      ck->on_job_done(job_id_, maps_done_, reduces_done_, stats_.t_done.ns());
     }
     if (on_done) on_done(simr().now());
   }
@@ -303,7 +377,8 @@ void Job::reduce_finished(ReduceTask& task) {
 void Job::reduce_attempt_failed(ReduceTask& task) {
   const int id = task.task_id();
   const auto idx = static_cast<std::size_t>(id);
-  ++free_reduce_slots_[static_cast<std::size_t>(task.vm())];
+  give_reduce_slot(task.vm());
+  reduce_assigned_[idx] = 0;  // the re-attempt competes for a slot again
   ++stats_.reduce_attempts_failed;
   if (reduces_[idx].get() == &task) {
     retired_reduces_.push_back(std::move(reduces_[idx]));
@@ -339,10 +414,10 @@ void Job::reduce_attempt_failed(ReduceTask& task) {
     const auto i = static_cast<std::size_t>(id);
     if (failed_ || done_) return;
     ReduceTask* rt = reduces_[i].get();
-    if (rt == nullptr || rt->started()) return;
-    const auto vi = static_cast<std::size_t>(rt->vm());
-    if (free_reduce_slots_[vi] <= 0) return;  // the slot-free scan launches it
-    --free_reduce_slots_[vi];
+    if (rt == nullptr || reduce_assigned_[i]) return;
+    if (!reduce_slot_free(rt->vm())) return;  // the slot-free scan launches it
+    reduce_assigned_[i] = 1;
+    take_reduce_slot(rt->vm());
     simr().after(conf_.assign_latency, [this, rt] {
       if (failed_ || done_) return;
       for (const auto& mo : completed_outputs_) rt->map_output_ready(mo);
@@ -386,6 +461,11 @@ void Job::abort_job(std::string reason) {
     if (r) r->cancel();
   }
   pending_maps_.clear();
+  // Under an arbiter the cancelled attempts' slots must go back to the
+  // shared pool (the legacy single-job path never needed to bother — the
+  // run was over). The arbiter owns the ledger, so it returns exactly what
+  // this job still holds.
+  if (arbiter_ != nullptr) arbiter_->retire_job(job_id_);
   if (on_failed) on_failed(stats_.t_done, failure_);
 }
 
@@ -447,15 +527,16 @@ void Job::launch_speculative_map(int map_id) {
   int v = -1;
   for (int i = 0; i < env_.n_vms(); ++i) {
     if (i == primary->vm() || !env_.vm_alive(i)) continue;
-    if (free_map_slots_[static_cast<std::size_t>(i)] <= 0) continue;
+    if (!map_slot_free(i)) continue;
     v = i;
     break;
   }
   if (v < 0) return;  // no spare capacity — try again next scan
-  --free_map_slots_[static_cast<std::size_t>(v)];
+  take_map_slot(v);
   ++map_running_[idx];
   if (auto* ck = check::auditor()) {
-    ck->on_map_attempt_start(map_id, primary->attempt(), map_running_[idx],
+    ck->on_map_attempt_start(job_id_, map_id, primary->attempt(),
+                             map_running_[idx],
                              /*speculative=*/true, simr().now().ns());
   }
   if (spec_maps_[idx]) retired_maps_.push_back(std::move(spec_maps_[idx]));
@@ -482,7 +563,7 @@ void Job::note_hdfs_failover(int map_id, int from_vm, int to_vm) {
                 simr().now(), tr->ids.task, map_id, tr->ids.value, from_vm);
   }
   if (auto* ck = check::auditor()) {
-    ck->on_hdfs_failover(map_id, from_vm, to_vm, simr().now().ns());
+    ck->on_hdfs_failover(job_id_, map_id, from_vm, to_vm, simr().now().ns());
   }
 }
 

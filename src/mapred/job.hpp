@@ -34,6 +34,7 @@
 #include "mapred/job_stats.hpp"
 #include "mapred/map_task.hpp"
 #include "mapred/reduce_task.hpp"
+#include "mapred/slot_arbiter.hpp"
 #include "sim/random.hpp"
 
 namespace iosim::mapred {
@@ -45,9 +46,35 @@ class Job {
   Job(const Job&) = delete;
   Job& operator=(const Job&) = delete;
 
+  /// Multi-tenant identity, set before run(). `job_id` keys auditor records
+  /// and arbiter holdings; `ctx_base` offsets every task's elevator context
+  /// (see mapred::ctx::job_window). The defaults (0, 0) are the single-job
+  /// legacy identity — behavior and traces are byte-identical to builds
+  /// that predate tenancy.
+  void set_identity(int job_id, std::uint64_t ctx_base) {
+    job_id_ = job_id;
+    ctx_base_ = ctx_base;
+  }
+  int job_id() const { return job_id_; }
+  std::uint64_t ctx_base() const { return ctx_base_; }
+
+  /// Route slot accounting through a shared arbiter (multi-job streams).
+  /// Null (default) = the job owns its slots outright. Set before run().
+  void set_arbiter(SlotArbiter* a) { arbiter_ = a; }
+
   /// Lay out input and start scheduling. The caller then drives the
   /// simulator; `on_done` fires when the last reducer commits.
   void run();
+
+  /// Re-scan for assignable work after cluster-wide slot supply or policy
+  /// quota changed (another job released slots / finished). Only meaningful
+  /// under an arbiter; a no-op once the job is done or failed.
+  void kick();
+
+  /// Unassigned demand, for policy share computations: map tasks waiting
+  /// for a slot, and launched-but-unstarted reducers (0 before slow-start).
+  int pending_map_count() const { return static_cast<int>(pending_maps_.size()); }
+  int queued_reduce_count() const;
 
   const JobConf& conf() const { return conf_; }
   const JobStats& stats() const { return stats_; }
@@ -71,8 +98,20 @@ class Job {
   friend class MapTask;
   friend class ReduceTask;
 
+  // Slot accounting seam: private per-VM vectors when no arbiter is
+  // installed (the legacy fast path, byte-identical), the shared arbiter
+  // otherwise.
+  bool map_slot_free(int v) const;
+  void take_map_slot(int v);
+  void give_map_slot(int v);
+  bool reduce_slot_free(int v) const;
+  void take_reduce_slot(int v);
+  void give_reduce_slot(int v);
+
   void try_assign_maps();
   void launch_reducers_if_ready();
+  void pump_queued_reducers();
+  void start_reducer(ReduceTask* task);
   void map_finished(MapTask& task, MapOutput out);
   void map_attempt_failed(MapTask& task);
   void map_input_lost(MapTask& task);
@@ -102,6 +141,9 @@ class Job {
   ClusterEnv& env_;
   JobConf conf_;
   sim::Rng rng_;
+  int job_id_ = 0;
+  std::uint64_t ctx_base_ = 0;
+  SlotArbiter* arbiter_ = nullptr;
 
   std::vector<hdfs::DfsBlock> blocks_;
   std::vector<std::unique_ptr<MapTask>> maps_;        // current primary attempt
@@ -123,6 +165,10 @@ class Job {
   std::vector<int> map_failures_;      // per map id: failed (non-spec) attempts
   std::vector<int> reduce_failures_;   // per reduce id
   std::vector<char> reduce_shuffle_counted_;  // per reduce id
+  // Per reduce id: a slot is taken and start_reducer is in flight. Guards
+  // the assign_latency window where started() is still false, so the
+  // relaunch scans cannot hand the same reducer a second slot.
+  std::vector<char> reduce_assigned_;
 
   std::vector<MapOutput> completed_outputs_;
   int maps_done_ = 0;

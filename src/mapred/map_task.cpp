@@ -22,7 +22,7 @@ sim::Time cpu_cost(double ns_per_byte, std::int64_t bytes) {
 MapTask::MapTask(Job& job, int task_id, const hdfs::DfsBlock& block, int vm,
                  int attempt, bool speculative)
     : job_(job), task_id_(task_id), block_(block), vm_(vm), attempt_(attempt),
-      speculative_(speculative), io_ctx_(ctx::map_task(task_id)) {}
+      speculative_(speculative), io_ctx_(ctx::map_task(task_id, job.ctx_base())) {}
 
 void MapTask::start() {
   if (cancelled_) return;
@@ -54,6 +54,7 @@ void MapTask::read_next_chunk() {
   virt::IoStreamParams sp;
   sp.unit_sectors = c.io_unit_bytes / disk::kSectorBytes;
   sp.window = c.read_window;  // readahead depth
+  sp.cancelled = [this] { return cancelled_; };
 
   const VmHandle& me = job_.vm(vm_);
   if (local_) {
@@ -160,6 +161,7 @@ void MapTask::start_spill() {
     virt::IoStreamParams sp;
     sp.unit_sectors = c.io_unit_bytes / disk::kSectorBytes;
     sp.window = c.write_window;  // writeback is more aggressive than readahead
+    sp.cancelled = [this] { return cancelled_; };
     job_.stats_.map_side_spill_bytes += bytes;
     virt::IoStream::run(*me.vm, io_ctx_, at, bytes, iosched::Dir::kWrite,
                         /*sync=*/false, sp, [this, at, bytes](sim::Time, iosched::IoStatus st) {
@@ -212,6 +214,7 @@ void MapTask::maybe_finish() {
   mp.cpu_ns_per_byte = c.workload.sort_cpu_ns_per_byte;
   mp.io_unit_bytes = c.io_unit_bytes;
   mp.window = c.read_window;
+  mp.cancelled = [this] { return cancelled_; };
   const disk::Lba out = mp.out_vlba;
   MergeOp::run(me, io_ctx_, std::move(mp),
                [this, out, total](sim::Time, iosched::IoStatus st) {

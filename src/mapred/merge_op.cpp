@@ -35,6 +35,7 @@ MergeOp::MergeOp(const VmHandle& vm, std::uint64_t io_ctx, MergeOpParams params,
 }
 
 void MergeOp::pump(std::shared_ptr<MergeOp> self) {
+  if (p_.cancelled && p_.cancelled()) failed_ = true;
   while (!failed_ && inflight_ < p_.window && read_issued_ < total_in_) {
     // Pick the next non-empty input round-robin.
     std::size_t tries = 0;
@@ -64,6 +65,8 @@ void MergeOp::pump(std::shared_ptr<MergeOp> self) {
                         pump(self);
                       });
   }
+  // A cancel with nothing in flight would otherwise never report back.
+  if (failed_) maybe_finish(vm_.simr->now());
 }
 
 void MergeOp::unit_read_done(std::shared_ptr<MergeOp> self, std::int64_t unit_bytes,
@@ -80,6 +83,7 @@ void MergeOp::unit_read_done(std::shared_ptr<MergeOp> self, std::int64_t unit_by
         static_cast<std::int64_t>(p_.write_ratio * static_cast<double>(unit_bytes));
     const std::int64_t out_unit = write_pending_bytes_;
     write_pending_bytes_ = 0;
+    if (p_.cancelled && p_.cancelled()) failed_ = true;
     if (out_unit <= 0 || failed_) {
       --cpu_write_inflight_;
       maybe_finish(vm_.simr->now());

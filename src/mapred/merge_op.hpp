@@ -36,6 +36,10 @@ struct MergeOpParams {
   int window = 2;
   /// Invoked as input bytes are consumed (progress reporting).
   std::function<void(std::int64_t bytes_done, std::int64_t bytes_total)> on_progress;
+  /// Polled before issuing each read/write. When it returns true the op
+  /// stops issuing, drains what is outstanding and reports kError — the
+  /// killed task's process is gone, so no new I/O may reach the disk.
+  std::function<bool()> cancelled;
 };
 
 /// Fire-and-forget; `on_done` runs after every read, burst and write has

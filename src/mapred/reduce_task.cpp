@@ -20,7 +20,7 @@ sim::Time cpu_cost(double ns_per_byte, std::int64_t bytes) {
 
 ReduceTask::ReduceTask(Job& job, int task_id, int vm, int attempt)
     : job_(job), task_id_(task_id), vm_(vm), attempt_(attempt),
-      io_ctx_(ctx::reduce_task(task_id)) {}
+      io_ctx_(ctx::reduce_task(task_id, job.ctx_base())) {}
 
 void ReduceTask::start() {
   if (cancelled_) return;
@@ -76,6 +76,7 @@ void ReduceTask::fetch(const MapOutput& mo) {
   virt::IoStreamParams sp;
   sp.unit_sectors = c.io_unit_bytes / disk::kSectorBytes;
   sp.window = c.read_window;
+  sp.cancelled = [this] { return cancelled_; };
   // DataNode-side read of the partition, then the network hop (loopback for
   // a same-host source), then arrival processing.
   virt::IoStream::run(*srcvm.vm, ctx::server(mo.vm), mo.vlba + off, part,
@@ -143,6 +144,7 @@ void ReduceTask::flush_memory() {
     virt::IoStreamParams sp;
     sp.unit_sectors = c.io_unit_bytes / disk::kSectorBytes;
     sp.window = c.write_window;
+    sp.cancelled = [this] { return cancelled_; };
     virt::IoStream::run(*me.vm, io_ctx_, at, bytes, iosched::Dir::kWrite,
                         /*sync=*/false, sp, [this, at, bytes](sim::Time, iosched::IoStatus st) {
                           if (cancelled_) return;
@@ -199,6 +201,7 @@ void ReduceTask::start_merge_reduce() {
     mp.cpu_ns_per_byte = c.workload.reduce_cpu_ns_per_byte;
     mp.io_unit_bytes = c.io_unit_bytes;
     mp.window = c.read_window;
+    mp.cancelled = [this] { return cancelled_; };
     mp.on_progress = [this](std::int64_t done, std::int64_t) {
       if (cancelled_) return;
       merged_ = done;
@@ -253,6 +256,7 @@ void ReduceTask::start_merge_reduce() {
           virt::IoStreamParams sp;
           sp.unit_sectors = c.io_unit_bytes / disk::kSectorBytes;
           sp.window = c.write_window;
+          sp.cancelled = [this] { return cancelled_; };
           virt::IoStream::run(*rv.vm, ctx::server(replica_vm), at, out_total,
                               iosched::Dir::kWrite, /*sync=*/false, sp,
                               [this](sim::Time, iosched::IoStatus st) {

@@ -1,0 +1,43 @@
+// iosim: the JobTracker slot-arbitration seam between one Job and a
+// multi-tenant cluster.
+//
+// A single job owns its TaskTracker slots outright (the per-VM free-slot
+// vectors inside Job) — that private fast path is byte-identical to every
+// pre-tenancy build and stays the default. When several jobs share one
+// cluster, the stream engine installs a SlotArbiter on each Job before
+// run(): every slot acquire/release then routes through the arbiter, which
+// enforces both the physical per-VM capacity (TaskTracker map/reduce slot
+// counts) and the scheduling policy's cluster-wide quota (FIFO / Fair /
+// Capacity — see tenancy/policy.hpp for the implementations).
+//
+// The interface lives in mapred/ so Job depends only on this abstract seam;
+// the policy machinery above it lives in tenancy/ and is free to look at
+// every registered job's demand. Determinism contract: can_acquire must be
+// a pure function of arbiter state (no clocks, no randomness), so the same
+// event order always grants the same slots.
+#pragma once
+
+namespace iosim::mapred {
+
+class SlotArbiter {
+ public:
+  virtual ~SlotArbiter() = default;
+
+  /// Whether `job_id` may take one more map slot on VM `vm` right now —
+  /// true only when the VM has spare physical capacity AND the policy's
+  /// quota for the job is not exhausted. Must not mutate state.
+  virtual bool can_acquire_map(int job_id, int vm) const = 0;
+  virtual void acquire_map(int job_id, int vm) = 0;
+  virtual void release_map(int job_id, int vm) = 0;
+
+  virtual bool can_acquire_reduce(int job_id, int vm) const = 0;
+  virtual void acquire_reduce(int job_id, int vm) = 0;
+  virtual void release_reduce(int job_id, int vm) = 0;
+
+  /// Release everything `job_id` still holds (job abort / retirement). The
+  /// arbiter owns the holdings ledger, so it can return leaked slots even
+  /// when the job lost track of them.
+  virtual void retire_job(int job_id) = 0;
+};
+
+}  // namespace iosim::mapred

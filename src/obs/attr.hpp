@@ -35,6 +35,19 @@ inline constexpr AttrHandle kNoAttr = 0;
 /// keep kNone and skip even the attribution pointer check.
 enum class LayerRole : std::uint8_t { kNone = 0, kGuest = 1, kDom0 = 2 };
 
+/// Stream-admitted jobs issue all task I/O from a private ctx window of
+/// width kJobCtxWindow starting at kJobCtxWindow * (job + 1); ids below the
+/// first window are the shared/legacy namespace (single-job runs, per-VM
+/// server daemons). Mirrors mapred::ctx::kJobWindowBase — obs/ cannot
+/// include mapred/, so cluster_env.hpp static_asserts the two stay equal.
+inline constexpr std::uint64_t kJobCtxWindow = 1'000'000;
+
+/// Job id encoded in a bio ctx, or -1 for the shared/legacy namespace.
+inline std::int32_t job_of_ctx(std::uint64_t ctx) {
+  if (ctx < kJobCtxWindow) return -1;
+  return static_cast<std::int32_t>(ctx / kJobCtxWindow) - 1;
+}
+
 enum class Stage : std::uint8_t {
   kSubmit = 0,
   kGuestDispatch = 1,
@@ -73,21 +86,30 @@ inline const char* lane_name(Lane l) {
 
 /// Sketch key: every completed request folds into the sketches of exactly
 /// one key. phase is the MapReduce phase index at *submit* time (0 = map,
-/// 1 = shuffle, 2 = reduce tail; 0 outside a phase-tracked job).
+/// 1 = shuffle, 2 = reduce tail; 0 outside a phase-tracked job). job is the
+/// stream job id the submitting ctx belongs to (-1 = shared/legacy ctx), so
+/// multi-tenant runs get per-job waterfalls and stall attribution while
+/// single-job runs keep their historical keys byte-for-byte.
 struct AttrKey {
   std::uint16_t host = 0;
   std::uint16_t vm = 0;
   std::uint8_t dir = 0;   // 0 = read, 1 = write
   std::uint8_t sync = 0;  // 0 = async, 1 = sync
   std::uint8_t phase = 0;
+  std::int32_t job = -1;
 
-  /// Dense packing for map lookup (host 12b | vm 12b | dir | sync | phase 6b).
-  std::uint32_t pack() const {
-    return (static_cast<std::uint32_t>(host & 0xFFFu) << 20) |
-           (static_cast<std::uint32_t>(vm & 0xFFFu) << 8) |
-           (static_cast<std::uint32_t>(dir & 1u) << 7) |
-           (static_cast<std::uint32_t>(sync & 1u) << 6) |
-           static_cast<std::uint32_t>(phase & 0x3Fu);
+  /// Dense packing for map lookup: low word is the classic 32-bit key
+  /// (host 12b | vm 12b | dir | sync | phase 6b), high word is job + 1 so
+  /// the shared namespace packs to the historical value.
+  std::uint64_t pack() const {
+    const std::uint32_t low =
+        (static_cast<std::uint32_t>(host & 0xFFFu) << 20) |
+        (static_cast<std::uint32_t>(vm & 0xFFFu) << 8) |
+        (static_cast<std::uint32_t>(dir & 1u) << 7) |
+        (static_cast<std::uint32_t>(sync & 1u) << 6) |
+        static_cast<std::uint32_t>(phase & 0x3Fu);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job + 1)) << 32) |
+           low;
   }
 };
 

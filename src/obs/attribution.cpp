@@ -39,7 +39,7 @@ AttrRecord* Attribution::record_of(AttrHandle h) {
 }
 
 Attribution::KeyStats& Attribution::stats_of(const AttrKey& key) {
-  const std::uint32_t packed = key.pack();
+  const std::uint64_t packed = key.pack();
   if (auto it = key_idx_.find(packed); it != key_idx_.end()) return keys_[it->second];
   key_idx_.emplace(packed, keys_.size());
   keys_.emplace_back(key, cfg_.window, cfg_.frames);
@@ -48,7 +48,7 @@ Attribution::KeyStats& Attribution::stats_of(const AttrKey& key) {
 
 AttrHandle Attribution::on_submit(int host, int vm, bool is_write, bool sync,
                                   std::int64_t lba, std::int64_t sectors,
-                                  sim::Time now) {
+                                  sim::Time now, std::uint64_t ctx) {
   std::uint32_t idx;
   if (!free_.empty()) {
     idx = free_.back();
@@ -67,6 +67,7 @@ AttrHandle Attribution::on_submit(int host, int vm, bool is_write, bool sync,
   r.key.dir = is_write ? 1 : 0;
   r.key.sync = sync ? 1 : 0;
   r.key.phase = cur_phase_;
+  r.key.job = job_of_ctx(ctx);
   r.reads_ahead = 0;
   r.writes_ahead = 0;
   r.dom0_in_flight = 0;
@@ -159,8 +160,10 @@ void Attribution::on_complete(AttrHandle h, sim::Time now) {
       stall_log_.push_back(ev);
     }
     if (auto* tr = trace::tracer()) {
-      const auto track = tr->track("obs/host" + std::to_string(r->key.host) +
-                                   "/vm" + std::to_string(r->key.vm));
+      std::string path = "obs/host" + std::to_string(r->key.host) + "/vm" +
+                         std::to_string(r->key.vm);
+      if (r->key.job >= 0) path += "/job" + std::to_string(r->key.job);
+      const auto track = tr->track(path);
       // The stalled span itself, with the Dom0 queue it arrived behind —
       // pinned, so stalls survive the bio flood that caused them.
       tr->complete(track, tr->ids.io_stall, tr->ids.cat_obs,
@@ -182,6 +185,7 @@ void Attribution::on_complete(AttrHandle h, sim::Time now) {
 
 std::string Attribution::key_name(const AttrKey& k) {
   std::string s = "host" + std::to_string(k.host) + ".vm" + std::to_string(k.vm);
+  if (k.job >= 0) s += ".job" + std::to_string(k.job);
   s += k.dir ? ".write" : ".read";
   s += k.sync ? ".sync" : ".async";
   s += ".ph" + std::to_string(k.phase);
@@ -219,10 +223,13 @@ void Attribution::export_to_trace(trace::Tracer& tr) {
   for (std::size_t i = 0; i < keys_.size(); ++i) {
     KeyStats& ks = keys_[i];
     const AttrKey& k = ks.key;
-    const auto track =
-        tr.track("obs/host" + std::to_string(k.host) + "/vm" + std::to_string(k.vm) +
-                 (k.dir ? "/write" : "/read") + (k.sync ? "/sync" : "/async") +
-                 "/ph" + std::to_string(k.phase));
+    std::string path =
+        "obs/host" + std::to_string(k.host) + "/vm" + std::to_string(k.vm);
+    if (k.job >= 0) path += "/job" + std::to_string(k.job);
+    path += (k.dir ? "/write" : "/read");
+    path += (k.sync ? "/sync" : "/async");
+    path += "/ph" + std::to_string(k.phase);
+    const auto track = tr.track(path);
     for (int l = 0; l < kNumLanes; ++l) {
       const QuantileSketch& sk = ks.lanes[l];
       // Two pinned instants per lane: counts then percentiles (three args

@@ -68,8 +68,12 @@ class Attribution {
   // -- stamping hooks (called by blk::BlockLayer / virt::BlkfrontRing) --
 
   /// Guest layer created a new request from a fresh bio: allocate a record.
+  /// `ctx` is the bio's scheduling context id; a ctx inside a per-job window
+  /// (attr.hpp job_of_ctx) keys the record to that stream job, any other
+  /// value (including the default 0) keys it to the shared namespace.
   AttrHandle on_submit(int host, int vm, bool is_write, bool sync,
-                       std::int64_t lba, std::int64_t sectors, sim::Time now);
+                       std::int64_t lba, std::int64_t sectors, sim::Time now,
+                       std::uint64_t ctx = 0);
   /// Guest elevator dispatched the request into the ring.
   void on_guest_dispatch(AttrHandle h, sim::Time now);
   /// A ring segment of the request reached the Dom0 elevator. First arrival
@@ -114,6 +118,8 @@ class Attribution {
   sim::Time last_activity() const { return last_activity_; }
 
   /// "host0.vm1.read.sync.ph0" — registry metric prefix / report row label.
+  /// Keys of a stream job append ".jobN"; shared-namespace keys (job = -1)
+  /// keep the historical five-part name.
   static std::string key_name(const AttrKey& k);
 
   /// Publish per-key per-lane count/sum/percentile gauges (plus the
@@ -144,7 +150,7 @@ class Attribution {
   std::vector<AttrRecord> arena_;
   std::vector<std::uint32_t> free_;  // recycled arena indices
   std::vector<KeyStats> keys_;       // first-touch order
-  std::unordered_map<std::uint32_t, std::size_t> key_idx_;  // pack() -> index
+  std::unordered_map<std::uint64_t, std::size_t> key_idx_;  // pack() -> index
   std::vector<StallEvent> stall_log_;
   std::uint64_t stalls_total_ = 0;
   std::uint64_t records_created_ = 0;

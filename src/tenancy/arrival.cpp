@@ -1,0 +1,69 @@
+#include "tenancy/arrival.hpp"
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace iosim::tenancy {
+
+namespace {
+
+/// Sub-stream indices under the run seed. Disjoint from the per-job task
+/// seeds, which StreamRunner derives at kJobSeedBase and up.
+constexpr std::uint64_t kArrivalStream = 1;
+constexpr std::uint64_t kShapeStream = 2;
+
+int pick_class(const StreamSpec& spec, sim::Rng& rng) {
+  double total = 0.0;
+  for (const ClassSpec& c : spec.classes) total += c.mix;
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < spec.classes.size(); ++i) {
+    x -= spec.classes[i].mix;
+    if (x < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(spec.classes.size()) - 1;  // fp edge: last class
+}
+
+int pick_size_mb(const ClassSpec& c, sim::Rng& rng) {
+  if (c.mb_min == c.mb_max) return c.mb_min;
+  const double v = bounded_pareto(rng.uniform(), static_cast<double>(c.mb_min),
+                                  static_cast<double>(c.mb_max), c.alpha);
+  const auto mb = static_cast<int>(std::lround(v));
+  return mb < c.mb_min ? c.mb_min : (mb > c.mb_max ? c.mb_max : mb);
+}
+
+}  // namespace
+
+double bounded_pareto(double u, double lo, double hi, double alpha) {
+  // Inverse CDF of the Pareto truncated to [lo, hi]:
+  //   F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a)
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::vector<PlannedJob> plan_arrivals(const StreamSpec& spec, std::uint64_t seed) {
+  sim::Rng arrival_rng(sim::derive_run_seed(seed, kArrivalStream));
+  sim::Rng shape_rng(sim::derive_run_seed(seed, kShapeStream));
+
+  std::vector<PlannedJob> plan;
+  const int n = spec.job_count();
+  plan.reserve(static_cast<std::size_t>(n));
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    PlannedJob j;
+    if (spec.arrival == ArrivalKind::kTrace) {
+      j.t_arrive_s = spec.trace_times_s[static_cast<std::size_t>(i)];
+    } else {
+      t += arrival_rng.exponential(1.0 / spec.rate_hz);
+      j.t_arrive_s = t;
+    }
+    j.class_index = spec.classes.size() > 1 ? pick_class(spec, shape_rng) : 0;
+    j.size_mb = pick_size_mb(spec.classes[static_cast<std::size_t>(j.class_index)],
+                             shape_rng);
+    plan.push_back(j);
+  }
+  return plan;
+}
+
+}  // namespace iosim::tenancy

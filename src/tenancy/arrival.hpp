@@ -1,0 +1,34 @@
+// iosim: open-arrival workload planning — expand a StreamSpec into the
+// deterministic list of jobs a run will admit.
+//
+// All randomness (Poisson interarrival gaps, class draws, heavy-tailed
+// input sizes) comes from two dedicated xoshiro256** streams derived from
+// the run seed with sim::derive_run_seed, so the plan is a pure function of
+// (spec, seed): same seed, same plan, byte for byte — and the plan is
+// independent of the per-job task streams, which derive their own seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tenancy/stream_spec.hpp"
+
+namespace iosim::tenancy {
+
+/// One planned admission, in arrival order.
+struct PlannedJob {
+  double t_arrive_s = 0.0;
+  int class_index = 0;
+  /// Sampled input size per data node, MiB.
+  int size_mb = 16;
+};
+
+/// Deterministic expansion of `spec` under `seed` (the cluster's run seed;
+/// the planner derives private sub-streams from it).
+std::vector<PlannedJob> plan_arrivals(const StreamSpec& spec, std::uint64_t seed);
+
+/// Bounded-Pareto sample in [lo, hi] with tail index alpha (heavy-tailed
+/// job sizes — most jobs small, occasional large ones). Exposed for tests.
+double bounded_pareto(double u, double lo, double hi, double alpha);
+
+}  // namespace iosim::tenancy

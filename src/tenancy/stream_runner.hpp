@@ -1,0 +1,156 @@
+// iosim: the multi-tenant stream engine — an open-arrival MapReduce cluster.
+//
+// StreamRunner owns the job-sequencing machinery for every multi-job run in
+// the repo. Two modes share it:
+//
+//   * Open arrivals (run_stream): jobs arrive at planned times on a live
+//     cluster and *contend* — for map/reduce slots through a PolicyArbiter
+//     (FIFO / Fair / Capacity), for HDFS, and for the shared platter
+//     underneath every VM. Each job gets a private identity: its own task
+//     seed (derived from the run seed), its own elevator-context window
+//     (mapred::ctx::job_window — CFQ's per-process queues and the
+//     anticipation heuristics key on ctx, so cross-job ctx collisions would
+//     merge think-time histories), per-job auditor accounts, and per-class
+//     sojourn sketches for the SLA report.
+//   * Sequential chains (cluster::run_job_chain delegates here): the
+//     degenerate back-to-back stream — job k+1 is admitted inside job k's
+//     completion, no arbiter, legacy identity (job_id 0, ctx_base 0).
+//     Byte-identical to the pre-stream chain runner; the pinned chain
+//     digest in trace_digest_test enforces that.
+//
+// Determinism: admissions are simulator events at planned times, the plan
+// is a pure function of (spec, seed), per-job task streams use
+// derive_run_seed(seed, kJobSeedBase + index), and work-conservation kicks
+// are coalesced into a single deferred event that re-scans jobs in
+// admission order — same seed, byte-identical trace, any worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mapred/job.hpp"
+#include "tenancy/arrival.hpp"
+#include "tenancy/phase_agg.hpp"
+#include "tenancy/policy.hpp"
+#include "tenancy/stream_spec.hpp"
+
+namespace iosim::tenancy {
+
+/// First derive_run_seed index used for per-job task streams (indices below
+/// are reserved: 0 unused, 1 arrivals, 2 job shapes).
+inline constexpr std::uint64_t kJobSeedBase = 16;
+
+/// One job's outcome in the stream.
+struct StreamJobRecord {
+  int job_id = 0;
+  int class_index = 0;
+  int size_mb = 0;
+  double t_arrive_s = 0.0;
+  double t_done_s = 0.0;
+  /// Arrival -> completion (the SLA metric). 0 until the job finishes.
+  double sojourn_s = 0.0;
+  bool completed = false;
+  bool failed = false;
+  bool sla_violated = false;
+};
+
+/// Per-class aggregate over the stream's completed jobs.
+struct ClassOutcome {
+  std::string name;
+  int jobs = 0;
+  int completed = 0;
+  int failed = 0;
+  int sla_violations = 0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+};
+
+struct StreamResult {
+  /// False only on infrastructure failure (event budget tripped with jobs
+  /// still unfinished). Individual job aborts keep ok=true, mirroring how
+  /// fault runs report.
+  bool ok = true;
+  std::string error;
+  sim::StopReason stop = sim::StopReason::kDrained;
+  /// First arrival -> last completion (wall time of the whole stream).
+  double makespan_s = 0.0;
+  int jobs_completed = 0;
+  int jobs_failed = 0;
+  int sla_violations = 0;
+  std::vector<StreamJobRecord> jobs;
+  std::vector<ClassOutcome> classes;
+};
+
+/// Per-job hook, invoked after construction and identity setup, before
+/// run(): (cluster, job, stream index).
+using StreamSetupHook = std::function<void(cluster::Cluster&, mapred::Job&, int)>;
+
+/// Run the open-arrival stream described by `spec` on a cluster built from
+/// `cfg`. The plan (arrival times, classes, sizes) derives from cfg.seed.
+StreamResult run_stream(const cluster::ClusterConfig& cfg, const StreamSpec& spec,
+                        const StreamSetupHook& setup = {});
+
+/// The sequencing engine itself — exposed for the chain-compat shim and
+/// tests that need custom plans.
+class StreamRunner {
+ public:
+  struct PlannedEntry {
+    double t_arrive_s = 0.0;
+    mapred::JobConf conf;
+    std::uint64_t seed = 0;
+    int class_index = 0;
+    int size_mb = 0;
+    double deadline_s = 0.0;
+  };
+
+  struct Options {
+    /// Chain mode: admit entry k+1 when entry k completes, with legacy
+    /// single-job identity and no arbiter (byte-compat with the old chain
+    /// runner). t_arrive_s is ignored.
+    bool sequential = false;
+    Policy policy = Policy::kFifo;
+    /// Class attributes for the arbiter / SLA report; may be empty in
+    /// sequential mode.
+    std::vector<ClassSpec> classes;
+    StreamSetupHook setup;
+  };
+
+  StreamRunner(cluster::Cluster& cl, std::vector<PlannedEntry> plan, Options opts);
+  ~StreamRunner();
+  StreamRunner(const StreamRunner&) = delete;
+  StreamRunner& operator=(const StreamRunner&) = delete;
+
+  /// Schedule every admission (or admit job 0, in sequential mode). The
+  /// caller then drives cl.simr().run().
+  void start();
+
+  /// Collect results and run end-of-run verification. Call once, after the
+  /// simulator returned.
+  StreamResult finish();
+
+  const mapred::JobStats& job_stats(int index) const;
+
+ private:
+  void admit(int index);
+  void on_job_finished(int index, bool failed);
+  void schedule_kick();
+
+  cluster::Cluster& cl_;
+  std::vector<PlannedEntry> plan_;
+  Options opts_;
+  std::unique_ptr<PolicyArbiter> arbiter_;  // null in sequential mode
+  PhaseAggregator phases_;
+  std::vector<std::unique_ptr<mapred::Job>> jobs_;  // indexed like plan_
+  std::vector<StreamJobRecord> records_;
+  std::vector<mapred::JobStats> stats_;
+  bool kick_pending_ = false;
+  int unfinished_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace iosim::tenancy

@@ -1,0 +1,91 @@
+// iosim: the job-stream specification — multi-tenant workload grammar.
+//
+// A StreamSpec describes an open-arrival MapReduce workload: how jobs
+// arrive (deterministic Poisson process or an explicit arrival trace), what
+// classes of jobs the stream mixes (each class names a workload model, an
+// input-size range with heavy-tailed sampling, and its scheduling
+// attributes: FIFO priority, fair-share weight, capacity share, SLA
+// deadline), and which JobTracker slot-allocation policy arbitrates the
+// cluster's map/reduce slots between co-running jobs.
+//
+// The grammar is a single line so it embeds as one `stream=` value in an
+// exp::ScenarioSpec: segments separated by ';', fields by ','. The first
+// field of a segment selects its kind:
+//
+//   arrive,poisson,rate=0.02,jobs=8      open arrivals, rate in jobs/sec
+//   arrive,trace,t=0:5.5:30              explicit arrival times (seconds)
+//   class,name=batch,wl=sort,mb=16-64[,weight=1][,prio=0][,share=0]
+//        [,deadline=0][,mix=1][,alpha=1.5]
+//   policy,fifo|fair|capacity
+//
+// Parsing is all-or-nothing with diagnostics (the fuzz contract shared
+// with ScenarioSpec and FaultPlan), and to_string() renders the canonical
+// form: parse(s.to_string()) reproduces to_string() byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iosim::tenancy {
+
+/// One tenant class: jobs of this class share a workload shape and the
+/// scheduling attributes the policies read.
+struct ClassSpec {
+  std::string name;
+  /// Workload model, canonical workloads::by_name key.
+  std::string workload = "sort";
+  /// Input size per data node, sampled per job from [mb_min, mb_max] MiB
+  /// with a bounded-Pareto tail (heavy-tailed job sizes; alpha is the tail
+  /// index, smaller = heavier). mb_min == mb_max pins the size.
+  int mb_min = 16;
+  int mb_max = 16;
+  double alpha = 1.5;
+  /// Fair policy: relative share weight (> 0).
+  double weight = 1.0;
+  /// FIFO policy: higher priority schedules first (ties by arrival).
+  int priority = 0;
+  /// Capacity policy: guaranteed fraction of cluster slots. All-zero
+  /// shares mean equal split across classes.
+  double share = 0.0;
+  /// SLA deadline on job sojourn time (arrival -> completion), seconds;
+  /// 0 = no deadline.
+  double deadline_s = 0.0;
+  /// Arrival mix weight: probability mass of this class when drawing the
+  /// class of the next arriving job (> 0).
+  double mix = 1.0;
+};
+
+enum class ArrivalKind : std::uint8_t { kPoisson = 0, kTrace };
+enum class Policy : std::uint8_t { kFifo = 0, kFair, kCapacity };
+
+const char* to_string(Policy p);
+std::optional<Policy> policy_by_name(const std::string& name);
+
+struct StreamSpec {
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  /// Poisson arrival rate, jobs per second (> 0).
+  double rate_hz = 0.01;
+  /// Poisson: number of jobs to admit.
+  int n_jobs = 4;
+  /// Trace arrivals: sorted arrival times in seconds (one job each).
+  std::vector<double> trace_times_s;
+  std::vector<ClassSpec> classes;
+  Policy policy = Policy::kFifo;
+
+  int job_count() const {
+    return arrival == ArrivalKind::kTrace ? static_cast<int>(trace_times_s.size())
+                                          : n_jobs;
+  }
+
+  /// All-or-nothing parse of the single-line grammar above. nullopt on any
+  /// error; `err` (optional) receives the diagnostic.
+  static std::optional<StreamSpec> parse(const std::string& text,
+                                         std::string* err = nullptr);
+
+  /// Canonical single-line rendering (round-trips through parse()).
+  std::string to_string() const;
+};
+
+}  // namespace iosim::tenancy

@@ -19,6 +19,7 @@ void IoStream::run(DomU& vm, std::uint64_t ctx, disk::Lba vlba, std::int64_t byt
 }
 
 void IoStream::pump(std::shared_ptr<IoStream> self) {
+  if (p_.cancelled && p_.cancelled()) failed_ = true;
   while (!failed_ && outstanding_ < p_.window && next_lba_ < end_lba_) {
     const disk::Lba lba = next_lba_;
     const std::int64_t n = std::min<std::int64_t>(p_.unit_sectors, end_lba_ - lba);

@@ -17,6 +17,10 @@ struct IoStreamParams {
   /// Outstanding bios: 2 for sync reads (readahead depth), larger for
   /// writeback-style async writes.
   int window = 2;
+  /// Polled before issuing each bio. When it returns true the stream stops
+  /// issuing, drains in-flight bios and reports kError — the issuing
+  /// process was killed, so no further I/O may reach the disk.
+  std::function<bool()> cancelled;
 };
 
 /// Fire-and-forget sequential transfer on a DomU virtual disk. The object

@@ -89,7 +89,7 @@ class DroppingSink : public blk::RequestSink {
       : simr_(simr), drop_every_(drop_every) {}
 
   bool can_accept() const override { return true; }
-  void submit(blk::Request* rq, Time now) override {
+  void submit(blk::Request* rq, Time /*now*/) override {
     ++seen_;
     if (drop_every_ > 0 && seen_ % drop_every_ == 0) return;  // lost forever
     simr_.after(Time::from_us(50), [this, rq] {
@@ -175,7 +175,7 @@ TEST(Auditor, DoubleCompletionDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
   const void* layer = &a;
-  a.on_bio_submitted(layer, "l", 0);
+  a.on_bio_submitted(layer, "l", /*ctx=*/0, 0);
   a.on_request_dispatched(layer, "l", 7, 100);
   a.on_request_completed(layer, "l", 7, 1, true, 200);
   a.on_request_completed(layer, "l", 7, 1, true, 300);  // completed twice
@@ -226,44 +226,44 @@ TEST(Auditor, RingNotDrainedDetected) {
 TEST(Auditor, AttemptBeyondBudgetDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
-  a.on_job_start(/*n_maps=*/2, /*n_reduces=*/1, /*max_attempts=*/3);
-  a.on_map_attempt_start(0, /*attempt=*/4, /*running_after=*/1, false, 100);
+  a.on_job_start(/*job_id=*/0, /*n_maps=*/2, /*n_reduces=*/1, /*max_attempts=*/3);
+  a.on_map_attempt_start(0, 0, /*attempt=*/4, /*running_after=*/1, false, 100);
   EXPECT_EQ(a.count(Invariant::kTaskStateMachine), 1u);
 }
 
 TEST(Auditor, TooManyRunningCopiesDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
-  a.on_job_start(2, 1, 3);
-  a.on_map_attempt_start(0, 1, /*running_after=*/3, true, 100);
+  a.on_job_start(0, 2, 1, 3);
+  a.on_map_attempt_start(0, 0, 1, /*running_after=*/3, true, 100);
   EXPECT_EQ(a.count(Invariant::kTaskStateMachine), 1u);
 }
 
 TEST(Auditor, DoubleCommitDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
-  a.on_job_start(2, 1, 3);
-  a.on_map_commit(0, 100);
-  a.on_map_commit(0, 200);  // photo-finish guard failed
+  a.on_job_start(0, 2, 1, 3);
+  a.on_map_commit(0, 0, 100);
+  a.on_map_commit(0, 0, 200);  // photo-finish guard failed
   EXPECT_EQ(a.count(Invariant::kTaskStateMachine), 1u);
 }
 
 TEST(Auditor, AttemptAfterCommitDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
-  a.on_job_start(2, 1, 3);
-  a.on_map_commit(1, 100);
-  a.on_map_attempt_start(1, 2, 1, false, 200);
+  a.on_job_start(0, 2, 1, 3);
+  a.on_map_commit(0, 1, 100);
+  a.on_map_attempt_start(0, 1, 2, 1, false, 200);
   EXPECT_EQ(a.count(Invariant::kTaskStateMachine), 1u);
 }
 
 TEST(Auditor, JobDoneWithMissingCommitsDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
-  a.on_job_start(2, 1, 3);
-  a.on_map_commit(0, 100);  // map 1 never commits
-  a.on_reduce_commit(0, 200);
-  a.on_job_done(/*maps_done=*/2, /*reduces_done=*/1, 300);
+  a.on_job_start(0, 2, 1, 3);
+  a.on_map_commit(0, 0, 100);  // map 1 never commits
+  a.on_reduce_commit(0, 0, 200);
+  a.on_job_done(0, /*maps_done=*/2, /*reduces_done=*/1, 300);
   EXPECT_GT(a.count(Invariant::kTaskStateMachine), 0u);
 }
 
@@ -272,7 +272,7 @@ TEST(Auditor, JobDoneWithMissingCommitsDetected) {
 TEST(Auditor, CollocatedReplicasDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
-  a.on_job_start(1, 1, 3);
+  a.on_job_start(0, 1, 1, 3);
   a.on_block_created(0, 2, /*vm0=*/1, /*vm1=*/1, /*n_vms=*/4, 0);
   EXPECT_EQ(a.count(Invariant::kBlockRefcount), 1u);
 }
@@ -280,19 +280,115 @@ TEST(Auditor, CollocatedReplicasDetected) {
 TEST(Auditor, FailoverToNonReplicaDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
-  a.on_job_start(1, 1, 3);
+  a.on_job_start(0, 1, 1, 3);
   a.on_block_created(0, 2, 0, 1, 4, 0);
-  a.on_hdfs_failover(0, /*from_vm=*/0, /*to_vm=*/3, 100);  // vm3 holds nothing
+  a.on_hdfs_failover(0, 0, /*from_vm=*/0, /*to_vm=*/3, 100);  // vm3 holds nothing
   EXPECT_EQ(a.count(Invariant::kBlockRefcount), 1u);
 }
 
 TEST(Auditor, FailoverToSelfDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
-  a.on_job_start(1, 1, 3);
+  a.on_job_start(0, 1, 1, 3);
   a.on_block_created(0, 2, 0, 1, 4, 0);
-  a.on_hdfs_failover(0, /*from_vm=*/1, /*to_vm=*/1, 100);
+  a.on_hdfs_failover(0, 0, /*from_vm=*/1, /*to_vm=*/1, 100);
   EXPECT_EQ(a.count(Invariant::kBlockRefcount), 1u);
+}
+
+// ---- mutation: slot conservation -------------------------------------------
+
+TEST(Auditor, SlotOverCapacityDetected) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_slot_acquire(/*job_id=*/1, /*vm=*/0, /*reduce=*/false,
+                    /*in_use_after=*/3, /*capacity=*/2, 100);
+  EXPECT_EQ(a.count(Invariant::kSlotConservation), 1u);
+}
+
+TEST(Auditor, SlotReleaseWithNoneInUseDetected) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_slot_acquire(1, 0, false, 1, 2, 100);
+  a.on_slot_release(1, 0, false, /*in_use_before=*/0, 200);
+  EXPECT_EQ(a.count(Invariant::kSlotConservation), 1u);
+}
+
+TEST(Auditor, ReleaseOfNeverHeldSlotDetected) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  // Job 2 releases a reduce slot that job 1 acquired.
+  a.on_slot_acquire(1, 0, true, 1, 2, 100);
+  a.on_slot_release(2, 0, true, 1, 200);
+  EXPECT_EQ(a.count(Invariant::kSlotConservation), 1u);
+}
+
+TEST(Auditor, RetireWhileHoldingSlotsDetected) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_stream_job_admit(1, 2'000'000, 3'000'000, 0);
+  a.on_slot_acquire(1, 0, false, 1, 2, 100);
+  a.on_stream_job_retire(1, 200);
+  EXPECT_EQ(a.count(Invariant::kSlotConservation), 1u);
+}
+
+TEST(Auditor, DrainWhileHoldingSlotsDetected) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_slot_acquire(1, 0, false, 1, 2, 100);
+  EXPECT_TRUE(a.ok());
+  a.verify_end_of_run(200);
+  EXPECT_EQ(a.count(Invariant::kSlotConservation), 1u);
+}
+
+TEST(Auditor, BalancedSlotLifecycleIsClean) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_stream_job_admit(1, 2'000'000, 3'000'000, 0);
+  a.on_slot_acquire(1, 0, false, 1, 2, 100);
+  a.on_slot_acquire(1, 1, true, 1, 1, 110);
+  a.on_slot_release(1, 0, false, 1, 200);
+  a.on_slot_release(1, 1, true, 1, 210);
+  a.on_stream_job_retire(1, 300);
+  a.verify_end_of_run(400);
+  EXPECT_TRUE(a.ok()) << a.report().to_string();
+}
+
+// ---- mutation: cross-job attribution ---------------------------------------
+
+TEST(Auditor, BioOutsideAnyJobWindowDetected) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_stream_job_admit(1, 2'000'000, 3'000'000, 0);
+  a.on_bio_submitted(&a, "l", /*ctx=*/2'010'000, 100);  // inside: fine
+  a.on_bio_submitted(&a, "l", /*ctx=*/3'010'000, 200);  // no job owns this
+  EXPECT_EQ(a.count(Invariant::kJobAttribution), 1u);
+}
+
+TEST(Auditor, BioFromRetiredJobDetected) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_stream_job_admit(1, 2'000'000, 3'000'000, 0);
+  a.on_stream_job_retire(1, 100);
+  a.on_bio_submitted(&a, "l", /*ctx=*/2'010'000, 200);  // job already gone
+  EXPECT_EQ(a.count(Invariant::kJobAttribution), 1u);
+}
+
+TEST(Auditor, SharedServerCtxIsNeverJobAttributed) {
+  // Server-side DataNode I/O (ctx below the job-window base) is shared
+  // infrastructure; the attribution guard must ignore it even when armed.
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_stream_job_admit(1, 2'000'000, 3'000'000, 0);
+  a.on_bio_submitted(&a, "l", /*ctx=*/30'001, 100);
+  EXPECT_TRUE(a.ok()) << a.report().to_string();
+}
+
+TEST(Auditor, OverlappingJobWindowsDetected) {
+  AuditorSession cs(Auditor::Mode::kRecord);
+  Auditor& a = cs.auditor();
+  a.on_stream_job_admit(1, 2'000'000, 3'000'000, 0);
+  a.on_stream_job_admit(2, 2'500'000, 3'500'000, 100);
+  EXPECT_EQ(a.count(Invariant::kJobAttribution), 1u);
 }
 
 // ---- report formatting -----------------------------------------------------

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cluster/chain_runner.hpp"
 #include "cluster/runner.hpp"
 #include "exp/artifact.hpp"
 #include "trace/trace.hpp"
@@ -26,6 +27,13 @@ namespace {
 /// FNV-1a 64 of the trace JSON of run_trace_digest_run() on the
 /// pre-refactor event loop (commit 51e067b).
 inline constexpr std::uint64_t kPreRefactorTraceDigest = 0x625ba9238ba4a87cULL;
+
+/// FNV-1a 64 of a seeded three-job chain's trace, captured on the
+/// dedicated chain runner immediately before it was rehosted onto
+/// tenancy::StreamRunner's sequential mode. Same contract as above: the
+/// stream engine may restructure the sequencing code, but a chained run's
+/// event order and timing must not move by a byte.
+inline constexpr std::uint64_t kPreStreamChainDigest = 0x12b0952ebf45d35cULL;
 
 std::string traced_run_json() {
   trace::TraceSession session;
@@ -49,6 +57,26 @@ TEST(TraceDigest, SeededRunMatchesPreRefactorDigest) {
 
 TEST(TraceDigest, SameSeedIsByteIdenticalWithinProcess) {
   EXPECT_EQ(traced_run_json(), traced_run_json());
+}
+
+TEST(TraceDigest, ChainedRunMatchesPreStreamDigest) {
+  trace::TraceSession session;
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = 2;
+  cfg.vms_per_host = 2;
+  cfg.seed = 7;
+  const std::vector<mapred::JobConf> confs = {
+      workloads::make_job(workloads::wordcount(), 16 * mapred::kMiB),
+      workloads::make_job(workloads::stream_sort(), 16 * mapred::kMiB),
+      workloads::make_job(workloads::wordcount_no_combiner(), 16 * mapred::kMiB),
+  };
+  const auto r = cluster::run_job_chain(cfg, confs);
+  EXPECT_EQ(r.jobs.size(), confs.size());
+  const std::string json = session.tracer().to_json();
+  const std::uint64_t digest = exp::fnv1a64(json);
+  EXPECT_EQ(digest, kPreStreamChainDigest)
+      << "chain trace digest changed: 0x" << std::hex << digest << std::dec
+      << " (json bytes: " << json.size() << ")";
 }
 
 }  // namespace

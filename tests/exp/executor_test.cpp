@@ -374,6 +374,47 @@ TEST(ExecutorIntegration, ByteIdenticalJsonAcrossWorkerCounts) {
   EXPECT_NE(ja.find("\"seconds\""), std::string::npos);
 }
 
+TEST(ExecutorIntegration, ByteIdenticalJsonWithMultiJobStreamPoints) {
+  // Same contract as above, but the sweep mixes single-job points with
+  // open-arrival multi-job stream points under two JobTracker policies.
+  // Stream runs spawn their own per-job RNG streams and per-class sketches;
+  // none of that may leak across worker threads.
+  const auto spec = ScenarioSpec::parse(
+      "name=exec_stream_it\n"
+      "mode=run\n"
+      "base_seed=11\n"
+      "repeats=2\n"
+      "workload=sort\n"
+      "hosts=2\nvms=2\nmb=16\n"
+      "stream=none|arrive,poisson,rate=0.1,jobs=4;"
+      "class,name=batch,wl=sort,mb=8-16,share=0.7,mix=3;"
+      "class,name=ui,wl=wc,mb=8-8,prio=5,share=0.3,deadline=200,mix=1\n"
+      "stream_policy=fifo,fair\n");
+  ASSERT_TRUE(spec.has_value());
+  const auto points = spec->expand();
+  ASSERT_EQ(points.size(), 4u);  // {none, stream} x {fifo, fair}
+  const auto tasks = build_run_matrix(*spec);
+  const auto fn = make_run_fn(points);
+
+  ExecutorOptions serial;
+  serial.workers = 1;
+  ExecutorOptions wide;
+  wide.workers = 8;
+  const auto a = execute_all(tasks, fn, serial);
+  const auto b = execute_all(tasks, fn, wide);
+  ASSERT_TRUE(a.all_ok()) << a.first_error;
+  ASSERT_TRUE(b.all_ok()) << b.first_error;
+
+  const std::string ja = to_json(*spec, aggregate(*spec, points, tasks, a));
+  const std::string jb = to_json(*spec, aggregate(*spec, points, tasks, b));
+  EXPECT_EQ(ja, jb);
+  // Per-class sketch metrics and SLA accounting made it into the artifact.
+  EXPECT_NE(ja.find("\"jobs_completed\""), std::string::npos);
+  EXPECT_NE(ja.find("\"sla_violations\""), std::string::npos);
+  EXPECT_NE(ja.find("\"batch_p95_s\""), std::string::npos);
+  EXPECT_NE(ja.find("\"ui_sla_viol\""), std::string::npos);
+}
+
 TEST(ExecutorIntegration, AbortingFaultCancelsSweep) {
   // transient:host=-1,p=0.9 makes every disk I/O on every host fail with
   // 90% probability — the job aborts after retries, and the sweep must

@@ -51,6 +51,36 @@ TEST(Report, RendersWaterfallRowsFromTrace) {
 
   // The windowed row made it in.
   EXPECT_NE(html.find("total (window)"), std::string::npos);
+
+  // No tenancy instants in this trace: single-job reports keep their
+  // pre-stream shape, without a Job stream section.
+  EXPECT_EQ(html.find("Job stream"), std::string::npos);
+}
+
+TEST(Report, RendersJobStreamTimelineFromTenancyInstants) {
+  // Three jobs: one done (sojourn 42s), one failed, one still running when
+  // the trace ended (admit only).
+  const std::string trace = R"({"otherData":{"dropped_events":"0"},"traceEvents":[
+{"ph":"M","name":"thread_name","pid":1,"tid":9,"args":{"name":"tenancy"}},
+{"ph":"i","name":"job_admit","tid":9,"ts":1000000.000,"s":"t","args":{"job":0,"class":0,"arg":12}},
+{"ph":"i","name":"job_admit","tid":9,"ts":2000000.000,"s":"t","args":{"job":1,"class":1,"arg":8}},
+{"ph":"i","name":"job_admit","tid":9,"ts":3000000.000,"s":"t","args":{"job":2,"class":0,"arg":16}},
+{"ph":"i","name":"job_done","tid":9,"ts":43000000.000,"s":"t","args":{"job":0,"class":0,"arg":42000}},
+{"ph":"i","name":"job_fail","tid":9,"ts":50000000.000,"s":"t","args":{"job":1,"class":1,"arg":48000}}
+]})";
+  std::string err;
+  const std::string html = render_report(trace, {}, {}, &err);
+  ASSERT_FALSE(html.empty()) << err;
+  EXPECT_NE(html.find("<h2>Job stream</h2>"), std::string::npos);
+  EXPECT_NE(html.find("<b>1</b> completed, <b>1</b> failed, <b>1</b> still running"),
+            std::string::npos);
+  // Job 0's row: class 0, 12 MB admit arg, 42 s sojourn, done.
+  EXPECT_NE(html.find("<td>12</td>"), std::string::npos);
+  EXPECT_NE(html.find("42.0 s"), std::string::npos);
+  EXPECT_NE(html.find("<td>done</td>"), std::string::npos);
+  EXPECT_NE(html.find("<td>failed</td>"), std::string::npos);
+  // Job 2 never finished: dashes, state "running".
+  EXPECT_NE(html.find("<td>running</td>"), std::string::npos);
 }
 
 TEST(Report, RendersStallLogWithQueueSnapshot) {
@@ -64,6 +94,35 @@ TEST(Report, RendersStallLogWithQueueSnapshot) {
   EXPECT_NE(html.find("10.0 ms"), std::string::npos);
   EXPECT_NE(html.find("8940.0 µs"), std::string::npos);
   EXPECT_NE(html.find("<td>5</td>"), std::string::npos);  // writes ahead
+  // Single-job trace: no job column — the table keeps its historical shape.
+  EXPECT_EQ(html.find("<th>job</th>"), std::string::npos);
+}
+
+TEST(Report, StallAndWaterfallTablesCarryJobColumn) {
+  // A multi-tenant trace: the same key shape but keyed to stream job 2 (the
+  // attribution layer inserts "/job2" into the track), plus one legacy-key
+  // stall. The stall table grows a job column; the legacy row shows "-".
+  const std::string trace = R"({"otherData":{"dropped_events":"0"},"traceEvents":[
+{"ph":"M","name":"thread_name","pid":1,"tid":7,"args":{"name":"obs/host0/vm1/job2/read/sync/ph0"}},
+{"ph":"M","name":"thread_name","pid":1,"tid":8,"args":{"name":"obs/host0/vm1"}},
+{"ph":"i","name":"obs summary","tid":3,"ts":250.000,"s":"g","args":{"count":2,"in_flight":0,"stalls":2}},
+{"ph":"i","name":"obs total","tid":7,"ts":250.000,"s":"t","args":{"count":2,"sum_ns":500000,"max_ns":260000}},
+{"ph":"i","name":"obs total","tid":7,"ts":250.000,"s":"t","args":{"p50_ns":240000,"p95_ns":260000,"p99_ns":260000}},
+{"ph":"X","name":"io stall","tid":7,"ts":100000.000,"dur":10000.000,"args":{"lba":4096,"writes_ahead":5,"reads_ahead":0}},
+{"ph":"i","name":"io stall wait","tid":7,"ts":110000.000,"s":"t","args":{"elv_wait_ns":8940000,"service_ns":950000,"total_ns":10000000}},
+{"ph":"X","name":"io stall","tid":8,"ts":200000.000,"dur":5000.000,"args":{"lba":8192,"writes_ahead":1,"reads_ahead":1}}
+]})";
+  std::string err;
+  const std::string html = render_report(trace, {}, {}, &err);
+  ASSERT_FALSE(html.empty()) << err;
+  // The waterfall heading carries the job straight from the track path.
+  EXPECT_NE(html.find("<h3>host0 vm1 job2 read sync ph0</h3>"), std::string::npos);
+  // Stall table: job column present, job row labelled, legacy row dashed.
+  EXPECT_NE(html.find("<th>job</th>"), std::string::npos);
+  EXPECT_NE(html.find("<td>job2</td>"), std::string::npos);
+  const auto job_col = html.find("<th>job</th>");
+  const auto dash_cell = html.find("<td>-</td>", job_col);
+  EXPECT_NE(dash_cell, std::string::npos);
 }
 
 TEST(Report, OverflowRaisesRedBanner) {

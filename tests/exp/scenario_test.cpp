@@ -198,5 +198,78 @@ TEST(ScenarioSpec, ValidateIsReusableAfterSetOverrides) {
   EXPECT_FALSE(err.empty());
 }
 
+// --- Multi-job stream axes -------------------------------------------------
+
+constexpr const char* kStreamText =
+    "arrive,poisson,rate=0.05,jobs=4;class,name=a,wl=sort,mb=8-16";
+
+TEST(ScenarioSpec, StreamAxisParsesAlternativesAndPolicies) {
+  const auto s = ScenarioSpec::parse(
+      "stream=none|" + std::string(kStreamText) +
+      "\nstream_policy=fifo,fair,capacity\n");
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->streams.size(), 2u);
+  EXPECT_TRUE(s->streams[0].second.empty());  // none -> single-job point
+  EXPECT_EQ(s->streams[1].second, kStreamText);
+  EXPECT_EQ(s->streams[1].first.job_count(), 4);
+  ASSERT_EQ(s->stream_policies.size(), 3u);
+  // none x 3 policies + stream x 3 policies.
+  EXPECT_EQ(s->n_points(), 6u);
+}
+
+TEST(ScenarioSpec, StreamAxisExpandsWithPolicyOverride) {
+  const auto s = ScenarioSpec::parse(
+      "stream=none|" + std::string(kStreamText) + "\nstream_policy=fair\n");
+  ASSERT_TRUE(s.has_value());
+  const auto pts = s->expand();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_TRUE(pts[0].stream_text.empty());
+  EXPECT_TRUE(pts[0].stream_policy.empty());  // override is inert on `none`
+  EXPECT_EQ(pts[1].stream_text, kStreamText);
+  EXPECT_EQ(pts[1].stream_policy, "fair");
+  EXPECT_EQ(pts[1].stream.policy, tenancy::Policy::kFair);
+  // Labels must stay distinct (the journal keys on them indirectly).
+  EXPECT_NE(pts[0].label(), pts[1].label());
+}
+
+TEST(ScenarioSpec, StreamAxesRoundTripThroughToString) {
+  const auto s = ScenarioSpec::parse(
+      "stream=none|" + std::string(kStreamText) + "\nstream_policy=fifo,fair\n");
+  ASSERT_TRUE(s.has_value());
+  const std::string text = s->to_string();
+  EXPECT_NE(text.find("stream="), std::string::npos);
+  EXPECT_NE(text.find("stream_policy=fifo,fair"), std::string::npos);
+  std::string err;
+  const auto again = ScenarioSpec::parse(text, &err);
+  ASSERT_TRUE(again.has_value()) << err;
+  EXPECT_EQ(again->to_string(), text);
+  EXPECT_EQ(again->fingerprint(), s->fingerprint());
+}
+
+TEST(ScenarioSpec, StreamlessSpecsKeepPreTenancyCanonicalText) {
+  // No stream axes -> no stream lines, so pre-tenancy journals still match
+  // their recorded fingerprints.
+  const auto s = ScenarioSpec::parse("name=x\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->to_string().find("stream"), std::string::npos);
+}
+
+TEST(ScenarioSpec, StreamAxisRejectsBadInput) {
+  std::string err;
+  EXPECT_FALSE(ScenarioSpec::parse("stream=arrive,poisson\n", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(
+      ScenarioSpec::parse("mode=adapt\nstream=" + std::string(kStreamText) + "\n",
+                          &err)
+          .has_value());
+  EXPECT_NE(err.find("mode=run"), std::string::npos) << err;
+  EXPECT_FALSE(ScenarioSpec::parse("stream_policy=fair\n", &err).has_value());
+  EXPECT_NE(err.find("without a stream"), std::string::npos) << err;
+  EXPECT_FALSE(ScenarioSpec::parse("stream=" + std::string(kStreamText) +
+                                       "\nstream_policy=lottery\n",
+                                   &err)
+                   .has_value());
+}
+
 }  // namespace
 }  // namespace iosim::exp

@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
        "vms=", "mb=", "fault=", "timeout=", "max_events=", "max_sim_seconds=",
        "all16", "run", "adapt", "sort", "wordcount", "wc-nocombiner",
        "none", "transient:host=0,p=0.1", "lse:host=0,lba=0-100", "|", ",", ";",
+       "stream=", "stream_policy=", "arrive,poisson,rate=0.1,jobs=4",
+       "class,name=a,wl=sort,mb=8-8", "policy,fair", "fifo", "fair", "capacity",
        "\n", "#", "=", "9e9", "1e10", "nan", "inf", "-1", "0",
        "18446744073709551615", "999999999999999999999"});
 }

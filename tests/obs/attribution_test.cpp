@@ -109,6 +109,34 @@ TEST(Attribution, KeysSeparateByDirSyncAndPhase) {
   }
 }
 
+TEST(Attribution, JobCtxWindowsSeparateKeys) {
+  // Bios submitted from a stream job's private ctx window key to that job;
+  // shared-namespace ctxs (below the first window) keep the historical
+  // five-part key so single-job output is byte-identical.
+  EXPECT_EQ(job_of_ctx(0), -1);
+  EXPECT_EQ(job_of_ctx(10'000), -1);                     // legacy map task
+  EXPECT_EQ(job_of_ctx(kJobCtxWindow - 1), -1);
+  EXPECT_EQ(job_of_ctx(kJobCtxWindow), 0);               // job 0 window start
+  EXPECT_EQ(job_of_ctx(2 * kJobCtxWindow + 10'123), 1);  // job 1 map task
+
+  Attribution at;
+  auto submit_done = [&](std::uint64_t ctx) {
+    const AttrHandle h = at.on_submit(0, 1, false, true, 0, 8, Time::from_us(0),
+                                      ctx);
+    at.on_complete(h, Time::from_us(5));
+  };
+  submit_done(10'000);                     // shared namespace
+  submit_done(kJobCtxWindow + 10'000);     // job 0
+  submit_done(3 * kJobCtxWindow + 20'000); // job 2
+  submit_done(kJobCtxWindow + 10'999);     // job 0 again — same key
+
+  ASSERT_EQ(at.n_keys(), 3u);
+  EXPECT_EQ(Attribution::key_name(at.key_at(0)), "host0.vm1.read.sync.ph0");
+  EXPECT_EQ(Attribution::key_name(at.key_at(1)), "host0.vm1.job0.read.sync.ph0");
+  EXPECT_EQ(Attribution::key_name(at.key_at(2)), "host0.vm1.job2.read.sync.ph0");
+  EXPECT_EQ(at.lane(1, Lane::kTotal).count(), 2u);
+}
+
 TEST(Attribution, PhaseClampsToSixBits) {
   Attribution at;
   at.set_phase(-5);

@@ -1,0 +1,167 @@
+// Hand-computed slot-entitlement tests for the three JobTracker policies.
+// Every expectation below is worked out on paper against the documented
+// semantics (FIFO greedy by priority/arrival, Fair weighted max-min
+// water-fill, Capacity guaranteed class shares plus borrowing), so a
+// regression in compute_grants cannot hide behind an end-to-end run.
+#include <gtest/gtest.h>
+
+#include "tenancy/policy.hpp"
+
+namespace iosim::tenancy {
+namespace {
+
+// 2 VMs x 2 map slots = 4 cluster-wide map slots in every scenario below.
+constexpr int kVms = 2;
+constexpr int kMapSlots = 2;
+constexpr int kReduceSlots = 2;
+
+PolicyArbiter::DemandFn demand(int maps, int reduces = 0) {
+  return [maps, reduces](bool reduce) { return reduce ? reduces : maps; };
+}
+
+TEST(FifoPolicy, FirstArrivalTakesAllThenRemainder) {
+  PolicyArbiter arb(Policy::kFifo, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, /*priority=*/0, 1.0, /*order=*/0, demand(3));
+  arb.admit(1, 0, /*priority=*/0, 1.0, /*order=*/1, demand(3));
+  // 4 slots: job 0 wants 3 and takes 3; job 1 gets the 1 left over.
+  EXPECT_EQ(arb.quota(0, false), 3);
+  EXPECT_EQ(arb.quota(1, false), 1);
+}
+
+TEST(FifoPolicy, PriorityOverridesArrival) {
+  PolicyArbiter arb(Policy::kFifo, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, /*priority=*/0, 1.0, /*order=*/0, demand(3));
+  arb.admit(1, 0, /*priority=*/5, 1.0, /*order=*/1, demand(3));
+  EXPECT_EQ(arb.quota(1, false), 3);
+  EXPECT_EQ(arb.quota(0, false), 1);
+}
+
+TEST(FifoPolicy, QuotaNeverBelowDemandCap) {
+  PolicyArbiter arb(Policy::kFifo, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, 0, 1.0, 0, demand(1));
+  arb.admit(1, 0, 0, 1.0, 1, demand(10));
+  // Job 0 only wants 1; the other 3 flow to job 1 (work conservation).
+  EXPECT_EQ(arb.quota(0, false), 1);
+  EXPECT_EQ(arb.quota(1, false), 3);
+}
+
+TEST(FairPolicy, EqualWeightsSplitEvenly) {
+  PolicyArbiter arb(Policy::kFair, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, 0, /*weight=*/1.0, 0, demand(4));
+  arb.admit(1, 0, 0, /*weight=*/1.0, 1, demand(4));
+  EXPECT_EQ(arb.quota(0, false), 2);
+  EXPECT_EQ(arb.quota(1, false), 2);
+}
+
+TEST(FairPolicy, WeightsThreeToOne) {
+  PolicyArbiter arb(Policy::kFair, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, 0, /*weight=*/3.0, 0, demand(4));
+  arb.admit(1, 0, 0, /*weight=*/1.0, 1, demand(4));
+  // Water-fill trace for 4 slots: (0,0) -> A(tie by order) -> compare
+  // 1/3 vs 0/1 -> B -> 1/3 vs 1/1 -> A -> 2/3 vs 1/1 -> A. Final 3:1.
+  EXPECT_EQ(arb.quota(0, false), 3);
+  EXPECT_EQ(arb.quota(1, false), 1);
+}
+
+TEST(FairPolicy, UnusedShareSpillsToTheHungry) {
+  PolicyArbiter arb(Policy::kFair, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, 0, 1.0, 0, demand(1));
+  arb.admit(1, 0, 0, 1.0, 1, demand(6));
+  EXPECT_EQ(arb.quota(0, false), 1);
+  EXPECT_EQ(arb.quota(1, false), 3);
+}
+
+TEST(CapacityPolicy, GuaranteedSharesHold) {
+  PolicyArbiter arb(Policy::kCapacity, kVms, kMapSlots, kReduceSlots);
+  arb.set_class_shares({0.75, 0.25});
+  arb.admit(0, /*class=*/0, 0, 1.0, 0, demand(4));
+  arb.admit(1, /*class=*/1, 0, 1.0, 1, demand(4));
+  // floor(0.75*4)=3 and floor(0.25*4)=1; both classes saturate their
+  // guarantee and nothing is left to borrow.
+  EXPECT_EQ(arb.quota(0, false), 3);
+  EXPECT_EQ(arb.quota(1, false), 1);
+}
+
+TEST(CapacityPolicy, IdleGuaranteeIsBorrowed) {
+  PolicyArbiter arb(Policy::kCapacity, kVms, kMapSlots, kReduceSlots);
+  arb.set_class_shares({0.75, 0.25});
+  arb.admit(0, /*class=*/0, 0, 1.0, 0, demand(1));
+  arb.admit(1, /*class=*/1, 0, 1.0, 1, demand(4));
+  // Class 0 uses 1 of its guaranteed 3; class 1 takes its 1 and borrows
+  // the 2 idle ones.
+  EXPECT_EQ(arb.quota(0, false), 1);
+  EXPECT_EQ(arb.quota(1, false), 3);
+}
+
+TEST(CapacityPolicy, AllZeroSharesMeanEqualSplit) {
+  PolicyArbiter arb(Policy::kCapacity, kVms, kMapSlots, kReduceSlots);
+  arb.set_class_shares({0.0, 0.0});
+  arb.admit(0, 0, 0, 1.0, 0, demand(4));
+  arb.admit(1, 1, 0, 1.0, 1, demand(4));
+  EXPECT_EQ(arb.quota(0, false), 2);
+  EXPECT_EQ(arb.quota(1, false), 2);
+}
+
+TEST(PolicyArbiter, QuotaCoversHeldSlotsEvenWithoutDemand) {
+  PolicyArbiter arb(Policy::kFair, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, 0, 1.0, 0, demand(2));
+  arb.admit(1, 0, 0, 1.0, 1, demand(2));
+  ASSERT_TRUE(arb.can_acquire_map(0, 0));
+  arb.acquire_map(0, 0);
+  ASSERT_TRUE(arb.can_acquire_map(0, 0));
+  arb.acquire_map(0, 0);
+  // Job 0 now holds 2 with zero pending; grants never drop below holdings.
+  EXPECT_EQ(arb.held(0, false), 2);
+  EXPECT_GE(arb.quota(0, false), 2);
+  EXPECT_EQ(arb.in_use(0, false), 2);
+  // VM 0's two map slots are gone; job 1 must place on VM 1.
+  EXPECT_FALSE(arb.can_acquire_map(1, 0));
+  EXPECT_TRUE(arb.can_acquire_map(1, 1));
+}
+
+TEST(PolicyArbiter, RetiredJobReleasesLeakedSlots) {
+  PolicyArbiter arb(Policy::kFifo, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, 0, 1.0, 0, demand(2, 1));
+  arb.acquire_map(0, 0);
+  arb.acquire_reduce(0, 1);
+  bool released = false;
+  arb.on_release = [&released] { released = true; };
+  arb.retire_job(0);  // job died between acquire and release
+  EXPECT_TRUE(released);
+  EXPECT_EQ(arb.held(0, false), 0);
+  EXPECT_EQ(arb.held(0, true), 0);
+  EXPECT_EQ(arb.in_use(0, false), 0);
+  EXPECT_EQ(arb.in_use(1, true), 0);
+  EXPECT_FALSE(arb.can_acquire_map(0, 0));  // dead jobs acquire nothing
+  arb.retire_job(0);                        // idempotent
+}
+
+TEST(PolicyArbiter, RetireReleasesOnTheVmsActuallyHeld) {
+  // Found by iosim-soak: the old greedy drain decremented whatever VM had a
+  // nonzero count, corrupting a survivor's VM when the dead job's slots
+  // lived elsewhere.
+  PolicyArbiter arb(Policy::kFifo, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, 0, 1.0, 0, demand(2, 1));
+  arb.admit(1, 0, 0, 1.0, 1, demand(2));
+  arb.acquire_map(1, 0);     // survivor holds vm0
+  arb.acquire_map(0, 1);     // dying job holds vm1 only
+  arb.acquire_reduce(0, 1);
+  arb.retire_job(0);
+  EXPECT_EQ(arb.in_use(0, false), 1);  // survivor's slot untouched
+  EXPECT_EQ(arb.in_use(1, false), 0);
+  EXPECT_EQ(arb.in_use(1, true), 0);
+  EXPECT_EQ(arb.held(0, false), 0);
+}
+
+TEST(PolicyArbiter, ReducePlaneIsIndependent) {
+  PolicyArbiter arb(Policy::kFifo, kVms, kMapSlots, kReduceSlots);
+  arb.admit(0, 0, 0, 1.0, 0, demand(/*maps=*/4, /*reduces=*/1));
+  arb.admit(1, 0, 0, 1.0, 1, demand(/*maps=*/0, /*reduces=*/4));
+  EXPECT_EQ(arb.quota(0, false), 4);
+  EXPECT_EQ(arb.quota(1, false), 0);
+  EXPECT_EQ(arb.quota(0, true), 1);
+  EXPECT_EQ(arb.quota(1, true), 3);
+}
+
+}  // namespace
+}  // namespace iosim::tenancy

@@ -1,0 +1,100 @@
+// Grammar tests for the job-stream spec: all-or-nothing parsing with
+// diagnostics, canonical round-tripping, and workload/policy name
+// canonicalization (the same contracts ScenarioSpec and FaultPlan keep).
+#include <gtest/gtest.h>
+
+#include "tenancy/stream_spec.hpp"
+
+namespace iosim::tenancy {
+namespace {
+
+TEST(StreamSpec, ParsesPoissonWithClassesAndPolicy) {
+  std::string err;
+  const auto s = StreamSpec::parse(
+      "arrive,poisson,rate=0.02,jobs=8;"
+      "class,name=batch,wl=sort,mb=16-64,alpha=1.2,weight=2,share=0.7,mix=3;"
+      "class,name=ui,wl=wc,mb=8-8,prio=5,deadline=120,share=0.3;"
+      "policy,fair",
+      &err);
+  ASSERT_TRUE(s.has_value()) << err;
+  EXPECT_EQ(s->arrival, ArrivalKind::kPoisson);
+  EXPECT_DOUBLE_EQ(s->rate_hz, 0.02);
+  EXPECT_EQ(s->n_jobs, 8);
+  EXPECT_EQ(s->job_count(), 8);
+  EXPECT_EQ(s->policy, Policy::kFair);
+  ASSERT_EQ(s->classes.size(), 2u);
+  EXPECT_EQ(s->classes[0].name, "batch");
+  EXPECT_EQ(s->classes[0].workload, "sort");
+  EXPECT_EQ(s->classes[0].mb_min, 16);
+  EXPECT_EQ(s->classes[0].mb_max, 64);
+  EXPECT_DOUBLE_EQ(s->classes[0].alpha, 1.2);
+  EXPECT_DOUBLE_EQ(s->classes[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(s->classes[0].share, 0.7);
+  EXPECT_DOUBLE_EQ(s->classes[0].mix, 3.0);
+  // "wc" canonicalizes to the model's own name.
+  EXPECT_EQ(s->classes[1].workload, "wordcount");
+  EXPECT_EQ(s->classes[1].priority, 5);
+  EXPECT_DOUBLE_EQ(s->classes[1].deadline_s, 120.0);
+}
+
+TEST(StreamSpec, ParsesTraceArrivals) {
+  std::string err;
+  const auto s = StreamSpec::parse(
+      "arrive,trace,t=0:5.5:30;class,name=a,wl=sort,mb=16-16", &err);
+  ASSERT_TRUE(s.has_value()) << err;
+  EXPECT_EQ(s->arrival, ArrivalKind::kTrace);
+  ASSERT_EQ(s->trace_times_s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s->trace_times_s[1], 5.5);
+  EXPECT_EQ(s->job_count(), 3);
+  EXPECT_EQ(s->policy, Policy::kFifo);  // default
+}
+
+TEST(StreamSpec, CanonicalFormRoundTrips) {
+  const auto s = StreamSpec::parse(
+      "arrive,poisson,rate=0.05,jobs=4;"
+      "class,name=x,wl=wcnc,mb=8-32,prio=1;policy,capacity");
+  ASSERT_TRUE(s.has_value());
+  const std::string canon = s->to_string();
+  std::string err;
+  const auto again = StreamSpec::parse(canon, &err);
+  ASSERT_TRUE(again.has_value()) << err << " in: " << canon;
+  EXPECT_EQ(again->to_string(), canon);
+}
+
+TEST(StreamSpec, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                                              // no segments
+      "arrive,poisson,rate=0.02,jobs=8",               // no class
+      "class,name=a,wl=sort,mb=16-16",                 // missing arrive
+      "arrive,warp,jobs=3;class,name=a,wl=sort,mb=16-16",   // bad kind
+      "arrive,poisson,rate=0,jobs=3;class,name=a,wl=sort,mb=16-16",   // rate=0
+      "arrive,poisson,rate=0.1;class,name=a,wl=sort,mb=16-16",        // no jobs
+      "arrive,trace,t=5:1;class,name=a,wl=sort,mb=16-16",             // unsorted
+      "arrive,poisson,rate=0.1,jobs=2;class,name=a,wl=pig,mb=16-16",  // bad wl
+      "arrive,poisson,rate=0.1,jobs=2;class,name=a,wl=sort,mb=32-16", // inverted
+      "arrive,poisson,rate=0.1,jobs=2;class,name=a,wl=sort,mb=16-16;"
+      "class,name=a,wl=wc,mb=8-8",                                    // dup name
+      "arrive,poisson,rate=0.1,jobs=2;class,name=a,wl=sort,mb=16-16;"
+      "policy,lottery",                                               // bad policy
+      "arrive,poisson,rate=0.1,jobs=2;class,name=a,wl=sort,mb=16-16;"
+      "policy,fifo;policy,fair",                                      // dup policy
+      "arrive,poisson,rate=0.1,jobs=2;class,name=a,wl=sort,mb=16-16,share=1.5",
+      "arrive,poisson,rate=0.1,jobs=2;class,name=a,wl=sort,mb=16-16,weight=0",
+  };
+  for (const char* text : bad) {
+    std::string err;
+    EXPECT_FALSE(StreamSpec::parse(text, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(StreamSpec, PolicyNames) {
+  EXPECT_EQ(policy_by_name("fifo"), Policy::kFifo);
+  EXPECT_EQ(policy_by_name("fair"), Policy::kFair);
+  EXPECT_EQ(policy_by_name("capacity"), Policy::kCapacity);
+  EXPECT_FALSE(policy_by_name("rr").has_value());
+  EXPECT_STREQ(to_string(Policy::kCapacity), "capacity");
+}
+
+}  // namespace
+}  // namespace iosim::tenancy

@@ -73,6 +73,8 @@ struct SoakConfig {
   std::string pair = "cc";
   std::string workload = "sort";
   std::vector<std::string> fault_specs;  // joined with ';' into the fault axis
+  std::string stream;         // multi-job stream axis; empty = single-job run
+  std::string stream_policy;  // fifo/fair/capacity when stream is set
 };
 
 std::string fault_text(const SoakConfig& c) {
@@ -99,6 +101,10 @@ std::string spec_text(const SoakConfig& c, const std::string& name) {
      // in the ranges below comes near it, so tripping it is a failure.
      << "max_events=200000000\n"
      << "fault=" << fault_text(c) << "\n";
+  if (!c.stream.empty()) {
+    ss << "stream=" << c.stream << "\n"
+       << "stream_policy=" << c.stream_policy << "\n";
+  }
   return ss.str();
 }
 
@@ -148,6 +154,27 @@ SoakConfig generate(std::uint64_t master, std::uint64_t index) {
                       static_cast<std::uint64_t>(c.hosts * c.vms))),
                   from, from + rng.uniform(0.1, 2.0));
     c.fault_specs.push_back(buf);
+  }
+  if (rng.chance(0.35)) {  // multi-job open-arrival stream (tenancy path)
+    std::ostringstream st;
+    const int jobs = static_cast<int>(rng.range(2, 5));
+    st << "arrive,poisson,rate=" << 0.02 + 0.18 * rng.uniform()
+       << ",jobs=" << jobs;
+    const int n_classes = static_cast<int>(rng.range(1, 2));
+    const double share0 = rng.uniform(0.2, 0.8);
+    for (int i = 0; i < n_classes; ++i) {
+      const int lo = static_cast<int>(rng.range(8, 12));
+      st << ";class,name=c" << i << ",wl=" << kWorkloads[rng.below(3)]
+         << ",mb=" << lo << "-" << lo + static_cast<int>(rng.below(9));
+      if (rng.chance(0.5)) st << ",prio=" << rng.range(0, 5);
+      if (rng.chance(0.5)) st << ",weight=" << rng.range(1, 4);
+      if (n_classes == 2) st << ",share=" << (i == 0 ? share0 : 1.0 - share0);
+      if (rng.chance(0.3)) st << ",deadline=" << rng.range(10, 500);
+      if (rng.chance(0.5)) st << ",mix=" << rng.range(1, 3);
+    }
+    c.stream = st.str();
+    static const char* kPolicies[] = {"fifo", "fair", "capacity"};
+    c.stream_policy = kPolicies[rng.below(3)];
   }
   return c;
 }
@@ -239,6 +266,12 @@ SoakConfig minimize(SoakConfig c, const std::string& name) {
         changed = true;
       }
     };
+    if (!c.stream.empty() && !changed) {  // single-job repros debug faster
+      SoakConfig cand = c;
+      cand.stream.clear();
+      cand.stream_policy.clear();
+      try_field(cand);
+    }
     if (c.vms > 1 && !changed) {
       SoakConfig cand = c;
       cand.vms = 1;

@@ -6,6 +6,8 @@
 //   iosimctl finegrained --workload sort                   (online controller)
 //   iosimctl sysbench --vms 3 --mb 1024 --pair cc
 //   iosimctl switchcost [--mb 600]                          (Fig. 5 matrix)
+//   iosimctl stream   --spec 'arrive,poisson,rate=0.05,jobs=8;class,...'
+//                     [--policy fifo|fair|capacity] [--jobs]
 //
 // Every command prints a table; `--csv` switches to CSV for scripting.
 // Unknown flags, stray positionals, and malformed `--fault` specs are
@@ -31,6 +33,8 @@
 #include "metrics/registry_table.hpp"
 #include "metrics/table.hpp"
 #include "obs/attribution.hpp"
+#include "tenancy/stream_runner.hpp"
+#include "tenancy/stream_spec.hpp"
 #include "trace/registry.hpp"
 #include "trace/trace.hpp"
 #include "workloads/benchmarks.hpp"
@@ -62,7 +66,7 @@ struct FlagSet {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: iosimctl <run|sweep|adapt|finegrained|sysbench|switchcost> "
+               "usage: iosimctl <run|sweep|adapt|finegrained|sysbench|switchcost|stream> "
                "[--workload sort|wordcount|wc-nocombiner] [--hosts N] [--vms N] "
                "[--mb N] [--pair xy] [--seeds N] [--phases 2|3] [--csv] "
                "[--trace FILE] [--metrics] [--fault SPEC] [--fault-file FILE] "
@@ -83,7 +87,11 @@ int usage() {
                "lse:host=1,lba=1000-2000 failslow:host=0,factor=4 "
                "vmdown:vm=3,from=10,until=30 switchfail:p=1 switchdelay:delay=2\n"
                "--fault-file FILE  load a `;`/newline-separated fault plan\n"
-               "--speculate    enable Hadoop-style speculative map execution\n");
+               "--speculate    enable Hadoop-style speculative map execution\n"
+               "stream flags:\n"
+               "--spec SPEC    job-stream grammar (arrive,... ;class,... ;policy,...)\n"
+               "--policy P     override the stream's slot policy (fifo|fair|capacity)\n"
+               "--jobs         also print the per-job arrival/sojourn table\n");
   return 2;
 }
 
@@ -436,6 +444,67 @@ int cmd_sysbench(const Args& a) {
   return 0;
 }
 
+int cmd_stream(const Args& a) {
+  if (!a.has("spec")) {
+    std::fprintf(stderr, "iosimctl stream: --spec is required\n");
+    return 2;
+  }
+  std::string err;
+  auto spec = tenancy::StreamSpec::parse(a.str("spec", ""), &err);
+  if (!spec) {
+    std::fprintf(stderr, "iosimctl stream: bad --spec: %s\n", err.c_str());
+    return 2;
+  }
+  if (a.has("policy")) {
+    const auto p = tenancy::policy_by_name(a.str("policy", ""));
+    if (!p) {
+      std::fprintf(stderr, "iosimctl stream: bad --policy '%s' (fifo|fair|capacity)\n",
+                   a.str("policy", "").c_str());
+      return 2;
+    }
+    spec->policy = *p;
+  }
+  const auto cfg = cluster_of(a);
+  Telemetry tel(a);
+  const auto r = tenancy::run_stream(cfg, *spec);
+  if (!r.ok) {
+    std::fprintf(stderr, "stream FAILED: %s\n", r.error.c_str());
+    return 1;
+  }
+  metrics::Table head("job stream (" + std::string(tenancy::to_string(spec->policy)) +
+                      " policy)");
+  head.headers({"pair", "jobs", "completed", "failed", "SLA viol", "makespan s"});
+  head.row({cfg.pair.to_string(), std::to_string(static_cast<int>(r.jobs.size())),
+            std::to_string(r.jobs_completed), std::to_string(r.jobs_failed),
+            std::to_string(r.sla_violations), metrics::Table::num(r.makespan_s, 1)});
+  emit(a, head);
+  metrics::Table cls("per-class sojourn (arrival -> completion, seconds)");
+  cls.headers({"class", "jobs", "done", "failed", "SLA viol", "p50", "p95", "p99",
+               "mean"});
+  for (const auto& c : r.classes) {
+    cls.row({c.name, std::to_string(c.jobs), std::to_string(c.completed),
+             std::to_string(c.failed), std::to_string(c.sla_violations),
+             metrics::Table::num(c.p50_s, 1), metrics::Table::num(c.p95_s, 1),
+             metrics::Table::num(c.p99_s, 1), metrics::Table::num(c.mean_s, 1)});
+  }
+  emit(a, cls);
+  if (a.has("jobs")) {
+    metrics::Table jt("per-job timeline");
+    jt.headers({"job", "class", "MB", "arrive s", "done s", "sojourn s", "state"});
+    for (const auto& j : r.jobs) {
+      const auto& cname = spec->classes[static_cast<std::size_t>(j.class_index)].name;
+      jt.row({std::to_string(j.job_id), cname, std::to_string(j.size_mb),
+              metrics::Table::num(j.t_arrive_s, 1),
+              j.completed ? metrics::Table::num(j.t_done_s, 1) : "-",
+              j.completed ? metrics::Table::num(j.sojourn_s, 1) : "-",
+              j.failed ? "FAILED" : (j.completed ? (j.sla_violated ? "SLA-VIOL" : "ok")
+                                                 : "unfinished")});
+    }
+    emit(a, jt);
+  }
+  return 0;
+}
+
 int cmd_switchcost(const Args& a) {
   core::SwitchCostConfig cfg;
   cfg.dd_bytes_per_vm = a.num("mb", 600) * mapred::kMiB;
@@ -468,6 +537,9 @@ int main(int argc, char** argv) {
   adapt_flags.boolean.insert("verbose");
   const FlagSet sysbench_flags{{"vms", "mb", "pair", "seed", "hosts"}, {"csv"}};
   const FlagSet switchcost_flags{{"mb"}, {"csv"}};
+  const FlagSet stream_flags{{"spec", "policy", "hosts", "vms", "pair", "seed",
+                              "trace", "fault", "fault-file"},
+                             {"csv", "metrics", "obs", "jobs"}};
 
   const FlagSet* flags = nullptr;
   int (*handler)(const Args&) = nullptr;
@@ -489,6 +561,9 @@ int main(int argc, char** argv) {
   } else if (cmd == "switchcost") {
     flags = &switchcost_flags;
     handler = cmd_switchcost;
+  } else if (cmd == "stream") {
+    flags = &stream_flags;
+    handler = cmd_stream;
   } else {
     std::fprintf(stderr, "iosimctl: unknown command '%s'\n", cmd.c_str());
     return usage();
