@@ -21,6 +21,9 @@ const char* to_string(Invariant inv) {
     case Invariant::kBlockRefcount: return "block-refcount";
     case Invariant::kSlotConservation: return "slot-conservation";
     case Invariant::kJobAttribution: return "job-attribution";
+    case Invariant::kMembershipPlacement: return "membership-placement";
+    case Invariant::kReplicaRepair: return "replica-repair";
+    case Invariant::kShedAccounting: return "shed-accounting";
   }
   return "?";
 }
@@ -236,12 +239,23 @@ void Auditor::on_job_start(int job_id, int n_maps, int n_reduces,
   j.block_replicas.clear();
 }
 
-void Auditor::on_map_attempt_start(int job_id, int map_id, int attempt,
+void Auditor::check_placement(const std::string& where, int vm,
+                              std::int64_t t_ns) {
+  if (vm < 0) return;  // placement not modeled by the caller
+  if (unschedulable_vms_.count(vm) != 0) {
+    violation(Invariant::kMembershipPlacement, where, t_ns,
+              "attempt placed on vm" + std::to_string(vm) +
+                  ", which is declared dead or blacklisted");
+  }
+}
+
+void Auditor::on_map_attempt_start(int job_id, int map_id, int attempt, int vm,
                                    int running_after, bool speculative,
                                    std::int64_t t_ns) {
   JobAccount& j = job_of(job_id);
   const std::string where = "job" + std::to_string(job_id) + "/map" +
                             std::to_string(map_id);
+  check_placement(where, vm, t_ns);
   if (map_id < 0 || map_id >= j.n_maps) {
     violation(Invariant::kTaskStateMachine, where, t_ns,
               "attempt for out-of-range map id (maps_total=" +
@@ -281,6 +295,48 @@ void Auditor::on_map_commit(int job_id, int map_id, std::int64_t t_ns) {
   }
   done = 1;
   ++j.map_commits;
+}
+
+void Auditor::on_reduce_attempt_start(int job_id, int reduce_id, int attempt,
+                                      int vm, std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id) + "/reduce" +
+                            std::to_string(reduce_id);
+  check_placement(where, vm, t_ns);
+  if (reduce_id < 0 || reduce_id >= j.n_reduces) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "attempt for out-of-range reduce id (reduces_total=" +
+                  std::to_string(j.n_reduces) + ")");
+    return;
+  }
+  if (attempt < 1 || attempt > j.max_attempts) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "attempt " + std::to_string(attempt) + " outside budget 1.." +
+                  std::to_string(j.max_attempts));
+  }
+  if (j.reduce_committed[static_cast<std::size_t>(reduce_id)]) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "attempt launched after the reduce already committed");
+  }
+}
+
+void Auditor::on_map_output_lost(int job_id, int map_id, std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id) + "/map" +
+                            std::to_string(map_id);
+  if (map_id < 0 || map_id >= j.n_maps) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "output-lost for out-of-range map id");
+    return;
+  }
+  auto& done = j.map_committed[static_cast<std::size_t>(map_id)];
+  if (!done) {
+    violation(Invariant::kTaskStateMachine, where, t_ns,
+              "output lost for a map that never committed");
+    return;
+  }
+  done = 0;  // roll back; the re-execution will commit again
+  --j.map_commits;
 }
 
 void Auditor::on_reduce_commit(int job_id, int reduce_id, std::int64_t t_ns) {
@@ -338,6 +394,11 @@ void Auditor::on_stream_job_admit(int job_id, std::uint64_t ctx_lo,
     }
   }
   JobAccount& j = job_of(job_id);
+  if (j.shed) {
+    violation(Invariant::kShedAccounting, where, t_ns,
+              "admitted after having been shed");
+  }
+  j.admitted = true;
   j.ctx_lo = ctx_lo;
   j.ctx_hi = ctx_hi;
   j.retired = false;
@@ -447,7 +508,104 @@ void Auditor::on_hdfs_failover(int job_id, int map_id, int from_vm, int to_vm,
   }
 }
 
+void Auditor::on_vm_declared_dead(int vm, std::int64_t t_ns) {
+  if (!unschedulable_vms_.insert(vm).second) {
+    violation(Invariant::kMembershipPlacement, "vm" + std::to_string(vm), t_ns,
+              "declared dead while already unschedulable");
+  }
+}
+
+void Auditor::on_vm_rejoined(int vm, std::int64_t t_ns) {
+  if (unschedulable_vms_.erase(vm) == 0) {
+    violation(Invariant::kMembershipPlacement, "vm" + std::to_string(vm), t_ns,
+              "rejoined without being declared dead");
+  }
+}
+
+void Auditor::on_vm_blacklisted(int vm, std::int64_t t_ns) {
+  if (!unschedulable_vms_.insert(vm).second) {
+    violation(Invariant::kMembershipPlacement, "vm" + std::to_string(vm), t_ns,
+              "blacklisted while already unschedulable");
+  }
+}
+
+void Auditor::on_vm_unblacklisted(int vm, std::int64_t t_ns) {
+  if (unschedulable_vms_.erase(vm) == 0) {
+    violation(Invariant::kMembershipPlacement, "vm" + std::to_string(vm), t_ns,
+              "unblacklisted without being blacklisted");
+  }
+}
+
+void Auditor::on_replica_lost(int job_id, int block_id, int dead_vm,
+                              std::int64_t t_ns) {
+  (void)dead_vm;
+  (void)job_id;
+  (void)block_id;
+  (void)t_ns;
+  ++replicas_outstanding_;
+}
+
+void Auditor::on_replica_repaired(int job_id, int block_id, int from_vm,
+                                  int to_vm, std::int64_t t_ns) {
+  const std::string where = "job" + std::to_string(job_id) + "/block" +
+                            std::to_string(block_id);
+  if (to_vm == from_vm) {
+    violation(Invariant::kReplicaRepair, where, t_ns,
+              "replica repaired onto the dead VM itself (vm" +
+                  std::to_string(to_vm) + ")");
+  }
+  if (--replicas_outstanding_ < 0) {
+    violation(Invariant::kReplicaRepair, where, t_ns,
+              "repair reported for a replica never reported lost");
+    replicas_outstanding_ = 0;  // resync so one bug reports once
+  }
+  // Keep the failover cross-check honest: the block's replica set changed.
+  JobAccount* j = find_job(job_id);
+  if (j != nullptr && block_id >= 0 &&
+      static_cast<std::size_t>(block_id) < j->block_replicas.size()) {
+    auto& [vm0, vm1] = j->block_replicas[static_cast<std::size_t>(block_id)];
+    if (vm0 == from_vm) {
+      vm0 = to_vm;
+    } else if (vm1 == from_vm) {
+      vm1 = to_vm;
+    } else {
+      violation(Invariant::kReplicaRepair, where, t_ns,
+                "repair replaces vm" + std::to_string(from_vm) +
+                    ", which holds no replica of the block (replicas: vm" +
+                    std::to_string(vm0) + ", vm" + std::to_string(vm1) + ")");
+    }
+  }
+}
+
+void Auditor::on_replica_abandoned(int job_id, int block_id, std::int64_t t_ns) {
+  const std::string where = "job" + std::to_string(job_id) + "/block" +
+                            std::to_string(block_id);
+  if (--replicas_outstanding_ < 0) {
+    violation(Invariant::kReplicaRepair, where, t_ns,
+              "abandonment reported for a replica never reported lost");
+    replicas_outstanding_ = 0;
+  }
+}
+
+void Auditor::on_stream_job_shed(int job_id, std::int64_t t_ns) {
+  JobAccount& j = job_of(job_id);
+  const std::string where = "job" + std::to_string(job_id);
+  if (j.admitted) {
+    violation(Invariant::kShedAccounting, where, t_ns,
+              "shed after having been admitted");
+  }
+  if (j.shed) {
+    violation(Invariant::kShedAccounting, where, t_ns, "shed twice");
+  }
+  j.shed = true;
+}
+
 void Auditor::verify_end_of_run(std::int64_t t_ns) {
+  if (replicas_outstanding_ != 0) {
+    violation(Invariant::kReplicaRepair, "membership", t_ns,
+              std::to_string(replicas_outstanding_) +
+                  " lost replica(s) neither repaired nor abandoned at drain");
+  }
   for (const auto& acct : layers_) {
     if (!acct.in_flight.empty()) {
       violation(Invariant::kBioConservation, acct.name, t_ns,

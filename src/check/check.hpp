@@ -57,8 +57,11 @@ enum class Invariant : std::uint8_t {
   kBlockRefcount,         // hdfs: replica placement/failover accounting broken
   kSlotConservation,      // tenancy: slots over capacity / released unheld / leaked
   kJobAttribution,        // tenancy: bio ctx outside every admitted job's window
+  kMembershipPlacement,   // membership: task placed on a dead/blacklisted VM
+  kReplicaRepair,         // membership: replica-loss ledger unbalanced at drain
+  kShedAccounting,        // tenancy: a shed job admitted, or vice versa
 };
-inline constexpr int kNumInvariants = 12;
+inline constexpr int kNumInvariants = 15;
 
 const char* to_string(Invariant inv);
 
@@ -145,18 +148,44 @@ class Auditor {
   // at 0 per job) are attributed to the most recently started job.
 
   void on_job_start(int job_id, int n_maps, int n_reduces, int max_attempts);
-  /// A map attempt launched; `running_after` counts live copies of the task
-  /// (primary + speculative, never more than 2).
-  void on_map_attempt_start(int job_id, int map_id, int attempt,
+  /// A map attempt launched on `vm`; `running_after` counts live copies of
+  /// the task (primary + speculative, never more than 2). The placement must
+  /// avoid VMs the membership hooks below reported dead or blacklisted
+  /// (kMembershipPlacement); pass vm = -1 when placement is not modeled.
+  void on_map_attempt_start(int job_id, int map_id, int attempt, int vm,
                             int running_after, bool speculative,
                             std::int64_t t_ns);
+  /// A reduce attempt launched on `vm` (same placement rule).
+  void on_reduce_attempt_start(int job_id, int reduce_id, int attempt, int vm,
+                               std::int64_t t_ns);
   void on_map_commit(int job_id, int map_id, std::int64_t t_ns);
+  /// A committed map's output became unreachable (its TaskTracker was
+  /// declared dead) and the job scheduled a re-execution: the commit is
+  /// rolled back so the eventual re-commit is not flagged as a double commit.
+  void on_map_output_lost(int job_id, int map_id, std::int64_t t_ns);
   void on_reduce_commit(int job_id, int reduce_id, std::int64_t t_ns);
   void on_job_done(int job_id, int maps_done, int reduces_done, std::int64_t t_ns);
   void on_block_created(int block_id, int n_replicas, int vm0, int vm1,
                         int n_vms, std::int64_t t_ns);
   void on_hdfs_failover(int job_id, int map_id, int from_vm, int to_vm,
                         std::int64_t t_ns);
+
+  // -- membership hooks (called by membership::MembershipService) ------------
+  // The auditor mirrors the unschedulable set (dead + blacklisted VMs) and
+  // flags any task attempt placed there (kMembershipPlacement), and runs a
+  // replica-loss ledger: every on_replica_lost must be balanced by exactly
+  // one on_replica_repaired or on_replica_abandoned before the run drains
+  // (kReplicaRepair) — a repair pipeline that silently drops a block fails
+  // the drain check.
+
+  void on_vm_declared_dead(int vm, std::int64_t t_ns);
+  void on_vm_rejoined(int vm, std::int64_t t_ns);
+  void on_vm_blacklisted(int vm, std::int64_t t_ns);
+  void on_vm_unblacklisted(int vm, std::int64_t t_ns);
+  void on_replica_lost(int job_id, int block_id, int dead_vm, std::int64_t t_ns);
+  void on_replica_repaired(int job_id, int block_id, int from_vm, int to_vm,
+                           std::int64_t t_ns);
+  void on_replica_abandoned(int job_id, int block_id, std::int64_t t_ns);
 
   // -- tenancy hooks (called by the slot arbiter / stream runner) ------------
 
@@ -167,6 +196,10 @@ class Auditor {
   /// The job left the cluster (completed/aborted, called once the run
   /// drained): its window goes dead and its slot holdings must be zero.
   void on_stream_job_retire(int job_id, std::int64_t t_ns);
+  /// Admission control refused the job before construction: it must never
+  /// also be admitted, and an admitted job must never be shed
+  /// (kShedAccounting keeps the two outcome ledgers disjoint).
+  void on_stream_job_shed(int job_id, std::int64_t t_ns);
   /// One slot granted/returned on `vm`; `in_use_after`/`in_use_before` are
   /// the arbiter's per-VM in-use count around the mutation and `capacity`
   /// the VM's physical slot count (kSlotConservation).
@@ -228,9 +261,13 @@ class Auditor {
     std::uint64_t ctx_lo = 0, ctx_hi = 0;
     long long map_slots_held = 0;
     long long reduce_slots_held = 0;
+    // Overload protection: shed and admitted must stay mutually exclusive.
+    bool shed = false;
+    bool admitted = false;
   };
 
   LayerAccount& layer_of(const void* layer, std::string_view name);
+  void check_placement(const std::string& where, int vm, std::int64_t t_ns);
   RingAccount& ring_of(const void* ring, std::uint64_t vm_ctx);
   JobAccount& job_of(int job_id);
   JobAccount* find_job(int job_id);
@@ -251,6 +288,11 @@ class Auditor {
   bool any_job_seen_ = false;
   /// Whether any stream window was registered (arms kJobAttribution).
   bool windows_armed_ = false;
+  /// Membership mirror: VMs currently dead or blacklisted (no placements).
+  std::unordered_set<int> unschedulable_vms_;
+  /// Replica-loss ledger: losses not yet repaired or abandoned. Must be zero
+  /// at drain (kReplicaRepair).
+  long long replicas_outstanding_ = 0;
 };
 
 /// Per-thread auditor; null (default) = auditing off. Inline thread_local +

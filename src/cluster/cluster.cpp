@@ -17,8 +17,9 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   // so the draw only happens when a plan exists; fault-free runs see the
   // exact pre-fault seed sequence.
   if (!cfg.faults.empty()) {
-    faults_ = std::make_unique<fault::FaultInjector>(simr_, cfg.faults,
-                                                     seeder.next_u64());
+    faults_ = std::make_unique<fault::FaultInjector>(
+        simr_, cfg.faults, seeder.next_u64(), cfg.n_hosts * cfg.vms_per_host,
+        cfg.vms_per_host);
   }
 
   for (int h = 0; h < cfg.n_hosts; ++h) {
@@ -53,6 +54,14 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
       vh.global_id = h * cfg.vms_per_host + v;
       env_.vms.push_back(vh);
     }
+  }
+
+  // Membership rides the fault injector's vm_down/vm_up edges, so it exists
+  // exactly when the injector does. Fault-free clusters build neither and
+  // keep every consumer's nullptr fast path (and the pinned digests).
+  if (faults_ != nullptr) {
+    members_ = std::make_unique<membership::MembershipService>(env_);
+    env_.members = members_.get();
   }
 }
 

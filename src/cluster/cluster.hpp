@@ -8,6 +8,7 @@
 #include "fault/fault_injector.hpp"
 #include "iosched/pair.hpp"
 #include "mapred/cluster_env.hpp"
+#include "membership/membership.hpp"
 #include "sim/simulator.hpp"
 #include "net/flow_network.hpp"
 #include "virt/physical_host.hpp"
@@ -74,10 +75,15 @@ class Cluster {
   /// The fault injector, or null for a fault-free cluster.
   fault::FaultInjector* faults() { return faults_.get(); }
 
+  /// The membership service (failure detector / blacklist / re-replication),
+  /// or null for a fault-free cluster — it exists exactly when faults() does.
+  membership::MembershipService* membership() { return members_.get(); }
+
  private:
   ClusterConfig cfg_;
   sim::Simulator simr_;
   std::unique_ptr<fault::FaultInjector> faults_;
+  std::unique_ptr<membership::MembershipService> members_;
   std::vector<std::unique_ptr<virt::PhysicalHost>> hosts_;
   std::vector<std::unique_ptr<mapred::VCpu>> cpus_;
   std::unique_ptr<net::FlowNetwork> net_;

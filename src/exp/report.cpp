@@ -115,6 +115,13 @@ struct StreamJobRow {
   int state = 0;  // 0 = running at end of trace, 1 = done, 2 = failed
 };
 
+/// One failure-detector / self-healing event from the membership track.
+struct MembershipRow {
+  std::string name;  // tt_suspect, tt_dead, tt_rejoin, tt_blacklist,
+                     // tt_probe_ok, blk_repair
+  std::int64_t ts_ns = 0, vm = 0, arg = 0;
+};
+
 struct TraceModel {
   bool present = false;
   std::string dropped_events = "0";
@@ -124,6 +131,7 @@ struct TraceModel {
   std::vector<Stall> stalls;     // file order
   std::vector<std::pair<std::int64_t, std::int64_t>> phases;  // (ts, index)
   std::vector<StreamJobRow> stream_jobs;  // admission order
+  std::vector<MembershipRow> membership;  // time order (file order)
 };
 
 StreamJobRow& stream_job_of(TraceModel& m, std::int64_t job) {
@@ -272,6 +280,21 @@ bool build_trace_model(const std::string& text, TraceModel* m, std::string* erro
       r.end_ns = ts_ns();
       r.sojourn_ms = num_i64(arg("arg"));
       r.state = name->str == "job_done" ? 1 : 2;
+    } else if (name->str == "job_shed") {
+      StreamJobRow& r = stream_job_of(*m, num_i64(arg("job")));
+      r.end_ns = ts_ns();
+      r.cls = num_i64(arg("class"));
+      r.size_mb = num_i64(arg("arg"));
+      r.state = 3;
+    } else if (name->str == "tt_suspect" || name->str == "tt_dead" ||
+               name->str == "tt_rejoin" || name->str == "tt_blacklist" ||
+               name->str == "tt_probe_ok" || name->str == "blk_repair") {
+      MembershipRow r;
+      r.name = name->str;
+      r.ts_ns = ts_ns();
+      r.vm = num_i64(arg("vm"));
+      r.arg = num_i64(arg("arg"));
+      m->membership.push_back(std::move(r));
     }
   }
   return true;
@@ -402,26 +425,86 @@ void section_phases(std::string& out, const TraceModel& m) {
 
 void section_stream(std::string& out, const TraceModel& m) {
   if (m.stream_jobs.empty()) return;  // single-job traces: no section at all
-  std::int64_t done = 0, failed = 0, running = 0;
+  std::int64_t done = 0, failed = 0, shed = 0, running = 0;
   for (const auto& r : m.stream_jobs) {
-    (r.state == 1 ? done : r.state == 2 ? failed : running) += 1;
+    (r.state == 1 ? done : r.state == 2 ? failed : r.state == 3 ? shed : running) += 1;
   }
+  // The shed count only appears when the admission gate actually fired, so
+  // gate-free traces keep their historical summary text byte-for-byte.
   out += "<h2>Job stream</h2>\n<p>Multi-tenant timeline from the tenancy "
          "milestone instants: <b>" + std::to_string(done) + "</b> completed, <b>" +
-         std::to_string(failed) + "</b> failed, <b>" + std::to_string(running) +
+         std::to_string(failed) + "</b> failed, " +
+         (shed > 0 ? "<b>" + std::to_string(shed) + "</b> shed, " : "") +
+         "<b>" + std::to_string(running) +
          "</b> still running at end of trace.</p>\n"
          "<table>\n<tr><th>job</th><th>class</th><th>size MB</th>"
          "<th>admitted</th><th>finished</th><th>sojourn</th><th>state</th></tr>\n";
   for (const auto& r : m.stream_jobs) {
     out += "<tr><td>" + std::to_string(r.job) + "</td><td>" + std::to_string(r.cls) +
-           "</td><td>" + (r.admitted ? std::to_string(r.size_mb) : std::string("-")) +
+           "</td><td>" +
+           (r.admitted || r.state == 3 ? std::to_string(r.size_mb)
+                                       : std::string("-")) +
            "</td><td>" + (r.admitted ? fmt_ns(r.admit_ns) : std::string("-")) +
            "</td><td>" + (r.state != 0 ? fmt_ns(r.end_ns) : std::string("-")) +
            "</td><td>" +
-           (r.state != 0 ? fmt_ns(r.sojourn_ms * 1'000'000) : std::string("-")) +
+           (r.state == 1 || r.state == 2 ? fmt_ns(r.sojourn_ms * 1'000'000)
+                                         : std::string("-")) +
            "</td><td>" +
-           (r.state == 1 ? "done" : r.state == 2 ? "failed" : "running") +
+           (r.state == 1   ? "done"
+            : r.state == 2 ? "failed"
+            : r.state == 3 ? "shed"
+                           : "running") +
            "</td></tr>\n";
+  }
+  out += "</table>\n";
+}
+
+void section_membership(std::string& out, const TraceModel& m) {
+  if (m.membership.empty()) return;  // fault-free traces: no section at all
+  std::int64_t deaths = 0, rejoins = 0, blacklists = 0, repairs = 0,
+               repair_bytes = 0;
+  for (const auto& r : m.membership) {
+    if (r.name == "tt_dead") ++deaths;
+    if (r.name == "tt_rejoin") ++rejoins;
+    if (r.name == "tt_blacklist") ++blacklists;
+    if (r.name == "blk_repair") {
+      ++repairs;
+      repair_bytes += r.arg;
+    }
+  }
+  out += "<h2>Membership timeline</h2>\n<p>Failure-detector and self-healing "
+         "events from the membership track: <b>" + std::to_string(deaths) +
+         "</b> declared dead, <b>" + std::to_string(rejoins) +
+         "</b> rejoined, <b>" + std::to_string(blacklists) +
+         "</b> blacklisted, <b>" + std::to_string(repairs) +
+         "</b> block(s) re-replicated (" +
+         std::to_string(repair_bytes / (1024 * 1024)) + " MB).</p>\n"
+         "<table>\n<tr><th>time</th><th>event</th><th>vm</th>"
+         "<th>detail</th></tr>\n";
+  for (const auto& r : m.membership) {
+    std::string label, detail;
+    if (r.name == "tt_suspect") {
+      label = "suspect";
+      detail = std::to_string(r.arg) + " heartbeat(s) missed";
+    } else if (r.name == "tt_dead") {
+      label = "declared dead";
+      detail = "death #" + std::to_string(r.arg);
+    } else if (r.name == "tt_rejoin") {
+      label = "rejoined";
+      detail = "rejoin #" + std::to_string(r.arg);
+    } else if (r.name == "tt_blacklist") {
+      label = "blacklisted";
+      detail = std::to_string(r.arg) + " strike(s)";
+    } else if (r.name == "tt_probe_ok") {
+      label = "probe ok";
+      detail = "unblacklisted";
+    } else {
+      label = "block repaired";
+      detail = std::to_string(r.arg) + " bytes copied to vm" +
+               std::to_string(r.vm);
+    }
+    out += "<tr><td>" + fmt_ns(r.ts_ns) + "</td><td>" + label + "</td><td>vm" +
+           std::to_string(r.vm) + "</td><td>" + detail + "</td></tr>\n";
   }
   out += "</table>\n";
 }
@@ -540,6 +623,7 @@ std::string render_report(const std::string& trace_json,
 
   section_header(out, opt, m);
   section_stream(out, m);
+  section_membership(out, m);
   section_waterfalls(out, m);
   section_phases(out, m);
   section_stalls(out, m);

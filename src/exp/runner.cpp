@@ -66,7 +66,10 @@ RunOutput execute_point(const ScenarioPoint& pt, std::uint64_t seed) {
     out.metrics = {{"seconds", r.makespan_s},
                    {"jobs_completed", static_cast<double>(r.jobs_completed)},
                    {"jobs_failed", static_cast<double>(r.jobs_failed)},
-                   {"sla_violations", static_cast<double>(r.sla_violations)}};
+                   {"sla_violations", static_cast<double>(r.sla_violations)},
+                   {"jobs_shed", static_cast<double>(r.jobs_shed)},
+                   {"jobs_retried", static_cast<double>(r.jobs_retried)},
+                   {"repair_mb", r.repair_mb}};
     for (const auto& c : r.classes) {
       out.metrics.push_back({c.name + "_jobs", static_cast<double>(c.jobs)});
       out.metrics.push_back({c.name + "_p50_s", c.p50_s});
@@ -75,6 +78,8 @@ RunOutput execute_point(const ScenarioPoint& pt, std::uint64_t seed) {
       out.metrics.push_back({c.name + "_mean_s", c.mean_s});
       out.metrics.push_back(
           {c.name + "_sla_viol", static_cast<double>(c.sla_violations)});
+      out.metrics.push_back({c.name + "_failed", static_cast<double>(c.failed)});
+      out.metrics.push_back({c.name + "_shed", static_cast<double>(c.shed)});
     }
     return out;
   }

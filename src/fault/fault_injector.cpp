@@ -15,8 +15,12 @@ void trace_fault_instant(trace::Str trace::Tracer::CommonIds::* what,
 }  // namespace
 
 FaultInjector::FaultInjector(sim::Simulator& simr, FaultPlan plan,
-                             std::uint64_t seed)
-    : simr_(simr), plan_(std::move(plan)), rng_(seed) {
+                             std::uint64_t seed, int n_vms, int vms_per_host)
+    : simr_(simr),
+      plan_(std::move(plan)),
+      n_vms_(n_vms),
+      vms_per_host_(vms_per_host),
+      rng_(seed) {
   schedule_outage_events();
   // Arm markers: one pinned instant per spec at its window start, so a trace
   // shows when each fault came alive even after ring wrap.
@@ -31,17 +35,28 @@ FaultInjector::FaultInjector(sim::Simulator& simr, FaultPlan plan,
 }
 
 void FaultInjector::schedule_outage_events() {
-  for (const FaultSpec& s : plan_.specs) {
-    if (s.kind != FaultKind::kVmOutage) continue;
-    const int vm = s.vm;
-    simr_.at(s.from, [this, vm] {
+  auto schedule_down = [this](sim::Time at, int vm) {
+    simr_.at(at, [this, vm] {
       trace_fault_instant(&trace::Tracer::CommonIds::vm_down, simr_.now(), vm);
       // Index loop: a callback may register further listeners.
       for (std::size_t i = 0; i < down_cbs_.size(); ++i) {
         down_cbs_[i](vm, simr_.now());
       }
     });
-    if (s.until < sim::Time::max()) {
+  };
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::kVmOutage || s.kind == FaultKind::kVmCrash) {
+      schedule_down(s.from, s.vm);
+    } else if (s.kind == FaultKind::kHostCrash && vms_per_host_ > 0) {
+      // One death event per resident VM, in VM-id order, all at the same
+      // instant — listeners see a host loss as a burst of VM losses.
+      for (int vm = 0; vm < n_vms_; ++vm) {
+        if (vm / vms_per_host_ == s.host) schedule_down(s.from, vm);
+      }
+    }
+    // Crashes are permanent: no up event.
+    if (s.kind == FaultKind::kVmOutage && s.until < sim::Time::max()) {
+      const int vm = s.vm;
       simr_.at(s.until, [this, vm] {
         trace_fault_instant(&trace::Tracer::CommonIds::vm_up, simr_.now(), vm);
         for (std::size_t i = 0; i < up_cbs_.size(); ++i) {
@@ -88,12 +103,30 @@ bool FaultInjector::io_should_fail(int host, disk::Lba lba,
   return fail;
 }
 
+bool FaultInjector::crash_covers(const FaultSpec& s, int vm) const {
+  if (s.kind == FaultKind::kVmCrash) return s.vm == vm;
+  if (s.kind == FaultKind::kHostCrash) {
+    return vms_per_host_ > 0 && vm / vms_per_host_ == s.host;
+  }
+  return false;
+}
+
 bool FaultInjector::vm_down(int vm) const {
   const sim::Time now = simr_.now();
   for (const FaultSpec& s : plan_.specs) {
     if (s.kind == FaultKind::kVmOutage && s.vm == vm && s.active_at(now)) {
       return true;
     }
+    // Crash windows never close (until == Time::max()).
+    if (crash_covers(s, vm) && s.active_at(now)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::vm_crashed(int vm) const {
+  const sim::Time now = simr_.now();
+  for (const FaultSpec& s : plan_.specs) {
+    if (crash_covers(s, vm) && now >= s.from) return true;
   }
   return false;
 }

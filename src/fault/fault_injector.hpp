@@ -25,7 +25,11 @@ namespace iosim::fault {
 
 class FaultInjector {
  public:
-  FaultInjector(sim::Simulator& simr, FaultPlan plan, std::uint64_t seed);
+  /// The topology pair (n_vms, vms_per_host) lets kHostCrash expand into
+  /// per-VM death events; both default to 0 for callers that never feed the
+  /// injector host-level specs (unit tests driving disk faults directly).
+  FaultInjector(sim::Simulator& simr, FaultPlan plan, std::uint64_t seed,
+                int n_vms = 0, int vms_per_host = 0);
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -46,8 +50,14 @@ class FaultInjector {
 
   // ---- VM outages ----
 
-  /// True while any outage window covering `vm` is active.
+  /// True while any outage window covering `vm` is active, or once a
+  /// vmcrash/hostcrash covering it has fired (crashes never end).
   bool vm_down(int vm) const;
+
+  /// True once a permanent crash (kVmCrash, or kHostCrash on the VM's host)
+  /// has fired for `vm`. Crashed VMs never restart; membership uses this to
+  /// skip probe/unblacklist paths that assume the VM can come back.
+  bool vm_crashed(int vm) const;
 
   /// Listeners for outage begin/end; fired from scheduled events at the
   /// window edges. Register before the simulation runs.
@@ -76,8 +86,14 @@ class FaultInjector {
  private:
   void schedule_outage_events();
 
+  /// Whether `spec` kills `vm` — kVmCrash by VM id, kHostCrash by the VM's
+  /// host (needs vms_per_host_; without topology host specs match nothing).
+  bool crash_covers(const FaultSpec& spec, int vm) const;
+
   sim::Simulator& simr_;
   FaultPlan plan_;
+  int n_vms_ = 0;
+  int vms_per_host_ = 0;
   sim::Rng rng_;
   Counters counters_;
   std::vector<VmCallback> down_cbs_;

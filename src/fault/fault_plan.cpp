@@ -15,6 +15,8 @@ const char* to_string(FaultKind k) {
     case FaultKind::kVmOutage: return "vmdown";
     case FaultKind::kSwitchFail: return "switchfail";
     case FaultKind::kSwitchDelay: return "switchdelay";
+    case FaultKind::kVmCrash: return "vmcrash";
+    case FaultKind::kHostCrash: return "hostcrash";
   }
   return "?";
 }
@@ -80,6 +82,10 @@ std::optional<FaultSpec> FaultPlan::parse_spec(std::string_view text,
     s.kind = FaultKind::kFailSlow;
   } else if (kind_name == "vmdown") {
     s.kind = FaultKind::kVmOutage;
+  } else if (kind_name == "vmcrash") {
+    s.kind = FaultKind::kVmCrash;
+  } else if (kind_name == "hostcrash") {
+    s.kind = FaultKind::kHostCrash;
   } else if (kind_name == "switchfail") {
     s.kind = FaultKind::kSwitchFail;
   } else if (kind_name == "switchdelay") {
@@ -130,12 +136,23 @@ std::optional<FaultSpec> FaultPlan::parse_spec(std::string_view text,
     if (key == "from") {
       if (!parse_seconds(val, &s.from)) return bad_value();
     } else if (key == "until") {
+      if (s.kind == FaultKind::kVmCrash || s.kind == FaultKind::kHostCrash) {
+        set_error(error, "key 'until' does not apply to '" +
+                             std::string(kind_name) +
+                             "' (crashes are permanent, nothing restarts)");
+        return std::nullopt;
+      }
       if (!parse_seconds(val, &s.until)) return bad_value();
     } else if (key == "host" && disk_fault) {
       long long h = 0;
       if (!parse_int(val, &h) || h < -1) return bad_value();
       s.host = static_cast<int>(h);
-    } else if (key == "vm" && s.kind == FaultKind::kVmOutage) {
+    } else if (key == "host" && s.kind == FaultKind::kHostCrash) {
+      long long h = 0;
+      if (!parse_int(val, &h) || h < 0) return bad_value();
+      s.host = static_cast<int>(h);
+    } else if (key == "vm" && (s.kind == FaultKind::kVmOutage ||
+                               s.kind == FaultKind::kVmCrash)) {
       long long v = 0;
       if (!parse_int(val, &v) || v < 0) return bad_value();
       s.vm = static_cast<int>(v);
@@ -187,6 +204,14 @@ std::optional<FaultSpec> FaultPlan::parse_spec(std::string_view text,
   }
   if (s.kind == FaultKind::kVmOutage && s.vm < 0) {
     set_error(error, "vmdown requires vm=V");
+    return std::nullopt;
+  }
+  if (s.kind == FaultKind::kVmCrash && s.vm < 0) {
+    set_error(error, "vmcrash requires vm=V");
+    return std::nullopt;
+  }
+  if (s.kind == FaultKind::kHostCrash && s.host < 0) {
+    set_error(error, "hostcrash requires host=H");
     return std::nullopt;
   }
   if (s.kind == FaultKind::kTransientError && !saw_p) {
@@ -250,6 +275,41 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view text,
           }
         }
       }
+      // A vmdown with a finite `until` is a restart order for that VM. A
+      // vmcrash whose death instant is at or before the restart makes the
+      // order unfulfillable — crashed hardware does not come back — and a
+      // plan that says both is a typo. Checked in both directions, since
+      // the two specs can appear in either order.
+      for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+        const FaultSpec& prev = plan.specs[i];
+        const FaultSpec* outage = nullptr;
+        const FaultSpec* crash = nullptr;
+        if (spec->kind == FaultKind::kVmOutage &&
+            prev.kind == FaultKind::kVmCrash) {
+          outage = &*spec;
+          crash = &prev;
+        } else if (spec->kind == FaultKind::kVmCrash &&
+                   prev.kind == FaultKind::kVmOutage) {
+          outage = &prev;
+          crash = &*spec;
+        } else {
+          continue;
+        }
+        if (outage->vm != crash->vm) continue;
+        if (outage->until == sim::Time::max()) continue;  // no restart ordered
+        if (crash->from > outage->until) continue;        // crash comes later
+        const int outage_line = (outage == &prev) ? spec_line[i] : line_no;
+        const int crash_line = (crash == &prev) ? spec_line[i] : line_no;
+        set_error(error, "line " + std::to_string(outage_line) +
+                             ": vmdown:vm=" + std::to_string(outage->vm) +
+                             " schedules a restart at until=" +
+                             std::to_string(outage->until.sec()) +
+                             "s, but the vmcrash from line " +
+                             std::to_string(crash_line) +
+                             " has already killed vm" +
+                             std::to_string(crash->vm) + " for good");
+        return std::nullopt;
+      }
       plan.specs.push_back(*spec);
       spec_line.push_back(line_no);
     }
@@ -273,7 +333,11 @@ std::string FaultSpec::to_string() const {
       std::snprintf(buf, sizeof buf, ":host=%d,factor=%g", host, factor);
       break;
     case FaultKind::kVmOutage:
+    case FaultKind::kVmCrash:
       std::snprintf(buf, sizeof buf, ":vm=%d", vm);
+      break;
+    case FaultKind::kHostCrash:
+      std::snprintf(buf, sizeof buf, ":host=%d", host);
       break;
     case FaultKind::kSwitchFail:
       std::snprintf(buf, sizeof buf, ":p=%g", probability);

@@ -16,11 +16,19 @@
 //   failslow:host=H,factor=F[,from=S,until=S]
 //                                           service times multiplied by F
 //   vmdown:vm=V,from=S,until=S              whole-DomU outage (global VM id)
+//   vmcrash:vm=V[,from=S]                   permanent VM death — no restart,
+//                                           so `until` does not apply
+//   hostcrash:host=H[,from=S]               permanent death of every VM on
+//                                           physical host H (no restart)
 //   switchfail:p=P[,from=S,until=S]         elevator-switch commands fail
 //   switchdelay:delay=S[,from=S,until=S]    switch commands land S s late
 //
 // Times are (fractional) seconds of simulated time; windows are [from,
-// until). `until` defaults to forever, `from` to 0.
+// until). `until` defaults to forever, `from` to 0. Crash kinds are
+// permanent by construction; a plan that schedules a vmdown restart (a
+// finite `until`) for a VM that a vmcrash has already killed by that time
+// is rejected at parse with both line numbers — restarts cannot resurrect
+// crashed hardware.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +49,8 @@ enum class FaultKind : std::uint8_t {
   kVmOutage = 3,        // DomU down for a window, then restarted
   kSwitchFail = 4,      // elevator-switch command fails outright
   kSwitchDelay = 5,     // elevator-switch command lands late
+  kVmCrash = 6,         // permanent DomU death (never restarts)
+  kHostCrash = 7,       // permanent death of every VM on one host
 };
 
 const char* to_string(FaultKind k);
@@ -49,8 +59,8 @@ const char* to_string(FaultKind k);
 /// defaults (the parser rejects keys that do not apply).
 struct FaultSpec {
   FaultKind kind = FaultKind::kTransientError;
-  int host = -1;  // disk faults: target host; -1 = every host
-  int vm = -1;    // kVmOutage: global VM id
+  int host = -1;  // disk faults / kHostCrash: target host; -1 = every host
+  int vm = -1;    // kVmOutage / kVmCrash: global VM id
   sim::Time from = sim::Time::zero();    // window start (inclusive)
   sim::Time until = sim::Time::max();    // window end (exclusive)
   double probability = 1.0;              // kTransientError / kSwitchFail

@@ -8,6 +8,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "hdfs/hdfs.hpp"
+#include "mapred/membership_iface.hpp"
 #include "mapred/vcpu.hpp"
 #include "net/flow_network.hpp"
 #include "obs/attr.hpp"
@@ -30,11 +31,19 @@ struct ClusterEnv {
   hdfs::Hdfs* dfs = nullptr;
   /// Fault injector, or null when the cluster runs fault-free.
   fault::FaultInjector* faults = nullptr;
+  /// Membership service, or null (fault-free clusters build none).
+  MembershipIface* members = nullptr;
   std::vector<VmHandle> vms;
 
   int n_vms() const { return static_cast<int>(vms.size()); }
   /// Whether VM `vm` is currently up (always true without fault injection).
   bool vm_alive(int vm) const { return faults == nullptr || !faults->vm_down(vm); }
+  /// Whether the scheduler may place new tasks on `vm`: up, not declared
+  /// dead, not blacklisted. Data-plane reads keep using vm_alive — a
+  /// blacklisted DataNode still serves its replicas.
+  bool schedulable(int vm) const {
+    return vm_alive(vm) && (members == nullptr || members->schedulable(vm));
+  }
 };
 
 /// Guest-level context-id scheme: every task / service gets a distinct

@@ -21,7 +21,13 @@ void job_instant(trace::Str trace::Tracer::CommonIds::* what, sim::Time t) {
 Job::Job(ClusterEnv& env, JobConf conf, std::uint64_t seed)
     : env_(env), conf_(std::move(conf)), rng_(seed) {}
 
-Job::~Job() = default;
+Job::~Job() { unregister_blocks(); }
+
+void Job::unregister_blocks() {
+  if (!blocks_registered_) return;
+  blocks_registered_ = false;
+  env_.members->unregister_job_blocks(job_id_);
+}
 
 void Job::run() {
   const int n_vms = env_.n_vms();
@@ -42,6 +48,13 @@ void Job::run() {
         return env_.vms[static_cast<std::size_t>(vm_id)].vm->alloc(
             virt::DiskZone::kData, sectors);
       });
+  if (env_.members != nullptr) {
+    // NameNode bookkeeping: membership re-replicates these blocks when a
+    // replica holder is declared dead (repairs mutate blocks_ in place, so
+    // newly placed attempts see the healed replica set).
+    env_.members->register_job_blocks(job_id_, &blocks_);
+    blocks_registered_ = true;
+  }
 
   stats_.t_start = simr().now();
   stats_.maps_total = static_cast<int>(blocks_.size());
@@ -79,6 +92,13 @@ void Job::run() {
     // scheduler until it reports back in.
     env_.faults->on_vm_down([this](int v, sim::Time) { handle_vm_down(v); });
     env_.faults->on_vm_up([this](int v, sim::Time) { handle_vm_up(v); });
+  }
+  if (env_.members != nullptr) {
+    env_.members->on_declared_dead(
+        [this](int v, sim::Time) { handle_vm_declared_dead(v); });
+    // Fresh capacity after a rejoin or a cleared blacklist: rescan.
+    env_.members->on_schedulable_again(
+        [this](int v, sim::Time) { handle_vm_up(v); });
   }
   if (conf_.speculative_execution) schedule_speculation_scan();
 
@@ -145,7 +165,7 @@ void Job::kick() {
 void Job::try_assign_maps() {
   const int n_vms = env_.n_vms();
   for (int v = 0; v < n_vms; ++v) {
-    if (!env_.vm_alive(v)) continue;
+    if (!env_.schedulable(v)) continue;
     while (map_slot_free(v) && !pending_maps_.empty()) {
       // Locality first: a pending map whose block has a replica here.
       auto chosen = pending_maps_.end();
@@ -170,7 +190,7 @@ void Job::try_assign_maps() {
                                              /*attempt=*/map_failures_[idx] + 1);
       ++map_running_[idx];
       if (auto* ck = check::auditor()) {
-        ck->on_map_attempt_start(job_id_, map_id, map_failures_[idx] + 1,
+        ck->on_map_attempt_start(job_id_, map_id, map_failures_[idx] + 1, v,
                                  map_running_[idx], /*speculative=*/false,
                                  simr().now().ns());
       }
@@ -181,10 +201,24 @@ void Job::try_assign_maps() {
 }
 
 void Job::start_reducer(ReduceTask* task) {
+  if (auto* ck = check::auditor()) {
+    ck->on_reduce_attempt_start(job_id_, task->task_id(), task->attempt(),
+                                task->vm(), simr().now().ns());
+  }
   simr().after(conf_.assign_latency, [this, task] {
     for (const auto& mo : completed_outputs_) task->map_output_ready(mo);
     task->start();
   });
+}
+
+int Job::resolve_reduce_vm(int preferred) const {
+  if (env_.schedulable(preferred)) return preferred;
+  const int n = env_.n_vms();
+  for (int i = 1; i <= n; ++i) {
+    const int cand = (preferred + i) % n;
+    if (env_.schedulable(cand)) return cand;
+  }
+  return -1;
 }
 
 void Job::launch_reducers_if_ready() {
@@ -196,7 +230,13 @@ void Job::launch_reducers_if_ready() {
 
   for (auto& rt : reduces_) {
     if (!rt) continue;
-    const int v = rt->vm();
+    // Re-place a reducer whose round-robin VM is dead or blacklisted; with
+    // no schedulable VM at all it stays queued for pump_queued_reducers.
+    const int v = resolve_reduce_vm(rt->vm());
+    if (v < 0) continue;
+    if (v != rt->vm()) {
+      rt = std::make_unique<ReduceTask>(*this, rt->task_id(), v, rt->attempt());
+    }
     if (!reduce_slot_free(v)) {
       // Over-subscribed (more reducers than slots): queue behind a slot by
       // keeping it unstarted; it will launch when a reducer on v finishes.
@@ -212,8 +252,11 @@ void Job::pump_queued_reducers() {
   if (!reducers_launched_) return;
   for (auto& rt : reduces_) {
     if (!rt || reduce_assigned_[static_cast<std::size_t>(rt->task_id())]) continue;
-    const int v = rt->vm();
-    if (!env_.vm_alive(v) || !reduce_slot_free(v)) continue;
+    const int v = resolve_reduce_vm(rt->vm());
+    if (v < 0 || !reduce_slot_free(v)) continue;
+    if (v != rt->vm()) {
+      rt = std::make_unique<ReduceTask>(*this, rt->task_id(), v, rt->attempt());
+    }
     reduce_assigned_[static_cast<std::size_t>(rt->task_id())] = 1;
     take_reduce_slot(v);
     start_reducer(rt.get());
@@ -254,7 +297,8 @@ void Job::map_finished(MapTask& task, MapOutput out) {
   stats_.map_output_bytes += out.bytes;
   completed_outputs_.push_back(out);
 
-  if (maps_done_ == 1) {
+  if (maps_done_ == 1 && !first_map_done_fired_) {
+    first_map_done_fired_ = true;
     stats_.t_first_map_done = simr().now();
     job_instant(&trace::Tracer::CommonIds::first_map_done, stats_.t_first_map_done);
     if (on_first_map_done) on_first_map_done(simr().now());
@@ -265,9 +309,12 @@ void Job::map_finished(MapTask& task, MapOutput out) {
   }
 
   if (maps_done_ == stats_.maps_total) {
-    stats_.t_maps_done = simr().now();
-    job_instant(&trace::Tracer::CommonIds::maps_done, stats_.t_maps_done);
-    if (on_maps_done) on_maps_done(simr().now());
+    if (!maps_done_fired_) {
+      maps_done_fired_ = true;
+      stats_.t_maps_done = simr().now();
+      job_instant(&trace::Tracer::CommonIds::maps_done, stats_.t_maps_done);
+      if (on_maps_done) on_maps_done(simr().now());
+    }
   } else {
     try_assign_maps();
   }
@@ -284,6 +331,12 @@ void Job::map_attempt_failed(MapTask& task) {
   const bool spec = task.speculative();
   const int failed_vm = task.vm();
   retire_map_attempt(task);
+  if (env_.members != nullptr && env_.vm_alive(failed_vm)) {
+    // A failure on a live VM is a strike against it (fail-slow evidence);
+    // failures caused by the VM dying under the task are the failure
+    // detector's business, not the blacklist's.
+    env_.members->note_task_failure(failed_vm);
+  }
   if (failed_ || done_ || map_done_flags_[idx]) return;
 
   auto requeue_after = [this, id](sim::Time delay) {
@@ -307,6 +360,7 @@ void Job::map_attempt_failed(MapTask& task) {
 
   const int fails = ++map_failures_[idx];
   if (fails >= conf_.max_task_attempts) {
+    if (!env_.vm_alive(failed_vm)) failed_on_dead_vm_ = true;
     abort_job("map " + std::to_string(id) + " failed " + std::to_string(fails) +
               " attempts (last on vm" + std::to_string(failed_vm) + ")");
     return;
@@ -324,8 +378,37 @@ void Job::map_input_lost(MapTask& task) {
   --map_running_[static_cast<std::size_t>(id)];
   give_map_slot(task.vm());
   retire_map_attempt(task);
+  failed_on_dead_vm_ = true;
   abort_job("map " + std::to_string(id) +
             " input block unreachable: every replica is on a dead VM");
+}
+
+void Job::map_output_lost(int map_id) {
+  const auto idx = static_cast<std::size_t>(map_id);
+  if (done_ || failed_ || !map_done_flags_[idx]) return;
+  // Roll the commit back: the map must produce fresh output on a live VM.
+  map_done_flags_[idx] = 0;
+  --maps_done_;
+  for (auto it = completed_outputs_.begin(); it != completed_outputs_.end(); ++it) {
+    if (it->map_id == map_id) {
+      completed_outputs_.erase(it);
+      break;
+    }
+  }
+  ++stats_.map_outputs_lost;
+  if (auto* ck = check::auditor()) {
+    ck->on_map_output_lost(job_id_, map_id, simr().now().ns());
+  }
+  if (auto* tr = trace::tracer()) {
+    const trace::Str n = tr->intern("map_output_lost");
+    tr->pin_name(n);
+    tr->instant(tr->track("mapred"), n, tr->ids.cat_mapred, simr().now(),
+                tr->ids.task, map_id);
+  }
+  if (map_running_[idx] == 0 && !map_pending(map_id)) {
+    pending_maps_.push_back(map_id);
+    try_assign_maps();
+  }
 }
 
 void Job::reducer_shuffle_finished(ReduceTask& task) {
@@ -349,8 +432,13 @@ void Job::reduce_finished(ReduceTask& task) {
   const int v = task.vm();
   give_reduce_slot(v);
 
-  // Launch a queued reducer waiting for this slot, if any.
-  if (reducers_launched_) {
+  // Launch a queued reducer waiting for this slot, if any. The finished
+  // reducer may have outlived its VM's welcome (blacklisted mid-run —
+  // running attempts are not killed), so the freed slot is only reusable
+  // while the VM is still schedulable; otherwise the queue is re-placed
+  // wholesale, which routes waiters to other capacity or leaves them for
+  // the membership on_schedulable_again kick.
+  if (reducers_launched_ && env_.schedulable(v)) {
     for (auto& rt : reduces_) {
       if (rt && !reduce_assigned_[static_cast<std::size_t>(rt->task_id())] &&
           rt->vm() == v && reduce_slot_free(v)) {
@@ -360,11 +448,14 @@ void Job::reduce_finished(ReduceTask& task) {
         break;
       }
     }
+  } else if (reducers_launched_) {
+    pump_queued_reducers();
   }
 
   update_progress();
   if (reduces_done_ == stats_.reduces_total && !done_) {
     done_ = true;
+    unregister_blocks();  // the job's files leave the namespace
     stats_.t_done = simr().now();
     job_instant(&trace::Tracer::CommonIds::job_done, stats_.t_done);
     if (auto* ck = check::auditor()) {
@@ -385,25 +476,21 @@ void Job::reduce_attempt_failed(ReduceTask& task) {
   }
   if (failed_ || done_) return;
 
+  if (env_.members != nullptr && env_.vm_alive(task.vm())) {
+    env_.members->note_task_failure(task.vm());
+  }
+
   const int fails = ++reduce_failures_[idx];
   if (fails >= conf_.max_task_attempts) {
+    if (!env_.vm_alive(task.vm())) failed_on_dead_vm_ = true;
     abort_job("reduce " + std::to_string(id) + " failed " + std::to_string(fails) +
               " attempts (last on vm" + std::to_string(task.vm()) + ")");
     return;
   }
 
-  // Place the re-attempt on the same VM unless it is down.
-  int v = task.vm();
-  if (!env_.vm_alive(v)) {
-    const int n = env_.n_vms();
-    for (int i = 1; i <= n; ++i) {
-      const int cand = (v + i) % n;
-      if (env_.vm_alive(cand)) {
-        v = cand;
-        break;
-      }
-    }
-  }
+  // Place the re-attempt on the same VM unless it is down or blacklisted.
+  int v = resolve_reduce_vm(task.vm());
+  if (v < 0) v = task.vm();  // nowhere schedulable: park on the old VM
   reduces_[idx] = std::make_unique<ReduceTask>(*this, id, v, fails + 1);
   if (auto* tr = trace::tracer()) {
     tr->instant(tr->track("mapred"), tr->ids.task_retry, tr->ids.cat_mapred,
@@ -415,9 +502,17 @@ void Job::reduce_attempt_failed(ReduceTask& task) {
     if (failed_ || done_) return;
     ReduceTask* rt = reduces_[i].get();
     if (rt == nullptr || reduce_assigned_[i]) return;
+    // Placement gone bad during the backoff (declared dead / blacklisted):
+    // leave it queued; pump_queued_reducers re-places it when capacity or
+    // membership changes.
+    if (!env_.schedulable(rt->vm())) return;
     if (!reduce_slot_free(rt->vm())) return;  // the slot-free scan launches it
     reduce_assigned_[i] = 1;
     take_reduce_slot(rt->vm());
+    if (auto* ck = check::auditor()) {
+      ck->on_reduce_attempt_start(job_id_, rt->task_id(), rt->attempt(),
+                                  rt->vm(), simr().now().ns());
+    }
     simr().after(conf_.assign_latency, [this, rt] {
       if (failed_ || done_) return;
       for (const auto& mo : completed_outputs_) rt->map_output_ready(mo);
@@ -461,6 +556,7 @@ void Job::abort_job(std::string reason) {
     if (r) r->cancel();
   }
   pending_maps_.clear();
+  unregister_blocks();
   // Under an arbiter the cancelled attempts' slots must go back to the
   // shared pool (the legacy single-job path never needed to bother — the
   // run was over). The arbiter owns the ledger, so it returns exactly what
@@ -492,6 +588,29 @@ void Job::handle_vm_down(int v) {
 void Job::handle_vm_up(int) {
   if (done_ || failed_) return;
   try_assign_maps();  // fresh capacity (and unmasked replicas)
+  pump_queued_reducers();
+}
+
+void Job::handle_vm_declared_dead(int v) {
+  if (done_ || failed_) return;
+  if (reduces_done_ >= stats_.reduces_total) return;
+  // Hadoop 0.19 on a lost TaskTracker: completed maps whose output lived
+  // there re-execute, because reducers can no longer fetch it. Only outputs
+  // some unfinished reducer still needs — re-running a map nobody will read
+  // could outlive the job and trip the drain audit.
+  std::vector<int> lost;
+  for (const auto& mo : completed_outputs_) {
+    if (mo.vm != v) continue;
+    bool needed = false;
+    for (const auto& rt : reduces_) {
+      if (rt && !rt->finished() && !rt->has_fetched(mo.map_id)) {
+        needed = true;
+        break;
+      }
+    }
+    if (needed) lost.push_back(mo.map_id);
+  }
+  for (int id : lost) map_output_lost(id);
 }
 
 void Job::schedule_speculation_scan() {
@@ -526,7 +645,7 @@ void Job::launch_speculative_map(int map_id) {
   MapTask* primary = maps_[idx].get();
   int v = -1;
   for (int i = 0; i < env_.n_vms(); ++i) {
-    if (i == primary->vm() || !env_.vm_alive(i)) continue;
+    if (i == primary->vm() || !env_.schedulable(i)) continue;
     if (!map_slot_free(i)) continue;
     v = i;
     break;
@@ -535,7 +654,7 @@ void Job::launch_speculative_map(int map_id) {
   take_map_slot(v);
   ++map_running_[idx];
   if (auto* ck = check::auditor()) {
-    ck->on_map_attempt_start(job_id_, map_id, primary->attempt(),
+    ck->on_map_attempt_start(job_id_, map_id, primary->attempt(), v,
                              map_running_[idx],
                              /*speculative=*/true, simr().now().ns());
   }

@@ -83,6 +83,11 @@ class Job {
   /// Whether the job aborted; the diagnostic is in failure().
   bool failed() const { return failed_; }
   const std::string& failure() const { return failure_; }
+  /// Whether the abort was caused by dead hardware (input replicas all on
+  /// dead VMs, or the final attempt died with its VM) rather than by the
+  /// task itself — the distinction admission control needs: hardware-killed
+  /// jobs are worth re-admitting, poison jobs are not.
+  bool failed_on_dead_vm() const { return failed_on_dead_vm_; }
 
   // Phase / lifecycle observers (set before run()).
   std::function<void(Time)> on_first_map_done;
@@ -111,10 +116,18 @@ class Job {
   void try_assign_maps();
   void launch_reducers_if_ready();
   void pump_queued_reducers();
+  /// `preferred` if schedulable, else the next schedulable VM by rotation,
+  /// else -1 (no placement possible right now).
+  int resolve_reduce_vm(int preferred) const;
   void start_reducer(ReduceTask* task);
   void map_finished(MapTask& task, MapOutput out);
   void map_attempt_failed(MapTask& task);
   void map_input_lost(MapTask& task);
+  /// A committed map's output became unreachable (its TaskTracker was
+  /// declared dead): roll the commit back and re-execute the map. Called by
+  /// reducers that hit a declared-dead source and by the membership
+  /// listener. Idempotent per outstanding loss.
+  void map_output_lost(int map_id);
   void reduce_finished(ReduceTask& task);
   void reduce_attempt_failed(ReduceTask& task);
   void reducer_shuffle_finished(ReduceTask& task);
@@ -126,6 +139,8 @@ class Job {
   void abort_job(std::string reason);
   void handle_vm_down(int vm);
   void handle_vm_up(int vm);
+  void handle_vm_declared_dead(int vm);
+  void unregister_blocks();
   void schedule_speculation_scan();
   void speculation_scan();
   void launch_speculative_map(int map_id);
@@ -177,6 +192,13 @@ class Job {
   bool reducers_launched_ = false;
   bool done_ = false;
   bool failed_ = false;
+  bool failed_on_dead_vm_ = false;
+  // Milestone latches: a map re-execution (output lost with its dead
+  // TaskTracker) can take maps_done_ below the thresholds again; the phase
+  // events must not re-fire when it recovers.
+  bool first_map_done_fired_ = false;
+  bool maps_done_fired_ = false;
+  bool blocks_registered_ = false;
   std::string failure_;
   Time map_dur_sum_ = Time::zero();    // total runtime of finished maps
 

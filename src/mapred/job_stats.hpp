@@ -41,6 +41,7 @@ struct JobStats {
   int hdfs_failovers = 0;        // reads redirected to a surviving replica
   int fetch_retries = 0;         // shuffle fetches re-queued after a failure
   int replica_writes_lost = 0;   // output replicas dropped (pipeline failure)
+  int map_outputs_lost = 0;      // committed maps re-executed (host declared dead)
   /// Set when the job aborted (task out of attempts / data unavailable);
   /// the diagnostic lives in Job::failure().
   bool failed = false;

@@ -1,0 +1,54 @@
+// iosim: the JobTracker-visible face of cluster membership.
+//
+// The failure detector, blacklist, and re-replication machinery live in
+// src/membership/ (above mapred/ in the dependency order, because the
+// repair pipeline drives VM I/O streams). The scheduler only needs a narrow
+// view — "may I place a task here?", "is this TaskTracker declared dead?" —
+// so that view is an abstract interface defined down here and wired through
+// ClusterEnv::members by the cluster builder. A null pointer means no
+// membership service (fault-free runs), and every consumer keeps its legacy
+// fast path.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hdfs/hdfs.hpp"
+#include "sim/time.hpp"
+
+namespace iosim::mapred {
+
+class MembershipIface {
+ public:
+  virtual ~MembershipIface() = default;
+
+  /// Whether new tasks may be placed on `vm` (not declared dead, not
+  /// blacklisted). A merely-suspected VM stays schedulable — Hadoop keeps
+  /// assigning until the timeout expires.
+  virtual bool schedulable(int vm) const = 0;
+
+  /// Whether the failure detector has declared `vm` dead (heartbeat timeout
+  /// expired). Distinct from a transient outage the detector has not
+  /// confirmed yet.
+  virtual bool declared_dead(int vm) const = 0;
+
+  /// Blacklist strike feed: a task attempt failed while placed on `vm`.
+  virtual void note_task_failure(int vm) = 0;
+
+  /// Register a job's HDFS block table for NameNode-style re-replication
+  /// scans. The vector must stay alive (and at a stable address) until
+  /// unregistered; repairs mutate replica entries in place.
+  virtual void register_job_blocks(int job_id,
+                                   std::vector<hdfs::DfsBlock>* blocks) = 0;
+  virtual void unregister_job_blocks(int job_id) = 0;
+
+  /// Listeners, fired from simulator events. Register before the run.
+  using VmEvent = std::function<void(int vm, sim::Time now)>;
+  /// The detector declared a VM dead (fires once per death).
+  virtual void on_declared_dead(VmEvent cb) = 0;
+  /// A VM became schedulable again (rejoined after death, or a blacklist
+  /// probe succeeded) — fresh capacity, schedulers should rescan.
+  virtual void on_schedulable_again(VmEvent cb) = 0;
+};
+
+}  // namespace iosim::mapred

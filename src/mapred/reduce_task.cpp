@@ -32,6 +32,7 @@ void ReduceTask::start() {
 
 void ReduceTask::map_output_ready(const MapOutput& mo) {
   if (cancelled_) return;
+  if (has_fetched(mo.map_id)) return;  // re-advertised re-execution output
   fetch_queue_.push_back(mo);
   if (started_) pump_fetches();
 }
@@ -41,6 +42,9 @@ void ReduceTask::pump_fetches() {
   while (active_fetches_ < c.shuffle_parallel && !fetch_queue_.empty()) {
     const MapOutput mo = fetch_queue_.front();
     fetch_queue_.pop_front();
+    // A stale advertisement (the original output before a map re-executed)
+    // can coexist in the queue with the fresh one; pull each map once.
+    if (has_fetched(mo.map_id)) continue;
     ++active_fetches_;
     fetch(mo);
   }
@@ -53,14 +57,28 @@ void ReduceTask::fetch(const MapOutput& mo) {
   const std::int64_t part = mo.bytes / R;
   if (part <= 0) {
     // Nothing to move; account the fetch as instantaneous bookkeeping.
-    job_.simr().after(sim::Time::zero(), [this] {
+    job_.simr().after(sim::Time::zero(), [this, mo] {
       if (cancelled_) return;
-      fetch_arrived(0);
+      fetch_arrived(mo.map_id, 0);
     });
     return;
   }
   if (!job_.env().vm_alive(mo.vm)) {
-    // Source TaskTracker is down: connection refused, retry later.
+    auto* members = job_.env().members;
+    if (members != nullptr && members->declared_dead(mo.vm)) {
+      // The source TaskTracker is gone for good: retrying against it would
+      // burn the fetch budget for nothing. Report the output lost — the job
+      // re-executes the map and advertises fresh output, which arrives via
+      // map_output_ready like any other commit.
+      job_.simr().after(sim::Time::zero(), [this, mo] {
+        if (cancelled_) return;
+        --active_fetches_;
+        job_.map_output_lost(mo.map_id);
+        pump_fetches();
+      });
+      return;
+    }
+    // Down but not declared dead: a transient refusal, retry with backoff.
     job_.simr().after(sim::Time::zero(), [this, mo] {
       if (cancelled_) return;
       fetch_failed(mo);
@@ -89,15 +107,19 @@ void ReduceTask::fetch(const MapOutput& mo) {
                         }
                         job_.env().net->start_flow(
                             srcvm.host, me.host, part,
-                            [this, part](sim::Time) {
+                            [this, part, mo](sim::Time) {
                               if (cancelled_) return;
-                              fetch_arrived(part);
+                              fetch_arrived(mo.map_id, part);
                             });
                       });
 }
 
-void ReduceTask::fetch_arrived(std::int64_t bytes) {
+void ReduceTask::fetch_arrived(int map_id, std::int64_t bytes) {
   const JobConf& c = job_.conf();
+  if (map_fetched_.size() <= static_cast<std::size_t>(map_id)) {
+    map_fetched_.resize(static_cast<std::size_t>(map_id) + 1, 0);
+  }
+  map_fetched_[static_cast<std::size_t>(map_id)] = 1;
   received_ += bytes;
   mem_used_ += bytes;
   job_.stats_.shuffle_bytes += bytes;

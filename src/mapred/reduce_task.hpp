@@ -38,6 +38,13 @@ class ReduceTask {
   int task_id() const { return task_id_; }
   int vm() const { return vm_; }
   int attempt() const { return attempt_; }
+  /// Whether this attempt already pulled map `map_id`'s partition. The job
+  /// consults this when a re-executed map re-advertises output: attempts
+  /// that fetched the original copy must not count the fresh one twice.
+  bool has_fetched(int map_id) const {
+    return static_cast<std::size_t>(map_id) < map_fetched_.size() &&
+           map_fetched_[static_cast<std::size_t>(map_id)] != 0;
+  }
   bool started() const { return started_; }
   bool shuffle_complete() const { return shuffle_complete_; }
   bool finished() const { return finished_; }
@@ -61,7 +68,7 @@ class ReduceTask {
 
   void pump_fetches();
   void fetch(const MapOutput& mo);
-  void fetch_arrived(std::int64_t bytes);
+  void fetch_arrived(int map_id, std::int64_t bytes);
   void fetch_failed(const MapOutput& mo);
   void flush_memory();
   void maybe_shuffle_done();
@@ -80,6 +87,7 @@ class ReduceTask {
   bool cancelled_ = false;
   std::deque<MapOutput> fetch_queue_;
   std::vector<int> fetch_fail_counts_;  // per map id, lazily sized
+  std::vector<char> map_fetched_;       // per map id, lazily sized
   int active_fetches_ = 0;
   int maps_fetched_ = 0;
   bool shuffle_complete_ = false;

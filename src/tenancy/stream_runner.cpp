@@ -77,7 +77,62 @@ void StreamRunner::start() {
   for (std::size_t i = 0; i < plan_.size(); ++i) {
     const auto idx = static_cast<int>(i);
     cl_.simr().at(sim::Time::from_sec_f(plan_[i].t_arrive_s),
-                  [this, idx] { admit(idx); });
+                  [this, idx] { arrive(idx); });
+  }
+}
+
+int StreamRunner::class_priority(int class_index) const {
+  return static_cast<std::size_t>(class_index) < opts_.classes.size()
+             ? opts_.classes[static_cast<std::size_t>(class_index)].priority
+             : 0;
+}
+
+void StreamRunner::arrive(int index) {
+  if (!gate_enabled() || active_ < opts_.max_active) {
+    admit(index);
+    return;
+  }
+  // Gate full: queue behind it, then shed the worst waiter if the queue
+  // overflowed (the newcomer itself may be that waiter).
+  const StreamJobRecord& r = records_[static_cast<std::size_t>(index)];
+  waiting_.push_back(index);
+  emit_job_instant("job_wait", r.job_id, r.class_index, r.size_mb,
+                   cl_.simr().now());
+  if (static_cast<int>(waiting_.size()) > opts_.max_queue) shed_worst_waiting();
+}
+
+void StreamRunner::shed_worst_waiting() {
+  assert(!waiting_.empty());
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < waiting_.size(); ++i) {
+    const int a = waiting_[i], b = waiting_[worst];
+    const int pa = class_priority(plan_[static_cast<std::size_t>(a)].class_index);
+    const int pb = class_priority(plan_[static_cast<std::size_t>(b)].class_index);
+    if (pa < pb || (pa == pb && a > b)) worst = i;  // lowest class, tie newest
+  }
+  const int victim = waiting_[worst];
+  waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(worst));
+  StreamJobRecord& r = records_[static_cast<std::size_t>(victim)];
+  r.shed = true;
+  --unfinished_;
+  const sim::Time now = cl_.simr().now();
+  if (auto* ck = check::auditor()) ck->on_stream_job_shed(r.job_id, now.ns());
+  emit_job_instant("job_shed", r.job_id, r.class_index, r.size_mb, now);
+}
+
+void StreamRunner::pump_admissions() {
+  if (!gate_enabled()) return;
+  while (active_ < opts_.max_active && !waiting_.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < waiting_.size(); ++i) {
+      const int a = waiting_[i], b = waiting_[best];
+      const int pa = class_priority(plan_[static_cast<std::size_t>(a)].class_index);
+      const int pb = class_priority(plan_[static_cast<std::size_t>(b)].class_index);
+      if (pa > pb || (pa == pb && a < b)) best = i;  // highest class, tie oldest
+    }
+    const int next = waiting_[best];
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(best));
+    admit(next);
   }
 }
 
@@ -102,7 +157,10 @@ void StreamRunner::admit(int index) {
     return;
   }
 
-  const int job_id = index;
+  ++active_;
+  // Plan index for a first admission; a fresh id past the plan for retries,
+  // so the superseded attempt's ctx window and auditor account stay closed.
+  const int job_id = records_[static_cast<std::size_t>(index)].job_id;
   const std::uint64_t ctx_lo = mapred::ctx::job_window(job_id);
   job->set_identity(job_id, ctx_lo);
   job->set_arbiter(arbiter_.get());
@@ -156,6 +214,30 @@ void StreamRunner::on_job_finished(int index, bool failed) {
   StreamJobRecord& r = records_[static_cast<std::size_t>(index)];
   assert(!r.completed && !r.failed && "job finished twice");
   const sim::Time now = cl_.simr().now();
+  if (!opts_.sequential) --active_;
+
+  mapred::Job* job = jobs_[static_cast<std::size_t>(index)].get();
+  if (!opts_.sequential && failed && r.retries < opts_.job_retries &&
+      job->failed_on_dead_vm()) {
+    // The attempt died with its host, not on its own merits: retire this
+    // incarnation and re-admit a fresh one through the gate after the
+    // backoff. The record stays open (neither completed nor failed).
+    ++r.retries;
+    const int old_id = r.job_id;
+    phases_.job_retired(old_id);
+    arbiter_->retire_job(old_id);
+    if (auto* ck = check::auditor()) ck->on_stream_job_retire(old_id, now.ns());
+    emit_job_instant("job_retry", old_id, r.class_index, r.retries, now);
+    superseded_jobs_.push_back(
+        std::move(jobs_[static_cast<std::size_t>(index)]));
+    r.job_id = static_cast<int>(plan_.size()) + retry_seq_++;
+    cl_.simr().after(sim::Time::from_sec_f(opts_.retry_backoff_s),
+                     [this, index] { arrive(index); });
+    pump_admissions();
+    schedule_kick();
+    return;
+  }
+
   r.t_done_s = now.sec();
   r.completed = !failed;
   r.failed = failed;
@@ -165,10 +247,10 @@ void StreamRunner::on_job_finished(int index, bool failed) {
   --unfinished_;
   if (opts_.sequential) return;
 
-  const int job_id = index;
+  const int job_id = r.job_id;
   if (static_cast<std::size_t>(r.class_index) < opts_.classes.size()) {
     const double deadline = opts_.classes[static_cast<std::size_t>(r.class_index)].deadline_s;
-    r.sla_violated = deadline > 0.0 && (failed || r.sojourn_s > deadline);
+    r.sla_violated = sla_violated(failed, r.sojourn_s, deadline);
   }
   phases_.job_retired(job_id);
   arbiter_->retire_job(job_id);  // no-op after an abort's own retirement
@@ -177,6 +259,7 @@ void StreamRunner::on_job_finished(int index, bool failed) {
   }
   emit_job_instant(failed ? "job_fail" : "job_done", job_id, r.class_index,
                    static_cast<std::int64_t>(r.sojourn_s * 1e3), now);
+  pump_admissions();
   schedule_kick();
 }
 
@@ -228,6 +311,8 @@ StreamResult StreamRunner::finish() {
     if (r.completed) ++out.jobs_completed;
     if (r.failed) ++out.jobs_failed;
     if (r.sla_violated) ++out.sla_violations;
+    if (r.shed) ++out.jobs_shed;
+    out.jobs_retried += r.retries;
     if (r.completed || r.failed) {
       if (!any || r.t_arrive_s < first_arrive) first_arrive = r.t_arrive_s;
       if (!any || r.t_done_s > last_done) last_done = r.t_done_s;
@@ -248,6 +333,10 @@ StreamResult StreamRunner::finish() {
     if (static_cast<std::size_t>(r.class_index) >= out.classes.size()) continue;
     ClassOutcome& co = out.classes[static_cast<std::size_t>(r.class_index)];
     ++co.jobs;
+    if (r.shed) {
+      ++co.shed;
+      continue;
+    }
     if (r.failed) ++co.failed;
     if (r.sla_violated) ++co.sla_violations;
     if (!r.completed) continue;
@@ -263,6 +352,13 @@ StreamResult StreamRunner::finish() {
     co.p95_s = static_cast<double>(sk.quantile(0.95)) / 1e9;
     co.p99_s = static_cast<double>(sk.quantile(0.99)) / 1e9;
     co.mean_s = static_cast<double>(sk.sum()) / static_cast<double>(sk.count()) / 1e9;
+  }
+
+  if (const auto* ms = cl_.membership()) {
+    const auto& mc = ms->counters();
+    out.blocks_repaired = static_cast<long long>(mc.blocks_repaired);
+    out.blocks_lost = static_cast<long long>(mc.blocks_lost);
+    out.repair_mb = static_cast<double>(mc.repair_bytes) / (1024.0 * 1024.0);
   }
   return out;
 }
@@ -294,6 +390,10 @@ StreamResult run_stream(const cluster::ClusterConfig& cfg, const StreamSpec& spe
   opts.policy = spec.policy;
   opts.classes = spec.classes;
   opts.setup = setup;
+  opts.max_active = spec.max_active;
+  opts.max_queue = spec.max_queue;
+  opts.job_retries = spec.job_retries;
+  opts.retry_backoff_s = spec.retry_backoff_s;
   StreamRunner sr(cl, std::move(entries), std::move(opts));
   sr.start();
   cl.simr().run();

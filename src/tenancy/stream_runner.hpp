@@ -43,8 +43,19 @@ namespace iosim::tenancy {
 /// are reserved: 0 unused, 1 arrivals, 2 job shapes).
 inline constexpr std::uint64_t kJobSeedBase = 16;
 
+/// The SLA predicate, factored out so edge cases are testable in isolation:
+/// a deadline of 0 disables the check, and a sojourn *exactly equal* to the
+/// deadline is NOT a violation (strict >). Failed jobs with a deadline
+/// always violate.
+inline bool sla_violated(bool failed, double sojourn_s, double deadline_s) {
+  return deadline_s > 0.0 && (failed || sojourn_s > deadline_s);
+}
+
 /// One job's outcome in the stream.
 struct StreamJobRecord {
+  /// Stream job id: the plan index, except that a retried job gets a fresh
+  /// id (plan size + retry sequence) so its elevator-context window and
+  /// auditor account never collide with the aborted attempt's.
   int job_id = 0;
   int class_index = 0;
   int size_mb = 0;
@@ -55,6 +66,11 @@ struct StreamJobRecord {
   bool completed = false;
   bool failed = false;
   bool sla_violated = false;
+  /// Rejected by the admission gate before ever running (overload shed;
+  /// never counted as failed or as an SLA violation).
+  bool shed = false;
+  /// Re-admissions consumed after an attempt died with its host.
+  int retries = 0;
 };
 
 /// Per-class aggregate over the stream's completed jobs.
@@ -63,6 +79,7 @@ struct ClassOutcome {
   int jobs = 0;
   int completed = 0;
   int failed = 0;
+  int shed = 0;
   int sla_violations = 0;
   double p50_s = 0.0;
   double p95_s = 0.0;
@@ -82,6 +99,13 @@ struct StreamResult {
   int jobs_completed = 0;
   int jobs_failed = 0;
   int sla_violations = 0;
+  /// Overload protection and self-healing counters (all zero on an
+  /// unbounded, fault-free stream).
+  int jobs_shed = 0;
+  int jobs_retried = 0;
+  long long blocks_repaired = 0;
+  long long blocks_lost = 0;
+  double repair_mb = 0.0;
   std::vector<StreamJobRecord> jobs;
   std::vector<ClassOutcome> classes;
 };
@@ -118,6 +142,13 @@ class StreamRunner {
     /// sequential mode.
     std::vector<ClassSpec> classes;
     StreamSetupHook setup;
+    /// Overload protection (StreamSpec's admit segment). max_active == 0
+    /// disables the gate; every arrival is admitted immediately.
+    int max_active = 0;
+    int max_queue = 0;
+    /// Re-admissions for jobs whose abort traces to a declared-dead host.
+    int job_retries = 0;
+    double retry_backoff_s = 5.0;
   };
 
   StreamRunner(cluster::Cluster& cl, std::vector<PlannedEntry> plan, Options opts);
@@ -136,9 +167,14 @@ class StreamRunner {
   const mapred::JobStats& job_stats(int index) const;
 
  private:
+  void arrive(int index);
   void admit(int index);
+  void shed_worst_waiting();
+  void pump_admissions();
   void on_job_finished(int index, bool failed);
   void schedule_kick();
+  bool gate_enabled() const { return !opts_.sequential && opts_.max_active > 0; }
+  int class_priority(int class_index) const;
 
   cluster::Cluster& cl_;
   std::vector<PlannedEntry> plan_;
@@ -146,10 +182,16 @@ class StreamRunner {
   std::unique_ptr<PolicyArbiter> arbiter_;  // null in sequential mode
   PhaseAggregator phases_;
   std::vector<std::unique_ptr<mapred::Job>> jobs_;  // indexed like plan_
+  /// Aborted attempts superseded by a retry. Membership and fault callbacks
+  /// capture raw Job pointers, so superseded objects must outlive the run.
+  std::vector<std::unique_ptr<mapred::Job>> superseded_jobs_;
   std::vector<StreamJobRecord> records_;
   std::vector<mapred::JobStats> stats_;
+  std::vector<int> waiting_;  // plan indices queued behind the gate
   bool kick_pending_ = false;
   int unfinished_ = 0;
+  int active_ = 0;      // jobs admitted and not yet finished
+  int retry_seq_ = 0;   // fresh job_ids for retried attempts
   bool started_ = false;
 };
 

@@ -189,6 +189,41 @@ bool parse_class(const std::vector<std::string>& fields, StreamSpec* spec,
   return true;
 }
 
+bool parse_admit(const std::vector<std::string>& fields, StreamSpec* spec,
+                 bool* seen, std::string* err) {
+  if (*seen) return fail(err, "stream: duplicate admit segment");
+  *seen = true;
+  bool have_active = false;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    std::string k, v;
+    if (!keyval(fields[i], &k, &v)) {
+      return fail(err, "stream: bad admit field '" + fields[i] + "'");
+    }
+    if (k == "active") {
+      if (!parse_int(v, &spec->max_active) || spec->max_active < 1) {
+        return fail(err, "stream: active must be a positive integer, got '" + v + "'");
+      }
+      have_active = true;
+    } else if (k == "queue") {
+      if (!parse_int(v, &spec->max_queue) || spec->max_queue < 0) {
+        return fail(err, "stream: queue must be >= 0, got '" + v + "'");
+      }
+    } else if (k == "retries") {
+      if (!parse_int(v, &spec->job_retries) || spec->job_retries < 0) {
+        return fail(err, "stream: retries must be >= 0, got '" + v + "'");
+      }
+    } else if (k == "backoff") {
+      if (!parse_double(v, &spec->retry_backoff_s) || spec->retry_backoff_s < 0.0) {
+        return fail(err, "stream: backoff must be >= 0, got '" + v + "'");
+      }
+    } else {
+      return fail(err, "stream: unknown admit key '" + k + "'");
+    }
+  }
+  if (!have_active) return fail(err, "stream: admit needs active=<n>");
+  return true;
+}
+
 }  // namespace
 
 const char* to_string(Policy p) {
@@ -211,7 +246,7 @@ std::optional<StreamSpec> StreamSpec::parse(const std::string& text,
                                             std::string* err) {
   StreamSpec spec;
   spec.n_jobs = 0;  // defaults re-established by the arrive segment
-  bool seen_arrive = false, seen_policy = false;
+  bool seen_arrive = false, seen_policy = false, seen_admit = false;
   for (const std::string& seg : split(text, ';')) {
     if (seg.empty()) {
       fail(err, "stream: empty segment");
@@ -223,6 +258,8 @@ std::optional<StreamSpec> StreamSpec::parse(const std::string& text,
       if (!parse_arrive(fields, &spec, &seen_arrive, err)) return std::nullopt;
     } else if (kind == "class") {
       if (!parse_class(fields, &spec, err)) return std::nullopt;
+    } else if (kind == "admit") {
+      if (!parse_admit(fields, &spec, &seen_admit, err)) return std::nullopt;
     } else if (kind == "policy") {
       if (seen_policy) {
         fail(err, "stream: duplicate policy segment");
@@ -280,6 +317,12 @@ std::string StreamSpec::to_string() const {
          ",share=" + num_to_string(c.share) +
          ",deadline=" + num_to_string(c.deadline_s) +
          ",mix=" + num_to_string(c.mix);
+  }
+  if (max_active > 0) {
+    s += ";admit,active=" + std::to_string(max_active) +
+         ",queue=" + std::to_string(max_queue);
+    if (job_retries > 0) s += ",retries=" + std::to_string(job_retries);
+    if (retry_backoff_s != 5.0) s += ",backoff=" + num_to_string(retry_backoff_s);
   }
   s += ";policy,";
   s += tenancy::to_string(policy);

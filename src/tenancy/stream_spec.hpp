@@ -17,6 +17,12 @@
 //   class,name=batch,wl=sort,mb=16-64[,weight=1][,prio=0][,share=0]
 //        [,deadline=0][,mix=1][,alpha=1.5]
 //   policy,fifo|fair|capacity
+//   admit,active=4,queue=8[,retries=1][,backoff=5]
+//        overload protection: at most `active` jobs running concurrently,
+//        at most `queue` waiting for admission; arrivals beyond both shed
+//        the lowest-priority waiting job. `retries` re-admits jobs that
+//        failed because their host was declared dead, after `backoff`
+//        seconds.
 //
 // Parsing is all-or-nothing with diagnostics (the fuzz contract shared
 // with ScenarioSpec and FaultPlan), and to_string() renders the canonical
@@ -73,6 +79,19 @@ struct StreamSpec {
   std::vector<double> trace_times_s;
   std::vector<ClassSpec> classes;
   Policy policy = Policy::kFifo;
+
+  /// Overload protection (the `admit` segment). max_active == 0 disables
+  /// the admission gate entirely (every arrival is admitted immediately,
+  /// the historical behaviour).
+  int max_active = 0;
+  /// Bound on the waiting queue once the gate is full; an arrival beyond
+  /// both bounds sheds the lowest-priority (tie: newest) waiting job.
+  int max_queue = 0;
+  /// Re-admissions granted to a job that failed because the VM hosting it
+  /// was declared dead (not for ordinary task-attempt exhaustion).
+  int job_retries = 0;
+  /// Delay before such a re-admission, seconds.
+  double retry_backoff_s = 5.0;
 
   int job_count() const {
     return arrival == ArrivalKind::kTrace ? static_cast<int>(trace_times_s.size())

@@ -227,7 +227,8 @@ TEST(Auditor, AttemptBeyondBudgetDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
   a.on_job_start(/*job_id=*/0, /*n_maps=*/2, /*n_reduces=*/1, /*max_attempts=*/3);
-  a.on_map_attempt_start(0, 0, /*attempt=*/4, /*running_after=*/1, false, 100);
+  a.on_map_attempt_start(0, 0, /*attempt=*/4, /*vm=*/0, /*running_after=*/1, false,
+                         100);
   EXPECT_EQ(a.count(Invariant::kTaskStateMachine), 1u);
 }
 
@@ -235,7 +236,7 @@ TEST(Auditor, TooManyRunningCopiesDetected) {
   AuditorSession cs(Auditor::Mode::kRecord);
   Auditor& a = cs.auditor();
   a.on_job_start(0, 2, 1, 3);
-  a.on_map_attempt_start(0, 0, 1, /*running_after=*/3, true, 100);
+  a.on_map_attempt_start(0, 0, 1, /*vm=*/0, /*running_after=*/3, true, 100);
   EXPECT_EQ(a.count(Invariant::kTaskStateMachine), 1u);
 }
 
@@ -253,7 +254,7 @@ TEST(Auditor, AttemptAfterCommitDetected) {
   Auditor& a = cs.auditor();
   a.on_job_start(0, 2, 1, 3);
   a.on_map_commit(0, 1, 100);
-  a.on_map_attempt_start(0, 1, 2, 1, false, 200);
+  a.on_map_attempt_start(0, 1, 2, /*vm=*/0, 1, false, 200);
   EXPECT_EQ(a.count(Invariant::kTaskStateMachine), 1u);
 }
 

@@ -164,6 +164,70 @@ TEST(FaultPlanParse, PlanErrorsCarryLineNumbers) {
   EXPECT_NE(err.find("line 3"), std::string::npos) << err;
 }
 
+TEST(FaultPlanParse, CrashSpecs) {
+  std::string err;
+  const auto v = FaultPlan::parse_spec("vmcrash:vm=3,from=5", &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_EQ(v->kind, FaultKind::kVmCrash);
+  EXPECT_EQ(v->vm, 3);
+  EXPECT_EQ(v->from, sim::Time::from_sec(5));
+  EXPECT_EQ(v->until, sim::Time::max());  // crashes are permanent
+
+  const auto h = FaultPlan::parse_spec("hostcrash:host=1", &err);
+  ASSERT_TRUE(h.has_value()) << err;
+  EXPECT_EQ(h->kind, FaultKind::kHostCrash);
+  EXPECT_EQ(h->host, 1);
+  EXPECT_EQ(h->until, sim::Time::max());
+}
+
+TEST(FaultPlanParse, CrashUntilRejected) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse_spec("vmcrash:vm=0,until=9", &err).has_value());
+  EXPECT_NE(err.find("crashes are permanent"), std::string::npos) << err;
+  EXPECT_FALSE(FaultPlan::parse_spec("hostcrash:host=0,until=9", &err).has_value());
+}
+
+TEST(FaultPlanParse, CrashMissingTargetRejected) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse_spec("vmcrash:from=1", &err).has_value());
+  EXPECT_NE(err.find("vmcrash requires vm="), std::string::npos) << err;
+  EXPECT_FALSE(FaultPlan::parse_spec("hostcrash:from=1", &err).has_value());
+  EXPECT_NE(err.find("hostcrash requires host="), std::string::npos) << err;
+}
+
+TEST(FaultPlanParse, RestartAfterCrashRejected) {
+  // A vmdown's `until` orders a restart; a vmcrash at or before it makes
+  // the order unfulfillable. Rejected with both lines named, either order.
+  std::string err;
+  EXPECT_FALSE(
+      FaultPlan::parse("vmcrash:vm=3,from=2\nvmdown:vm=3,from=5,until=9\n", &err)
+          .has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("killed vm3 for good"), std::string::npos) << err;
+  EXPECT_FALSE(
+      FaultPlan::parse("vmdown:vm=3,from=5,until=9;vmcrash:vm=3,from=2", &err)
+          .has_value());
+  // A crash strictly after the restart, or of a different VM, is fine.
+  EXPECT_TRUE(
+      FaultPlan::parse("vmdown:vm=3,from=5,until=9;vmcrash:vm=3,from=20")
+          .has_value());
+  EXPECT_TRUE(
+      FaultPlan::parse("vmdown:vm=2,from=5,until=9;vmcrash:vm=3,from=2")
+          .has_value());
+  // An unbounded vmdown orders no restart, so a crash may coexist.
+  EXPECT_TRUE(
+      FaultPlan::parse("vmdown:vm=3,from=5;vmcrash:vm=3,from=2").has_value());
+}
+
+TEST(FaultPlanParse, CrashRoundTripsThroughToString) {
+  const auto p = FaultPlan::parse("vmcrash:vm=2,from=3.5;hostcrash:host=1,from=10");
+  ASSERT_TRUE(p.has_value());
+  const auto q = FaultPlan::parse(p->to_string());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(p->to_string(), q->to_string());
+  EXPECT_EQ(q->specs.size(), 2u);
+}
+
 TEST(FaultPlanParse, RoundTripsThroughToString) {
   const char* text =
       "transient:host=0,p=0.25,from=2;lse:host=1,lba=10-20;"

@@ -1,0 +1,123 @@
+// Unit tests of the cluster-membership service: heartbeat-miss escalation
+// (alive -> suspect -> declared dead), rejoin on restart, permanent
+// vmcrash/hostcrash deaths, fail-slow blacklisting with the probation
+// probe, and the quorum cap that keeps blacklisting from eating the
+// cluster. All timing is deterministic — the detector hangs bounded event
+// chains off the fault injector's vm_down/vm_up edges, so a drained
+// simulator means every chain ran to rest.
+#include "membership/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "fault/fault_plan.hpp"
+#include "trace/trace.hpp"
+
+namespace iosim::membership {
+namespace {
+
+cluster::ClusterConfig faulted(const char* plan_text) {
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = 2;
+  cfg.vms_per_host = 2;
+  std::string err;
+  auto plan = fault::FaultPlan::parse(plan_text, &err);
+  EXPECT_TRUE(plan.has_value()) << err;
+  cfg.faults = plan.value_or(fault::FaultPlan{});
+  return cfg;
+}
+
+TEST(Membership, OutageEscalatesToDeclaredDeadThenRejoins) {
+  trace::TraceSession session;
+  cluster::Cluster cl(faulted("vmdown:vm=3,from=5,until=60"));
+  MembershipService* ms = cl.membership();
+  ASSERT_NE(ms, nullptr);
+  cl.simr().run();
+
+  // Down at 5 s, heartbeats every 3 s: suspicion after 2 misses (11 s),
+  // declared dead after 4 (17 s), rejoin when the VM restarts at 60 s.
+  EXPECT_EQ(ms->counters().suspects, 1u);
+  EXPECT_EQ(ms->counters().deaths, 1u);
+  EXPECT_EQ(ms->counters().rejoins, 1u);
+  EXPECT_EQ(ms->state(3), MembershipService::VmState::kAlive);
+  EXPECT_TRUE(ms->schedulable(3));
+  const std::string json = session.tracer().to_json();
+  for (const char* name : {"tt_suspect", "tt_dead", "tt_rejoin"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Membership, ShortOutageNeverReachesSuspicion) {
+  // 2 s outage, first miss check at down + 3 s: by then the VM answered.
+  cluster::Cluster cl(faulted("vmdown:vm=3,from=5,until=7"));
+  cl.simr().run();
+  const auto& c = cl.membership()->counters();
+  EXPECT_EQ(c.suspects, 0u);
+  EXPECT_EQ(c.deaths, 0u);
+  EXPECT_EQ(cl.membership()->state(3), MembershipService::VmState::kAlive);
+}
+
+TEST(Membership, VmCrashIsPermanentDeath) {
+  cluster::Cluster cl(faulted("vmcrash:vm=1,from=2"));
+  cl.simr().run();
+  MembershipService* ms = cl.membership();
+  EXPECT_EQ(ms->counters().deaths, 1u);
+  EXPECT_EQ(ms->counters().rejoins, 0u);
+  EXPECT_TRUE(ms->declared_dead(1));
+  EXPECT_FALSE(ms->schedulable(1));
+  EXPECT_TRUE(ms->schedulable(0));
+}
+
+TEST(Membership, HostCrashKillsEveryVmOfTheHost) {
+  // 2 hosts x 2 VMs: host 1 hosts VMs 2 and 3.
+  cluster::Cluster cl(faulted("hostcrash:host=1,from=2"));
+  cl.simr().run();
+  MembershipService* ms = cl.membership();
+  EXPECT_EQ(ms->counters().deaths, 2u);
+  EXPECT_TRUE(ms->declared_dead(2));
+  EXPECT_TRUE(ms->declared_dead(3));
+  EXPECT_TRUE(ms->schedulable(0));
+  EXPECT_TRUE(ms->schedulable(1));
+}
+
+TEST(Membership, StrikesBlacklistAndProbationProbeRestores) {
+  trace::TraceSession session;
+  // The benign far-future outage only exists so the injector (and with it
+  // the membership service) is constructed at all.
+  cluster::Cluster cl(faulted("vmdown:vm=0,from=500,until=501"));
+  MembershipService* ms = cl.membership();
+  ms->note_task_failure(1);
+  ms->note_task_failure(1);
+  EXPECT_FALSE(ms->blacklisted(1));  // two strikes: still short of the bar
+  ms->note_task_failure(1);
+  EXPECT_TRUE(ms->blacklisted(1));
+  EXPECT_FALSE(ms->schedulable(1));
+  cl.simr().run();
+  // The probation probe (30 s) found the VM answering: restored.
+  EXPECT_EQ(ms->counters().blacklists, 1u);
+  EXPECT_EQ(ms->counters().unblacklists, 1u);
+  EXPECT_TRUE(ms->schedulable(1));
+  const std::string json = session.tracer().to_json();
+  EXPECT_NE(json.find("tt_blacklist"), std::string::npos);
+  EXPECT_NE(json.find("tt_probe_ok"), std::string::npos);
+}
+
+TEST(Membership, BlacklistCapPreservesSchedulingQuorum) {
+  cluster::Cluster cl(faulted("vmdown:vm=0,from=500,until=501"));
+  MembershipService* ms = cl.membership();
+  for (int vm = 1; vm <= 3; ++vm) {
+    for (int s = 0; s < 3; ++s) ms->note_task_failure(vm);
+  }
+  // At most half of the 4 VMs may ever be blacklisted: the third candidate
+  // keeps its slot no matter how many strikes it accumulates.
+  EXPECT_EQ(ms->counters().blacklists, 2u);
+  int schedulable = 0;
+  for (int vm = 0; vm < 4; ++vm) schedulable += ms->schedulable(vm) ? 1 : 0;
+  EXPECT_GE(schedulable, 2);
+  cl.simr().run();
+}
+
+}  // namespace
+}  // namespace iosim::membership

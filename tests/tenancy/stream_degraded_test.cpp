@@ -1,0 +1,183 @@
+// Degraded-capacity stream tests: SLA edge cases of the strict-deadline
+// predicate, overload shedding through the admission gate (shed-before-
+// admission is accounted separately from failed-after-admission), and the
+// acceptance scenario for the self-healing membership layer — a host
+// crashing permanently mid-stream while every non-shed job still completes,
+// with zero lost blocks and byte-identical same-seed repeats.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/check.hpp"
+#include "exp/artifact.hpp"
+#include "fault/fault_plan.hpp"
+#include "tenancy/stream_runner.hpp"
+#include "trace/trace.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace iosim::tenancy {
+namespace {
+
+cluster::ClusterConfig degraded_cluster(std::uint64_t seed) {
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = 4;
+  cfg.vms_per_host = 2;
+  cfg.seed = seed;
+  std::string err;
+  // Host 3 (VMs 6 and 7) dies for good mid-stream.
+  const auto plan = fault::FaultPlan::parse("hostcrash:host=3,from=40", &err);
+  EXPECT_TRUE(plan.has_value()) << err;
+  cfg.faults = plan.value_or(fault::FaultPlan{});
+  return cfg;
+}
+
+StreamSpec degraded_spec() {
+  const auto s = StreamSpec::parse(
+      "arrive,poisson,rate=0.05,jobs=6;"
+      "class,name=batch,wl=sort,mb=8-24,share=0.7,mix=3;"
+      "class,name=ui,wl=wc,mb=8-8,prio=5,share=0.3,deadline=300,mix=1;"
+      "admit,active=3,queue=3,retries=2,backoff=5;"
+      "policy,fifo");
+  EXPECT_TRUE(s.has_value());
+  return *s;
+}
+
+TEST(SlaPredicate, DeadlineEdgeCases) {
+  // A sojourn exactly at the deadline is on time — the predicate is strict.
+  EXPECT_FALSE(sla_violated(/*failed=*/false, 300.0, 300.0));
+  EXPECT_TRUE(sla_violated(/*failed=*/false, 300.0 + 1e-9, 300.0));
+  EXPECT_FALSE(sla_violated(/*failed=*/false, 299.9, 300.0));
+  // A failed job with a deadline always violates; without one, never.
+  EXPECT_TRUE(sla_violated(/*failed=*/true, 0.0, 300.0));
+  EXPECT_FALSE(sla_violated(/*failed=*/true, 1e9, 0.0));
+  EXPECT_FALSE(sla_violated(/*failed=*/false, 1e9, 0.0));
+}
+
+TEST(StreamOverload, GateShedsLowestClassNewestFirst) {
+  // Four simultaneous arrivals against active=1, queue=1: the first job
+  // takes the gate, one waiter fits, and each further arrival forces the
+  // lowest-priority (tie: newest) waiter out. Classes are pinned by
+  // building the plan explicitly.
+  std::vector<ClassSpec> classes(2);
+  classes[0].name = "hi";
+  classes[0].workload = "wordcount";
+  classes[0].priority = 5;
+  classes[1].name = "lo";
+  classes[1].workload = "wordcount";
+  classes[1].priority = 0;
+
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = 2;
+  cfg.vms_per_host = 2;
+  cfg.seed = 11;
+  cluster::Cluster cl(cfg);
+  std::vector<StreamRunner::PlannedEntry> plan;
+  for (int j = 0; j < 4; ++j) {
+    StreamRunner::PlannedEntry e;
+    e.class_index = j < 2 ? 0 : 1;  // two hi arrivals, then two lo
+    e.size_mb = 8;
+    e.conf = workloads::make_job(*workloads::by_name("wordcount"),
+                                 8 * mapred::kMiB);
+    e.seed = sim::derive_run_seed(11, kJobSeedBase + static_cast<std::uint64_t>(j));
+    plan.push_back(std::move(e));
+  }
+  StreamRunner::Options opts;
+  opts.classes = classes;
+  opts.max_active = 1;
+  opts.max_queue = 1;
+  check::AuditorSession cs(check::Auditor::Mode::kRecord);
+  StreamRunner sr(cl, std::move(plan), std::move(opts));
+  sr.start();
+  cl.simr().run();
+  const StreamResult r = sr.finish();
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(cs.auditor().ok()) << cs.auditor().report().to_string();
+
+  // Both lo-class jobs were shed; both hi-class jobs ran to completion.
+  EXPECT_EQ(r.jobs_completed, 2);
+  EXPECT_EQ(r.jobs_shed, 2);
+  EXPECT_EQ(r.jobs_failed, 0);
+  ASSERT_EQ(r.jobs.size(), 4u);
+  EXPECT_TRUE(r.jobs[0].completed);
+  EXPECT_TRUE(r.jobs[1].completed);
+  for (int j : {2, 3}) {
+    EXPECT_TRUE(r.jobs[static_cast<std::size_t>(j)].shed) << j;
+    // Shed-before-admission is its own outcome: never failed, never an SLA
+    // violation, and accounted in the per-class shed column, not failed.
+    EXPECT_FALSE(r.jobs[static_cast<std::size_t>(j)].failed);
+    EXPECT_FALSE(r.jobs[static_cast<std::size_t>(j)].sla_violated);
+  }
+  ASSERT_EQ(r.classes.size(), 2u);
+  EXPECT_EQ(r.classes[0].shed, 0);
+  EXPECT_EQ(r.classes[1].shed, 2);
+  EXPECT_EQ(r.classes[1].failed, 0);
+}
+
+TEST(StreamDegraded, HostCrashMidStreamCompletesEveryNonShedJob) {
+  check::AuditorSession cs(check::Auditor::Mode::kRecord);
+  trace::TraceSession session;
+  const StreamResult r = run_stream(degraded_cluster(7), degraded_spec());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(cs.auditor().ok()) << cs.auditor().report().to_string();
+
+  // Losing a quarter of the cluster must cost capacity, not data or jobs:
+  // every job either completed or was explicitly shed by the gate, the dead
+  // host's replicas were re-replicated, and none were lost.
+  for (const StreamJobRecord& j : r.jobs) {
+    EXPECT_TRUE(j.completed || j.shed)
+        << "job " << j.job_id << " neither completed nor shed";
+  }
+  EXPECT_EQ(r.jobs_failed, 0);
+  EXPECT_GT(r.blocks_repaired, 0);
+  EXPECT_EQ(r.blocks_lost, 0);
+  EXPECT_GT(r.repair_mb, 0.0);
+
+  // The membership story is in the trace for iosim-report to render.
+  const std::string json = session.tracer().to_json();
+  EXPECT_NE(json.find("\"membership\""), std::string::npos);
+  EXPECT_NE(json.find("tt_dead"), std::string::npos);
+  EXPECT_NE(json.find("blk_repair"), std::string::npos);
+}
+
+TEST(StreamDegraded, FreedSlotOnBlacklistedVmNeverReused) {
+  // Soak-found regression (seed 9, config 13, minimized): transient I/O
+  // errors strike a VM onto the blacklist while a reducer is still running
+  // there; when that reducer finishes, the freed slot must NOT launch a
+  // queued reducer on the now-blacklisted VM. The armed auditor's
+  // membership-placement invariant is the oracle.
+  check::AuditorSession cs(check::Auditor::Mode::kRecord);
+  cluster::ClusterConfig cfg;
+  cfg.n_hosts = 2;
+  cfg.vms_per_host = 3;
+  cfg.seed = 1736549604911017878ull;
+  cfg.pair = {iosched::SchedulerKind::kNoop, iosched::SchedulerKind::kDeadline};
+  std::string err;
+  const auto plan = fault::FaultPlan::parse("transient:host=1,p=0.0090", &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  cfg.faults = *plan;
+  const auto spec = StreamSpec::parse(
+      "arrive,poisson,rate=0.184925,jobs=4;"
+      "class,name=c0,wl=sort,mb=8-15,prio=0,share=0.584335;"
+      "class,name=c1,wl=sort,mb=11-11,prio=1,share=0.415665;"
+      "policy,capacity",
+      &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  const StreamResult r = run_stream(cfg, *spec);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(cs.auditor().ok()) << cs.auditor().report().to_string();
+}
+
+TEST(StreamDegraded, SameSeedHostCrashStreamIsByteIdentical) {
+  auto digest = [](std::uint64_t seed) {
+    trace::TraceSession session;
+    const StreamResult r = run_stream(degraded_cluster(seed), degraded_spec());
+    EXPECT_TRUE(r.ok) << r.error;
+    return exp::fnv1a64(session.tracer().to_json());
+  };
+  const std::uint64_t a = digest(7);
+  EXPECT_EQ(a, digest(7));
+  EXPECT_NE(a, digest(8));
+}
+
+}  // namespace
+}  // namespace iosim::tenancy

@@ -88,6 +88,58 @@ TEST(StreamSpec, RejectsMalformedInput) {
   }
 }
 
+TEST(StreamSpec, ParsesAdmitSegment) {
+  std::string err;
+  const auto s = StreamSpec::parse(
+      "arrive,poisson,rate=0.02,jobs=8;"
+      "class,name=a,wl=sort,mb=8-8;"
+      "admit,active=4,queue=2,retries=1,backoff=7.5;"
+      "policy,fifo",
+      &err);
+  ASSERT_TRUE(s.has_value()) << err;
+  EXPECT_EQ(s->max_active, 4);
+  EXPECT_EQ(s->max_queue, 2);
+  EXPECT_EQ(s->job_retries, 1);
+  EXPECT_DOUBLE_EQ(s->retry_backoff_s, 7.5);
+
+  // Defaults when the segment is absent: gate disabled entirely.
+  const auto d = StreamSpec::parse("arrive,poisson,jobs=2;class,name=a,wl=sort,mb=8-8");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->max_active, 0);
+  EXPECT_EQ(d->job_retries, 0);
+}
+
+TEST(StreamSpec, AdmitSegmentRoundTrips) {
+  const auto s = StreamSpec::parse(
+      "arrive,poisson,rate=0.02,jobs=8;class,name=a,wl=sort,mb=8-8;"
+      "admit,active=4,queue=2,retries=1,backoff=7.5");
+  ASSERT_TRUE(s.has_value());
+  const auto t = StreamSpec::parse(s->to_string());
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(s->to_string(), t->to_string());
+  // A spec without the segment never emits one (keeps historical canonical
+  // text byte-stable).
+  const auto d = StreamSpec::parse("arrive,poisson,jobs=2;class,name=a,wl=sort,mb=8-8");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->to_string().find("admit"), std::string::npos);
+}
+
+TEST(StreamSpec, RejectsMalformedAdmitSegment) {
+  std::string err;
+  auto reject = [&](const char* text, const char* needle) {
+    EXPECT_FALSE(StreamSpec::parse(text, &err).has_value()) << text;
+    EXPECT_NE(err.find(needle), std::string::npos) << err;
+  };
+  const std::string base = "arrive,poisson,jobs=2;class,name=a,wl=sort,mb=8-8;";
+  reject((base + "admit,queue=2").c_str(), "admit needs active=");
+  reject((base + "admit,active=0").c_str(), "active must be a positive integer");
+  reject((base + "admit,active=2,queue=-1").c_str(), "queue must be >= 0");
+  reject((base + "admit,active=2,retries=-1").c_str(), "retries must be >= 0");
+  reject((base + "admit,active=2,backoff=-3").c_str(), "backoff must be >= 0");
+  reject((base + "admit,active=2,bogus=1").c_str(), "unknown admit key");
+  reject((base + "admit,active=2;admit,active=3").c_str(), "duplicate admit segment");
+}
+
 TEST(StreamSpec, PolicyNames) {
   EXPECT_EQ(policy_by_name("fifo"), Policy::kFifo);
   EXPECT_EQ(policy_by_name("fair"), Policy::kFair);

@@ -147,7 +147,26 @@ SoakConfig generate(std::uint64_t master, std::uint64_t index) {
                   rng.uniform(1.5, 8.0), from, from + rng.uniform(0.5, 4.0));
     c.fault_specs.push_back(buf);
   }
-  if (rng.chance(0.25)) {  // bounded VM outage (may legitimately fail the job)
+  // Permanent crashes and bounded outages are mutually exclusive so the
+  // generator can never emit a vmdown whose restart targets a VM an earlier
+  // crash already took (the parser rejects such plans). A crash must also
+  // leave at least one VM standing, or every job deadlocks waiting for a
+  // schedulable slot — a real failure mode, but not one worth soaking.
+  const bool with_crash = rng.chance(0.25);
+  if (with_crash) {
+    const int total_vms = c.hosts * c.vms;
+    if (c.hosts >= 2 && rng.chance(0.4)) {  // declared-dead + re-replication
+      std::snprintf(buf, sizeof buf, "hostcrash:host=%d,from=%.3f",
+                    static_cast<int>(rng.below(static_cast<std::uint64_t>(c.hosts))),
+                    rng.uniform(0.5, 6.0));
+      c.fault_specs.push_back(buf);
+    } else if (total_vms >= 2) {
+      std::snprintf(buf, sizeof buf, "vmcrash:vm=%d,from=%.3f",
+                    static_cast<int>(rng.below(static_cast<std::uint64_t>(total_vms))),
+                    rng.uniform(0.5, 6.0));
+      c.fault_specs.push_back(buf);
+    }
+  } else if (rng.chance(0.25)) {  // bounded VM outage (may legitimately fail the job)
     const double from = rng.uniform(0.0, 4.0);
     std::snprintf(buf, sizeof buf, "vmdown:vm=%d,from=%.3f,until=%.3f",
                   static_cast<int>(rng.below(
@@ -171,6 +190,13 @@ SoakConfig generate(std::uint64_t master, std::uint64_t index) {
       if (n_classes == 2) st << ",share=" << (i == 0 ? share0 : 1.0 - share0);
       if (rng.chance(0.3)) st << ",deadline=" << rng.range(10, 500);
       if (rng.chance(0.5)) st << ",mix=" << rng.range(1, 3);
+    }
+    if (rng.chance(0.4)) {  // overload protection (admission gate + shed)
+      st << ";admit,active=" << rng.range(1, 3) << ",queue=" << rng.range(0, 3);
+      // Host-death retries only make sense when a crash is in the plan.
+      if (with_crash && rng.chance(0.5)) {
+        st << ",retries=1,backoff=" << rng.range(1, 10);
+      }
     }
     c.stream = st.str();
     static const char* kPolicies[] = {"fifo", "fair", "capacity"};
