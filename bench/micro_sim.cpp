@@ -11,6 +11,10 @@
 //                     full cost of the obs stamping hooks, and the off
 //                     number guards the disabled path staying a
 //                     branch-hinted pointer check
+//   arm-select      — online meta-scheduler decision cost: one UCB pull
+//                     (candidate scoring over the exploration budget) plus
+//                     one reward update, the work the bandit adds to every
+//                     cluster-phase change and 5 s tick
 //   fig2-point      — one seeded wordcount run of the Fig. 2 testbed
 //
 // Each probe runs `--reps` times (default 3) and reports the best rep: the
@@ -21,6 +25,7 @@
 // job. Metric naming contract: `*_per_sec` is higher-is-better,
 // `*_seconds` lower-is-better — bench_compare keys its direction off the
 // suffix.
+#include <array>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -31,6 +36,7 @@
 
 #include "bench_util.hpp"
 #include "blk/block_layer.hpp"
+#include "core/online_scheduler.hpp"
 #include "blk/disk_device.hpp"
 #include "cluster/runner.hpp"
 #include "obs/attribution.hpp"
@@ -258,6 +264,37 @@ double bench_domu_roundtrip(std::uint64_t total_bios, int depth, bool attr_on) {
   return wall;
 }
 
+// --- arm-select ------------------------------------------------------------
+//
+// The bandit's per-decision cost in isolation: select() over the default
+// exploration budget followed by a reward() update, cycling the phase kinds
+// and feeding back the chosen arm (so the estimate tables stay warm and the
+// scored candidate set is realistic, not degenerate). No simulator — this
+// measures exactly what OnlineScheduler::pull + close_window add to a run.
+
+double bench_arm_select(std::uint64_t n) {
+  core::OnlineConfig cfg;
+  cfg.kind = tenancy::MetaPolicy::kUcb;
+  cfg.seed = 42;
+  const auto policy = core::make_online_policy(cfg);
+  std::array<double, iosched::kNumSchedulerPairs> penalty{};
+  for (std::size_t a = 0; a < penalty.size(); ++a) {
+    penalty[a] = 0.1 * static_cast<double>(a);
+  }
+  int arm = 0;
+  std::uint64_t rng = 7;
+  const double t0 = now_sec();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int phase = static_cast<int>(i % core::kPhaseKinds);
+    arm = policy->select(phase, arm, penalty);
+    policy->reward(phase, arm, 40.0 + static_cast<double>(mix(rng) % 32));
+  }
+  const double wall = now_sec() - t0;
+  // Keep the final table state observable so the loop cannot be discarded.
+  if (policy->stats(0, arm).pulls < 0.0) std::fprintf(stderr, "impossible\n");
+  return wall;
+}
+
 // --- fig2-point ------------------------------------------------------------
 //
 // One seeded (cfq, cfq) wordcount run on the paper testbed — the end-to-end
@@ -348,6 +385,13 @@ int main(int argc, char** argv) {
   bench::report().add("domu_roundtrip_attr_on.wall_seconds", domu_on_wall);
   std::printf("  attribution overhead: %+.1f%% wall\n",
               100.0 * (domu_on_wall - domu_off_wall) / domu_off_wall);
+
+  const std::uint64_t n_arm = 1'000'000 / scale;
+  const double arm_wall = best_of_fn(reps, [&] { return bench_arm_select(n_arm); });
+  const double arm_rate = static_cast<double>(n_arm) / arm_wall;
+  row("arm-select", arm_rate, arm_wall);
+  bench::report().add("arm_select.decisions_per_sec", arm_rate);
+  bench::report().add("arm_select.wall_seconds", arm_wall);
 
   const double fig2_wall = best_of(reps, bench_fig2_point);
   std::printf("  %-18s %14s        best wall %8.3f s\n", "fig2-point", "-", fig2_wall);

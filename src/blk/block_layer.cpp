@@ -74,6 +74,7 @@ void BlockLayer::submit(Bio bio) {
   // paper's measured switch cost.
   if (draining_ || frozen_) {
     held_.push_back(std::move(bio));
+    account_busy();
     return;
   }
 
@@ -128,6 +129,7 @@ void BlockLayer::submit(Bio bio) {
         ck->on_queue_accounting(this, cfg_.name, queued_by_dir_[0],
                                 queued_by_dir_[1], sched_->size(), now.ns());
       }
+      account_busy();
       return;
     }
   }
@@ -162,6 +164,7 @@ void BlockLayer::submit(Bio bio) {
     ck->on_queue_accounting(this, cfg_.name, queued_by_dir_[0],
                             queued_by_dir_[1], sched_->size(), now.ns());
   }
+  account_busy();
   kick();
 }
 
@@ -180,6 +183,9 @@ void BlockLayer::switch_scheduler(SchedulerKind kind) {
     tr->begin(tr->track(cfg_.name), tr->ids.elv_switch, tr->ids.cat_blk,
               simr_.now(), tr->ids.target, static_cast<std::int64_t>(kind));
   }
+  // A switch counts as busy time even on an empty queue: the quiesce stalls
+  // submitters, and the busy integral must charge that to the switch.
+  account_busy();
   // The old discipline keeps dispatching (kick() continues to run) until it
   // and the device are empty; maybe_finish_switch() completes the swap.
   maybe_finish_switch();
@@ -215,8 +221,19 @@ void BlockLayer::maybe_finish_switch() {
     std::vector<Bio> held = std::move(held_);
     held_.clear();
     for (auto& bio : held) submit(std::move(bio));
+    account_busy();
     kick();
   });
+}
+
+void BlockLayer::account_busy() {
+  const Time now = simr_.now();
+  if (busy_) {
+    counters_.busy_ns += static_cast<std::uint64_t>((now - busy_mark_).ns());
+  }
+  busy_mark_ = now;
+  busy_ = in_flight_ > 0 || !sched_->empty() || !held_.empty() || draining_ ||
+          frozen_;
 }
 
 void BlockLayer::arm_wakeup() {
@@ -317,6 +334,7 @@ void BlockLayer::on_sink_complete(Request* rq, Time now) {
   requests_.erase(it);
   for (auto& fn : owned->completions) fn(now, owned->status);
 
+  account_busy();
   if (draining_) {
     maybe_finish_switch();
   } else {

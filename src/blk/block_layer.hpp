@@ -98,6 +98,11 @@ struct BlockLayerCounters {
   std::uint64_t requests_failed = 0;
   std::int64_t bytes_completed[iosched::kNumDirs] = {0, 0};
   std::uint64_t scheduler_switches = 0;
+  /// Simulated time this layer had work on hand (queued, in flight, held
+  /// behind a switch, or mid-switch). Throughput divided by *busy* time —
+  /// not wall time — measures elevator efficiency independently of arrival
+  /// lulls; the online meta-scheduler rewards arms with it.
+  std::uint64_t busy_ns = 0;
 };
 
 class BlockLayer {
@@ -148,6 +153,10 @@ class BlockLayer {
   void kick();
   void maybe_finish_switch();
   void arm_wakeup();
+  /// Fold the interval since the last call into busy_ns (if the layer was
+  /// busy) and recompute the busy flag. Called after every operation that
+  /// can change whether the layer has work on hand.
+  void account_busy();
   void on_sink_complete(Request* rq, Time now);
 
   sim::Simulator& simr_;
@@ -170,6 +179,11 @@ class BlockLayer {
   std::vector<Bio> held_;
   sim::EventId freeze_ev_ = sim::kInvalidEvent;
   sim::EventId wakeup_ev_ = sim::kInvalidEvent;
+  // Busy-time integral state (see BlockLayerCounters::busy_ns): whether the
+  // layer had work on hand after the last accounting point, and when that
+  // point was.
+  bool busy_ = false;
+  sim::Time busy_mark_ = sim::Time::zero();
   BlockLayerCounters counters_;
   std::shared_ptr<detail::ObserverList> observers_;
 };

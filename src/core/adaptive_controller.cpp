@@ -1,22 +1,30 @@
 #include "core/adaptive_controller.hpp"
 
-#include <algorithm>
 #include <cassert>
 
+#include "core/online_scheduler.hpp"
 #include "trace/trace.hpp"
 #include "virt/physical_host.hpp"
 
 namespace iosim::core {
 
-namespace {
-void trace_pair_switch(cluster::Cluster& cl, int phase, iosched::SchedulerPair p) {
-  if (auto* tr = trace::tracer()) {
-    tr->instant(tr->track("core"), tr->ids.pair_switch, tr->ids.cat_core,
-                cl.simr().now(), tr->ids.index, phase, tr->ids.pair,
-                virt::PhysicalHost::pair_code(p));
-  }
+AdaptiveController::AdaptiveController(cluster::Cluster& cl, PairSchedule schedule)
+    : cl_(cl), schedule_(std::move(schedule)), switcher_(PairSwitcher::create(cl)) {
+  switcher_->on_switched = [&cl](int phase, iosched::SchedulerPair p) {
+    if (auto* tr = trace::tracer()) {
+      tr->instant(tr->track("core"), tr->ids.pair_switch, tr->ids.cat_core,
+                  cl.simr().now(), tr->ids.index, phase, tr->ids.pair,
+                  virt::PhysicalHost::pair_code(p));
+    }
+  };
+  switcher_->on_switch_failed = [&cl](int phase, int attempt) {
+    if (auto* tr = trace::tracer()) {
+      tr->instant(tr->track("core"), tr->ids.switch_fail, tr->ids.cat_core,
+                  cl.simr().now(), tr->ids.index, phase, tr->ids.attempt,
+                  attempt);
+    }
+  };
 }
-}  // namespace
 
 std::shared_ptr<AdaptiveController> AdaptiveController::attach(
     cluster::Cluster& cl, mapred::Job& job, PairSchedule schedule, PhasePlan plan) {
@@ -32,8 +40,16 @@ std::shared_ptr<AdaptiveController> AdaptiveController::attach(
   return ctl;
 }
 
+std::shared_ptr<OnlineScheduler> AdaptiveController::attach_online(
+    cluster::Cluster& cl, mapred::Job& job, PhasePlan plan,
+    std::shared_ptr<OnlineScheduler> scheduler) {
+  if (!scheduler) scheduler = OnlineScheduler::create(cl, OnlineConfig{});
+  scheduler->attach_single_job(job, plan);
+  return scheduler;
+}
+
 void AdaptiveController::enter_phase(int phase, sim::Time) {
-  ++epoch_;  // supersede any retry still pending for the previous phase
+  switcher_->supersede();  // a retry pending for the previous phase is stale
   if (phase == 0) return;  // installed at boot
   if (phase >= schedule_.count()) return;
   const auto& target = schedule_.phases[static_cast<std::size_t>(phase)];
@@ -42,35 +58,7 @@ void AdaptiveController::enter_phase(int phase, sim::Time) {
   // schedulers still costs time; the heuristic therefore encodes "same as
   // before" as 0 instead of a redundant switch. We honour an explicit
   // same-pair entry by performing the (costly) switch anyway.
-  attempt_switch(phase, *target, /*failures=*/0);
-}
-
-void AdaptiveController::attempt_switch(int phase, iosched::SchedulerPair target,
-                                        int failures) {
-  if (cl_.try_switch_pair(target)) {
-    trace_pair_switch(cl_, phase, target);
-    ++switches_;
-    return;
-  }
-  // Command rejected: the old pair stays installed on every host. Retry with
-  // capped exponential backoff unless a newer phase supersedes the target
-  // before the timer fires.
-  ++switch_failures_;
-  if (auto* tr = trace::tracer()) {
-    tr->instant(tr->track("core"), tr->ids.switch_fail, tr->ids.cat_core,
-                cl_.simr().now(), tr->ids.index, phase, tr->ids.attempt,
-                failures + 1);
-  }
-  if (failures >= kMaxRetries) return;  // budget exhausted: keep the old pair
-  const sim::Time delay =
-      std::min(kRetryCap, kRetryBase * static_cast<double>(std::int64_t{1} << std::min(failures, 3)));
-  const int issued_epoch = epoch_;
-  auto self = shared_from_this();
-  cl_.simr().after(delay, [self, phase, target, failures, issued_epoch] {
-    if (self->epoch_ != issued_epoch) return;  // superseded by a newer phase
-    ++self->switch_retries_;
-    self->attempt_switch(phase, target, failures + 1);
-  });
+  switcher_->request(phase, *target);
 }
 
 }  // namespace iosim::core

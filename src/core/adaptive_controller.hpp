@@ -2,20 +2,24 @@
 // to a live cluster at the phase boundaries the detector reports.
 //
 // Failure semantics: the switch command travels through the cluster's fault
-// layer (Cluster::try_switch_pair). A failed command leaves the old pair
-// installed and is retried with capped exponential backoff; a retry is
-// abandoned the moment a newer phase boundary arrives (its target pair has
-// been superseded). The controller therefore degrades gracefully: the job
-// keeps running under the previous pair until a retry lands.
+// layer via the shared PairSwitcher (core/pair_switcher.hpp). A failed
+// command leaves the old pair installed and is retried with capped
+// exponential backoff; a retry is abandoned the moment a newer phase
+// boundary arrives (its target pair has been superseded). The controller
+// therefore degrades gracefully: the job keeps running under the previous
+// pair until a retry lands.
 #pragma once
 
 #include <memory>
 
 #include "cluster/cluster.hpp"
 #include "core/pair_schedule.hpp"
+#include "core/pair_switcher.hpp"
 #include "core/phase_detector.hpp"
 
 namespace iosim::core {
+
+class OnlineScheduler;
 
 class AdaptiveController : public std::enable_shared_from_this<AdaptiveController> {
  public:
@@ -31,37 +35,35 @@ class AdaptiveController : public std::enable_shared_from_this<AdaptiveControlle
                                                     PairSchedule schedule,
                                                     PhasePlan plan);
 
-  int switches_performed() const { return switches_; }
-  /// Switch commands rejected by the fault layer (each schedules a retry).
-  int switch_failures() const { return switch_failures_; }
-  /// Retries that were actually issued (abandoned ones don't count).
-  int switch_retries() const { return switch_retries_; }
+  /// Online variant: phase boundaries feed a (possibly shared) bandit
+  /// learning state instead of a precomputed schedule — the offline
+  /// profiling pass is replaced by live reward estimation. Returns the
+  /// scheduler so callers can read pull/switch counts; see
+  /// core/online_scheduler.hpp.
+  static std::shared_ptr<OnlineScheduler> attach_online(
+      cluster::Cluster& cl, mapred::Job& job, PhasePlan plan,
+      std::shared_ptr<OnlineScheduler> scheduler);
 
-  /// First retry delay after a failed switch command; doubles per failure up
-  /// to 8x. Kept short relative to phase lengths so a transient management-
-  /// plane fault rarely costs a whole phase.
-  static constexpr sim::Time kRetryBase = sim::Time::from_ms(500);
-  static constexpr sim::Time kRetryCap = sim::Time::from_sec(4);
-  /// Retry budget per phase target. A management plane that is still down
-  /// after this many attempts is treated as gone for the phase: the old
-  /// pair stays installed and the job simply runs on without switching.
-  static constexpr int kMaxRetries = 8;
+  int switches_performed() const { return switcher_->switches(); }
+  /// Switch commands rejected by the fault layer (each schedules a retry).
+  int switch_failures() const { return switcher_->failures(); }
+  /// Retries that were actually issued (abandoned ones don't count).
+  int switch_retries() const { return switcher_->retries(); }
+
+  /// Retry timing/budget, re-exported from the shared switcher so existing
+  /// call sites keep compiling against the historical names.
+  static constexpr sim::Time kRetryBase = PairSwitcher::kRetryBase;
+  static constexpr sim::Time kRetryCap = PairSwitcher::kRetryCap;
+  static constexpr int kMaxRetries = PairSwitcher::kMaxRetries;
 
  private:
-  AdaptiveController(cluster::Cluster& cl, PairSchedule schedule)
-      : cl_(cl), schedule_(std::move(schedule)) {}
+  AdaptiveController(cluster::Cluster& cl, PairSchedule schedule);
 
   void enter_phase(int phase, sim::Time t);
-  void attempt_switch(int phase, iosched::SchedulerPair target, int failures);
 
   cluster::Cluster& cl_;
   PairSchedule schedule_;
-  int switches_ = 0;
-  int switch_failures_ = 0;
-  int switch_retries_ = 0;
-  /// Monotone epoch: bumped at every phase boundary; pending retries carry
-  /// the epoch they were issued under and go inert when it is stale.
-  int epoch_ = 0;
+  std::shared_ptr<PairSwitcher> switcher_;
 };
 
 }  // namespace iosim::core

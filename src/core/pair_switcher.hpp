@@ -1,0 +1,73 @@
+// iosim: the cluster-wide pair-switch command, factored out of
+// AdaptiveController so every controller shares one failure semantics.
+//
+// A switch travels through the cluster's fault layer
+// (Cluster::try_switch_pair). A rejected command leaves the old pair
+// installed and is retried with capped exponential backoff; a pending retry
+// goes inert the moment a newer request supersedes it (its target has been
+// overtaken by a fresher decision). Callers observe outcomes through the
+// on_switched / on_switch_failed hooks — the offline controller traces
+// pair_switch instants, the online controller tt_arm_switch ones, but the
+// retry machinery underneath is byte-identical.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cluster/cluster.hpp"
+
+namespace iosim::core {
+
+class PairSwitcher : public std::enable_shared_from_this<PairSwitcher> {
+ public:
+  /// First retry delay after a failed switch command; doubles per failure up
+  /// to 8x. Kept short relative to phase lengths so a transient management-
+  /// plane fault rarely costs a whole phase.
+  static constexpr sim::Time kRetryBase = sim::Time::from_ms(500);
+  static constexpr sim::Time kRetryCap = sim::Time::from_sec(4);
+  /// Retry budget per requested target. A management plane that is still
+  /// down after this many attempts is treated as gone: the old pair stays
+  /// installed and the run simply continues without switching.
+  static constexpr int kMaxRetries = 8;
+
+  static std::shared_ptr<PairSwitcher> create(cluster::Cluster& cl) {
+    return std::shared_ptr<PairSwitcher>(new PairSwitcher(cl));
+  }
+
+  /// Fires after a switch command lands; `tag` is the requester's phase tag.
+  std::function<void(int tag, iosched::SchedulerPair target)> on_switched;
+  /// Fires after a rejected command, before any retry is scheduled;
+  /// `attempt` counts from 1.
+  std::function<void(int tag, int attempt)> on_switch_failed;
+
+  /// Supersede any pending retry. Call at every decision boundary, even when
+  /// no new switch is requested — a stale retry must never land after the
+  /// phase that wanted it has passed.
+  void supersede() { ++epoch_; }
+
+  /// Issue a switch command (and its retry chain) toward `target`.
+  void request(int tag, iosched::SchedulerPair target) {
+    attempt(tag, target, /*failures=*/0);
+  }
+
+  int switches() const { return switches_; }
+  /// Commands rejected by the fault layer (each schedules a retry).
+  int failures() const { return failures_; }
+  /// Retries actually issued (superseded ones don't count).
+  int retries() const { return retries_; }
+
+ private:
+  explicit PairSwitcher(cluster::Cluster& cl) : cl_(cl) {}
+
+  void attempt(int tag, iosched::SchedulerPair target, int failures);
+
+  cluster::Cluster& cl_;
+  int switches_ = 0;
+  int failures_ = 0;
+  int retries_ = 0;
+  /// Monotone epoch: bumped by supersede(); pending retries carry the epoch
+  /// they were issued under and go inert when it is stale.
+  int epoch_ = 0;
+};
+
+}  // namespace iosim::core

@@ -2,6 +2,7 @@
 
 #include "cluster/runner.hpp"
 #include "core/meta_scheduler.hpp"
+#include "core/online_scheduler.hpp"
 #include "tenancy/stream_runner.hpp"
 #include "workloads/benchmarks.hpp"
 
@@ -55,7 +56,17 @@ RunOutput execute_point(const ScenarioPoint& pt, std::uint64_t seed) {
     // sizes, so the point's workload/mb axes are inert here. Metric order is
     // fixed: headline numbers, then per-class sojourn quantiles — `seconds`
     // is the stream makespan so mixed sweeps share one table column.
-    const tenancy::StreamResult r = tenancy::run_stream(cfg, pt.stream);
+    // A meta segment routes through the policy dispatcher (static pin,
+    // offline schedule replay, or online bandit); its controller counters
+    // append *after* the class metrics so meta-free streams keep their
+    // exact metric layout.
+    core::MetaStreamResult meta;
+    if (pt.stream.meta.enabled()) {
+      meta = core::run_stream_with_policy(cfg, pt.stream);
+    } else {
+      meta.stream = tenancy::run_stream(cfg, pt.stream);
+    }
+    const tenancy::StreamResult& r = meta.stream;
     if (!r.ok) {
       out.ok = false;
       out.error = r.error;
@@ -80,6 +91,17 @@ RunOutput execute_point(const ScenarioPoint& pt, std::uint64_t seed) {
           {c.name + "_sla_viol", static_cast<double>(c.sla_violations)});
       out.metrics.push_back({c.name + "_failed", static_cast<double>(c.failed)});
       out.metrics.push_back({c.name + "_shed", static_cast<double>(c.shed)});
+    }
+    if (pt.stream.meta.enabled()) {
+      out.metrics.push_back(
+          {"meta_pulls", static_cast<double>(meta.arm_pulls)});
+      out.metrics.push_back(
+          {"meta_switches", static_cast<double>(meta.arm_switches)});
+      out.metrics.push_back(
+          {"meta_switch_failures", static_cast<double>(meta.switch_failures)});
+      out.metrics.push_back({"meta_decays", static_cast<double>(meta.decays)});
+      out.metrics.push_back(
+          {"meta_profile_runs", static_cast<double>(meta.profile_runs)});
     }
     return out;
   }

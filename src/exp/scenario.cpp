@@ -107,6 +107,7 @@ std::string ScenarioPoint::label() const {
   if (!fault_text.empty()) s += " fault=" + fault_text;
   if (!stream_text.empty()) s += " stream=" + stream_text;
   if (!stream_policy.empty()) s += " policy=" + stream_policy;
+  if (!meta_text.empty()) s += " meta=" + meta_text;
   return s;
 }
 
@@ -140,6 +141,16 @@ bool ScenarioSpec::apply(std::string_view key, std::string_view value,
   if (key == "base_seed") {
     if (!parse_u64(value, &base_seed)) {
       return fail("bad base_seed '" + std::string(value) + "'");
+    }
+    return true;
+  }
+  if (key == "seed_mode") {
+    if (value == "run") {
+      paired_seeds = false;
+    } else if (value == "repeat") {
+      paired_seeds = true;
+    } else {
+      return fail("bad seed_mode '" + std::string(value) + "' (run|repeat)");
     }
     return true;
   }
@@ -274,6 +285,26 @@ bool ScenarioSpec::apply(std::string_view key, std::string_view value,
     }
     return true;
   }
+  if (key == "meta") {
+    // `|`-separated meta-segment bodies (the segment grammar uses `,`).
+    // Per-body validation happens in validate(), where the stream axis the
+    // body folds into is known.
+    if (!split_list(value, '|', &items, &lerr)) return fail(lerr + " in meta");
+    metas.clear();
+    for (const auto& it : items) {
+      if (it == "none") {
+        metas.push_back("");
+        continue;
+      }
+      if (it.compare(0, 7, "policy=") != 0) {
+        return fail("bad meta '" + it +
+                    "' (expected none or a meta segment body starting with "
+                    "policy=)");
+      }
+      metas.push_back(it);
+    }
+    return true;
+  }
   return fail("unknown key '" + std::string(key) + "'");
 }
 
@@ -347,10 +378,33 @@ bool ScenarioSpec::validate(std::string* error) const {
   if (!any_stream && !(stream_policies.size() == 1 && stream_policies[0].empty())) {
     return fail("stream_policy= without a stream= axis");
   }
+  const bool any_meta = [&] {
+    for (const auto& m : metas) {
+      if (!m.empty()) return true;
+    }
+    return false;
+  }();
+  if (!any_stream && any_meta) {
+    return fail("meta= without a stream= axis");
+  }
+  // Every (stream, meta) fold must parse: the body is appended to the
+  // stream text as a `;meta,...` segment, so the stream parser validates it
+  // in context (policy names, pair codes, profile class references).
+  for (const auto& m : metas) {
+    if (m.empty()) continue;
+    for (const auto& st : streams) {
+      if (st.second.empty()) continue;
+      std::string serr;
+      if (!tenancy::StreamSpec::parse(st.second + ";meta," + m, &serr)) {
+        return fail("bad meta '" + m + "' for stream '" + st.second +
+                    "': " + serr);
+      }
+    }
+  }
   std::size_t points = 1;
   for (const std::size_t n : {workloads.size(), hosts.size(), vms.size(), mb.size(),
                               pairs.size(), faults.size(), streams.size(),
-                              stream_policies.size()}) {
+                              stream_policies.size(), metas.size()}) {
     if (n == 0) return fail("empty axis");
     if (points > kMaxPoints / n) {
       return fail("scenario cross product exceeds " + std::to_string(kMaxPoints) +
@@ -376,24 +430,33 @@ std::vector<ScenarioPoint> ScenarioSpec::expand() const {
             for (const auto& f : faults) {
               for (const auto& st : streams) {
                 for (const auto& pol : stream_policies) {
-                  ScenarioPoint pt;
-                  pt.mode = mode;
-                  pt.pair = p;
-                  pt.workload = w;
-                  pt.hosts = h;
-                  pt.vms = v;
-                  pt.mb = m;
-                  pt.faults = f.first;
-                  pt.fault_text = f.second;
-                  pt.stream = st.first;
-                  pt.stream_text = st.second;
-                  if (!st.second.empty() && !pol.empty()) {
-                    pt.stream_policy = pol;
-                    pt.stream.policy = *tenancy::policy_by_name(pol);
+                  for (const auto& mt : metas) {
+                    ScenarioPoint pt;
+                    pt.mode = mode;
+                    pt.pair = p;
+                    pt.workload = w;
+                    pt.hosts = h;
+                    pt.vms = v;
+                    pt.mb = m;
+                    pt.faults = f.first;
+                    pt.fault_text = f.second;
+                    pt.stream = st.first;
+                    pt.stream_text = st.second;
+                    if (!st.second.empty() && !mt.empty()) {
+                      // Re-parse the fold (validate() proved it parses) so
+                      // the meta segment lands with full context checks.
+                      pt.stream =
+                          *tenancy::StreamSpec::parse(st.second + ";meta," + mt);
+                      pt.meta_text = mt;
+                    }
+                    if (!st.second.empty() && !pol.empty()) {
+                      pt.stream_policy = pol;
+                      pt.stream.policy = *tenancy::policy_by_name(pol);
+                    }
+                    pt.max_events = max_events;
+                    pt.max_sim_seconds = max_sim_seconds;
+                    out.push_back(std::move(pt));
                   }
-                  pt.max_events = max_events;
-                  pt.max_sim_seconds = max_sim_seconds;
-                  out.push_back(std::move(pt));
                 }
               }
             }
@@ -411,6 +474,9 @@ std::string ScenarioSpec::to_string() const {
   s += "mode=" + std::string(exp::to_string(mode)) + "\n";
   s += "base_seed=" + std::to_string(base_seed) + "\n";
   s += "repeats=" + std::to_string(repeats) + "\n";
+  // Rendered only when non-default: pre-existing specs keep their
+  // fingerprint (and resumability) bit for bit.
+  if (paired_seeds) s += "seed_mode=repeat\n";
   s += "pair=";
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     if (i) s += ",";
@@ -460,6 +526,14 @@ std::string ScenarioSpec::to_string() const {
     }
     s += "\n";
   }
+  if (!(metas.size() == 1 && metas[0].empty())) {
+    s += "meta=";
+    for (std::size_t i = 0; i < metas.size(); ++i) {
+      if (i) s += "|";
+      s += metas[i].empty() ? "none" : metas[i];
+    }
+    s += "\n";
+  }
   s += "max_events=" + std::to_string(max_events) + "\n";
   s += "max_sim_seconds=" + seconds_to_string(max_sim_seconds) + "\n";
   s += "timeout=" + seconds_to_string(timeout_seconds) + "\n";
@@ -487,7 +561,9 @@ std::vector<RunTask> build_run_matrix(const ScenarioSpec& spec) {
       t.repeat = r;
       t.run_index = p * static_cast<std::size_t>(spec.repeats) +
                     static_cast<std::size_t>(r);
-      t.seed = sim::derive_run_seed(spec.base_seed, t.run_index);
+      t.seed = sim::derive_run_seed(
+          spec.base_seed,
+          spec.paired_seeds ? static_cast<std::size_t>(r) : t.run_index);
       tasks.push_back(t);
     }
   }

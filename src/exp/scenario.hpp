@@ -7,7 +7,8 @@
 // innermost), run index = point index * repeats + repeat, and every run's
 // seed is sim::derive_run_seed(base_seed, run_index), so streams are
 // pairwise independent and results are byte-stable regardless of execution
-// order or worker count.
+// order or worker count. (seed_mode=repeat switches the derivation to the
+// repeat index alone — shared seeds across points, for paired A/B axes.)
 //
 // Spec grammar (same style as fault_plan: flat text, all-or-nothing parse,
 // one-line diagnostics). One `key=value` per line; `#` starts a comment;
@@ -18,6 +19,13 @@
 //                         adapt: full meta-scheduler pipeline per point
 //   base_seed=N           root of the per-run seed derivation (default 1)
 //   repeats=N             seeds per scenario point (default 3)
+//   seed_mode=run|repeat  run (default): every run in the matrix gets its
+//                         own seed (pairwise-independent samples). repeat:
+//                         the seed derives from the repeat index only, so
+//                         every point sees the *same* repeats seeds —
+//                         paired comparisons across an axis (e.g. the
+//                         meta= policies) measure the policy, not the
+//                         arrival-process draw
 //   pair=cc,ad,...        two-letter pair codes (VMM then guest), or all16
 //   workload=sort,...     sort | wordcount|wc | wc-nocombiner|wcnc
 //   hosts=3,4             physical hosts
@@ -34,6 +42,12 @@
 //   stream_policy=fifo,.. slot-policy alternatives (fifo|fair|capacity)
 //                         applied on top of each stream's own policy; omit
 //                         to keep what the stream spec says
+//   meta=none|BODY        meta-scheduling policy alternatives separated by
+//                         `|`; each BODY is a stream-grammar meta segment
+//                         without the leading "meta," (e.g.
+//                         `policy=ucb,explore=2`), appended to every stream
+//                         alternative. `none` keeps the stream's own meta
+//                         segment (if any). Requires a stream= axis
 //   timeout=SECONDS       per-run wall-clock watchdog (0 = off, default).
 //                         Wall-clock only: it never changes simulated
 //                         results, so it is excluded from the resume
@@ -79,6 +93,9 @@ struct ScenarioPoint {
   tenancy::StreamSpec stream;
   std::string stream_text;    // original spec text ("" = single-job point)
   std::string stream_policy;  // policy override ("" = stream's own)
+  /// Meta-axis segment body folded into `stream.meta` ("" = the stream's
+  /// own meta segment, possibly none).
+  std::string meta_text;
   /// Event-loop budgets copied from the spec (0 = unlimited); the runner
   /// installs them as the simulation's SimBudget.
   std::uint64_t max_events = 0;
@@ -94,6 +111,10 @@ struct ScenarioSpec {
   RunMode mode = RunMode::kRun;
   std::uint64_t base_seed = 1;
   int repeats = 3;
+  /// seed_mode=repeat: derive each run's seed from the repeat index alone,
+  /// so all points share one seed set and cross-point comparisons are
+  /// paired (tools/policy_compare relies on this in fig7_online).
+  bool paired_seeds = false;
   std::vector<iosched::SchedulerPair> pairs{iosched::kDefaultPair};
   std::vector<std::string> workloads{"sort"};
   std::vector<int> hosts{4};
@@ -108,6 +129,9 @@ struct ScenarioSpec {
   /// Slot-policy overrides crossed against the stream axis ("" = keep the
   /// stream spec's policy). Only meaningful for stream points.
   std::vector<std::string> stream_policies{""};
+  /// Meta-scheduling policy alternatives crossed against the stream axis:
+  /// meta-segment bodies ("" = keep the stream spec's meta segment).
+  std::vector<std::string> metas{""};
   /// Per-run wall-clock watchdog in seconds (0 = disabled). Wall-clock
   /// only — never affects simulated results.
   double timeout_seconds = 0.0;
@@ -129,12 +153,12 @@ struct ScenarioSpec {
   bool apply(std::string_view key, std::string_view value, std::string* error = nullptr);
 
   /// The cross product, in deterministic nested-loop order: workload,
-  /// hosts, vms, mb, pair, fault, stream, stream_policy.
+  /// hosts, vms, mb, pair, fault, stream, stream_policy, meta.
   std::vector<ScenarioPoint> expand() const;
 
   std::size_t n_points() const {
     return workloads.size() * hosts.size() * vms.size() * mb.size() * pairs.size() *
-           faults.size() * streams.size() * stream_policies.size();
+           faults.size() * streams.size() * stream_policies.size() * metas.size();
   }
   std::size_t n_runs() const { return n_points() * static_cast<std::size_t>(repeats); }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "iosched/pair.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace iosim::tenancy {
@@ -224,6 +225,72 @@ bool parse_admit(const std::vector<std::string>& fields, StreamSpec* spec,
   return true;
 }
 
+bool valid_pair_code(const std::string& code) {
+  return code.size() == 2 &&
+         iosched::scheduler_from_string(std::string(1, code[0])).has_value() &&
+         iosched::scheduler_from_string(std::string(1, code[1])).has_value();
+}
+
+bool parse_meta(const std::vector<std::string>& fields, StreamSpec* spec,
+                bool* seen, std::string* err) {
+  if (*seen) return fail(err, "stream: duplicate meta segment");
+  *seen = true;
+  MetaSpec m;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    std::string k, v;
+    if (!keyval(fields[i], &k, &v)) {
+      return fail(err, "stream: bad meta field '" + fields[i] + "'");
+    }
+    if (k == "policy") {
+      const auto p = meta_policy_by_name(v);
+      if (!p || *p == MetaPolicy::kNone) {
+        return fail(err, "stream: unknown meta policy '" + v +
+                             "' (static|offline|ucb|egreedy)");
+      }
+      m.policy = *p;
+    } else if (k == "explore") {
+      if (!parse_double(v, &m.explore) || m.explore < 0.0 || m.explore > 100.0) {
+        return fail(err, "stream: explore must be in [0,100], got '" + v + "'");
+      }
+    } else if (k == "decay") {
+      if (!parse_double(v, &m.decay) || m.decay <= 0.0 || m.decay > 1.0) {
+        return fail(err, "stream: decay must be in (0,1], got '" + v + "'");
+      }
+    } else if (k == "budget") {
+      if (!parse_int(v, &m.budget) || m.budget < 1 ||
+          m.budget > iosched::kNumSchedulerPairs) {
+        return fail(err, "stream: budget must be in 1..16, got '" + v + "'");
+      }
+    } else if (k == "pair") {
+      if (!valid_pair_code(v)) {
+        return fail(err, "stream: bad meta pair '" + v + "' (two of n/d/a/c)");
+      }
+      m.pair = v;
+    } else if (k == "profile") {
+      if (v.empty()) return fail(err, "stream: empty meta profile class");
+      m.profile = v;
+    } else {
+      return fail(err, "stream: unknown meta key '" + k + "'");
+    }
+  }
+  if (m.policy == MetaPolicy::kNone) {
+    return fail(err, "stream: meta needs policy=<static|offline|ucb|egreedy>");
+  }
+  if (!m.pair.empty() && m.policy != MetaPolicy::kStatic) {
+    return fail(err, "stream: meta pair= is only valid with policy=static");
+  }
+  if (!m.profile.empty() && m.policy != MetaPolicy::kOffline) {
+    return fail(err, "stream: meta profile= is only valid with policy=offline");
+  }
+  if ((m.explore >= 0.0 || m.decay >= 0.0 || m.budget > 0) &&
+      (m.policy == MetaPolicy::kStatic || m.policy == MetaPolicy::kOffline)) {
+    return fail(err,
+                "stream: explore/decay/budget are only valid with ucb|egreedy");
+  }
+  spec->meta = std::move(m);
+  return true;
+}
+
 }  // namespace
 
 const char* to_string(Policy p) {
@@ -242,11 +309,32 @@ std::optional<Policy> policy_by_name(const std::string& name) {
   return std::nullopt;
 }
 
+const char* to_string(MetaPolicy p) {
+  switch (p) {
+    case MetaPolicy::kNone: return "none";
+    case MetaPolicy::kStatic: return "static";
+    case MetaPolicy::kOffline: return "offline";
+    case MetaPolicy::kUcb: return "ucb";
+    case MetaPolicy::kEgreedy: return "egreedy";
+  }
+  return "?";
+}
+
+std::optional<MetaPolicy> meta_policy_by_name(const std::string& name) {
+  if (name == "none") return MetaPolicy::kNone;
+  if (name == "static") return MetaPolicy::kStatic;
+  if (name == "offline") return MetaPolicy::kOffline;
+  if (name == "ucb") return MetaPolicy::kUcb;
+  if (name == "egreedy") return MetaPolicy::kEgreedy;
+  return std::nullopt;
+}
+
 std::optional<StreamSpec> StreamSpec::parse(const std::string& text,
                                             std::string* err) {
   StreamSpec spec;
   spec.n_jobs = 0;  // defaults re-established by the arrive segment
-  bool seen_arrive = false, seen_policy = false, seen_admit = false;
+  bool seen_arrive = false, seen_policy = false, seen_admit = false,
+       seen_meta = false;
   for (const std::string& seg : split(text, ';')) {
     if (seg.empty()) {
       fail(err, "stream: empty segment");
@@ -260,6 +348,8 @@ std::optional<StreamSpec> StreamSpec::parse(const std::string& text,
       if (!parse_class(fields, &spec, err)) return std::nullopt;
     } else if (kind == "admit") {
       if (!parse_admit(fields, &spec, &seen_admit, err)) return std::nullopt;
+    } else if (kind == "meta") {
+      if (!parse_meta(fields, &spec, &seen_meta, err)) return std::nullopt;
     } else if (kind == "policy") {
       if (seen_policy) {
         fail(err, "stream: duplicate policy segment");
@@ -293,6 +383,15 @@ std::optional<StreamSpec> StreamSpec::parse(const std::string& text,
     fail(err, "stream: at least one class segment required");
     return std::nullopt;
   }
+  if (!spec.meta.profile.empty()) {
+    // Checked after the loop so a meta segment may precede the class list.
+    bool found = false;
+    for (const ClassSpec& c : spec.classes) found = found || c.name == spec.meta.profile;
+    if (!found) {
+      fail(err, "stream: meta profile names unknown class '" + spec.meta.profile + "'");
+      return std::nullopt;
+    }
+  }
   return spec;
 }
 
@@ -323,6 +422,19 @@ std::string StreamSpec::to_string() const {
          ",queue=" + std::to_string(max_queue);
     if (job_retries > 0) s += ",retries=" + std::to_string(job_retries);
     if (retry_backoff_s != 5.0) s += ",backoff=" + num_to_string(retry_backoff_s);
+  }
+  // Rendered only when enabled, so meta-free streams keep their canonical
+  // text — and therefore every scenario fingerprint and pinned digest —
+  // unchanged. Optional fields render only when explicitly set (the parse
+  // sentinels survive the round trip).
+  if (meta.enabled()) {
+    s += ";meta,policy=";
+    s += tenancy::to_string(meta.policy);
+    if (meta.explore >= 0.0) s += ",explore=" + num_to_string(meta.explore);
+    if (meta.decay >= 0.0) s += ",decay=" + num_to_string(meta.decay);
+    if (meta.budget > 0) s += ",budget=" + std::to_string(meta.budget);
+    if (!meta.pair.empty()) s += ",pair=" + meta.pair;
+    if (!meta.profile.empty()) s += ",profile=" + meta.profile;
   }
   s += ";policy,";
   s += tenancy::to_string(policy);

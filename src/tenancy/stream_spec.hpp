@@ -23,6 +23,19 @@
 //        the lowest-priority waiting job. `retries` re-admits jobs that
 //        failed because their host was declared dead, after `backoff`
 //        seconds.
+//   meta,policy=static|offline|ucb|egreedy[,explore=][,decay=][,budget=]
+//        [,pair=][,profile=]
+//        pair-selection policy for the run (core/online_scheduler.hpp):
+//        `static` pins the boot pair for the whole stream (`pair=` overrides
+//        the scenario's boot pair — the static-arm baseline); `offline` runs
+//        the paper's Algorithm 1 once on a side cluster (profiling the class
+//        named by `profile=`, default the first class) and replays the
+//        resulting per-phase schedule at cluster-phase changes; `ucb` /
+//        `egreedy` learn pair quality online from live throughput (UCB1 /
+//        epsilon-greedy-with-aging; `explore` is the UCB width or initial
+//        epsilon, `decay` the estimate-aging factor, `budget` the per-phase
+//        exploration budget in distinct arms). No meta segment means no
+//        controller at all — byte-identical to the pre-meta stream engine.
 //
 // Parsing is all-or-nothing with diagnostics (the fuzz contract shared
 // with ScenarioSpec and FaultPlan), and to_string() renders the canonical
@@ -69,6 +82,39 @@ enum class Policy : std::uint8_t { kFifo = 0, kFair, kCapacity };
 const char* to_string(Policy p);
 std::optional<Policy> policy_by_name(const std::string& name);
 
+/// Pair-selection policy for a run (the `meta` segment). kNone means "no
+/// controller": the grammar and the runtime behave exactly as before the
+/// segment existed. The tenancy layer only carries the parsed data — the
+/// controllers themselves live in core/online_scheduler.hpp (core links
+/// tenancy, never the reverse).
+enum class MetaPolicy : std::uint8_t { kNone = 0, kStatic, kOffline, kUcb, kEgreedy };
+
+const char* to_string(MetaPolicy p);
+std::optional<MetaPolicy> meta_policy_by_name(const std::string& name);
+
+struct MetaSpec {
+  MetaPolicy policy = MetaPolicy::kNone;
+  /// Exploration strength: UCB confidence width, or the initial epsilon of
+  /// epsilon-greedy. < 0 means "policy default".
+  double explore = -1.0;
+  /// Aging factor in (0, 1]: epsilon decay per pull (egreedy) and the
+  /// estimate discount applied on fault/membership events (both policies).
+  /// < 0 means "policy default".
+  double decay = -1.0;
+  /// Per-phase exploration budget: at most this many distinct arms are
+  /// force-explored per cluster phase. 0 means "policy default".
+  int budget = 0;
+  /// static only: two-letter boot-pair override (e.g. "ad"); empty keeps
+  /// the scenario's pair axis.
+  std::string pair;
+  /// offline only: name of the class to profile; empty profiles the first
+  /// class. A profile that names a minority class models a stale/unseen
+  /// profiling corpus.
+  std::string profile;
+
+  bool enabled() const { return policy != MetaPolicy::kNone; }
+};
+
 struct StreamSpec {
   ArrivalKind arrival = ArrivalKind::kPoisson;
   /// Poisson arrival rate, jobs per second (> 0).
@@ -92,6 +138,10 @@ struct StreamSpec {
   int job_retries = 0;
   /// Delay before such a re-admission, seconds.
   double retry_backoff_s = 5.0;
+
+  /// Pair-selection policy (the `meta` segment); MetaPolicy::kNone when the
+  /// stream has no meta segment.
+  MetaSpec meta;
 
   int job_count() const {
     return arrival == ArrivalKind::kTrace ? static_cast<int>(trace_times_s.size())

@@ -254,6 +254,72 @@ TEST(ScenarioSpec, StreamlessSpecsKeepPreTenancyCanonicalText) {
   EXPECT_EQ(s->to_string().find("stream"), std::string::npos);
 }
 
+TEST(RunMatrix, PairedSeedModeSharesSeedsAcrossPoints) {
+  const auto s =
+      ScenarioSpec::parse("base_seed=5\nrepeats=2\nseed_mode=repeat\nvms=2,4\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->paired_seeds);
+  const auto tasks = build_run_matrix(*s);
+  ASSERT_EQ(tasks.size(), 4u);
+  // Both points replay the same two seeds, derived from the repeat alone.
+  EXPECT_EQ(tasks[0].seed, sim::derive_run_seed(5, 0));
+  EXPECT_EQ(tasks[1].seed, sim::derive_run_seed(5, 1));
+  EXPECT_EQ(tasks[2].seed, tasks[0].seed);
+  EXPECT_EQ(tasks[3].seed, tasks[1].seed);
+  // Run indices stay dense and unique — only the seed derivation pairs up.
+  EXPECT_EQ(tasks[3].run_index, 3u);
+  // The non-default mode is rendered (and round-trips); the default is not.
+  EXPECT_NE(s->to_string().find("seed_mode=repeat"), std::string::npos);
+  const auto rt = ScenarioSpec::parse(s->to_string());
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_TRUE(rt->paired_seeds);
+  const auto d = ScenarioSpec::parse("repeats=2\n");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->to_string().find("seed_mode"), std::string::npos);
+  std::string err;
+  EXPECT_FALSE(ScenarioSpec::parse("seed_mode=dice\n", &err).has_value());
+  EXPECT_NE(err.find("bad seed_mode"), std::string::npos) << err;
+}
+
+TEST(ScenarioSpec, MetaAxisCrossesStreamsAndFoldsIntoSpecs) {
+  const auto s = ScenarioSpec::parse(
+      "stream=" + std::string(kStreamText) +
+      "\nmeta=none|policy=ucb,explore=0.7|policy=egreedy\n");
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->metas.size(), 3u);
+  EXPECT_EQ(s->metas[0], "");
+  const auto pts = s->expand();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_FALSE(pts[0].stream.meta.enabled());
+  EXPECT_EQ(pts[1].stream.meta.policy, tenancy::MetaPolicy::kUcb);
+  EXPECT_DOUBLE_EQ(pts[1].stream.meta.explore, 0.7);
+  EXPECT_EQ(pts[2].stream.meta.policy, tenancy::MetaPolicy::kEgreedy);
+  // The axis shows up in labels (so BENCH points stay distinguishable) and
+  // the spec round-trips through its canonical text.
+  EXPECT_EQ(pts[0].label().find("meta="), std::string::npos);
+  EXPECT_NE(pts[1].label().find("meta=policy=ucb"), std::string::npos);
+  const auto rt = ScenarioSpec::parse(s->to_string());
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(rt->to_string(), s->to_string());
+}
+
+TEST(ScenarioSpec, MetaAxisRejectsBadInput) {
+  std::string err;
+  // meta without a stream axis is meaningless.
+  EXPECT_FALSE(ScenarioSpec::parse("meta=policy=ucb\n", &err).has_value());
+  EXPECT_NE(err.find("meta"), std::string::npos) << err;
+  // Every alternative must be a valid meta body for every stream.
+  EXPECT_FALSE(ScenarioSpec::parse("stream=" + std::string(kStreamText) +
+                                       "\nmeta=policy=warp\n",
+                                   &err)
+                   .has_value());
+  // profile= must name a class that exists in each crossed stream.
+  EXPECT_FALSE(ScenarioSpec::parse("stream=" + std::string(kStreamText) +
+                                       "\nmeta=policy=offline,profile=nosuch\n",
+                                   &err)
+                   .has_value());
+}
+
 TEST(ScenarioSpec, StreamAxisRejectsBadInput) {
   std::string err;
   EXPECT_FALSE(ScenarioSpec::parse("stream=arrive,poisson\n", &err).has_value());

@@ -140,6 +140,58 @@ TEST(StreamSpec, RejectsMalformedAdmitSegment) {
   reject((base + "admit,active=2;admit,active=3").c_str(), "duplicate admit segment");
 }
 
+TEST(StreamSpec, ParsesMetaSegment) {
+  const auto s = StreamSpec::parse(
+      "arrive,poisson,rate=0.02,jobs=8;class,name=a,wl=sort,mb=8-8;"
+      "meta,policy=ucb,explore=0.7,decay=0.8,budget=6");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->meta.enabled());
+  EXPECT_EQ(s->meta.policy, MetaPolicy::kUcb);
+  EXPECT_DOUBLE_EQ(s->meta.explore, 0.7);
+  EXPECT_DOUBLE_EQ(s->meta.decay, 0.8);
+  EXPECT_EQ(s->meta.budget, 6);
+  // Canonical text round-trips, and defaults stay unrendered.
+  const auto t = StreamSpec::parse(s->to_string());
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(s->to_string(), t->to_string());
+  const auto d = StreamSpec::parse(
+      "arrive,poisson,jobs=2;class,name=a,wl=sort,mb=8-8");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->meta.enabled());
+  EXPECT_EQ(d->to_string().find("meta"), std::string::npos);
+}
+
+TEST(StreamSpec, MetaStaticAndOfflineCarryTheirKeys) {
+  const auto st = StreamSpec::parse(
+      "arrive,poisson,jobs=2;class,name=a,wl=sort,mb=8-8;meta,policy=static,pair=ad");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->meta.policy, MetaPolicy::kStatic);
+  EXPECT_EQ(st->meta.pair, "ad");
+  const auto off = StreamSpec::parse(
+      "arrive,poisson,jobs=2;class,name=a,wl=sort,mb=8-8;meta,policy=offline,profile=a");
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(off->meta.policy, MetaPolicy::kOffline);
+  EXPECT_EQ(off->meta.profile, "a");
+}
+
+TEST(StreamSpec, RejectsMalformedMetaSegment) {
+  std::string err;
+  auto reject = [&](const char* text, const char* needle) {
+    EXPECT_FALSE(StreamSpec::parse(text, &err).has_value()) << text;
+    EXPECT_NE(err.find(needle), std::string::npos) << err;
+  };
+  const std::string base = "arrive,poisson,jobs=2;class,name=a,wl=sort,mb=8-8;";
+  reject((base + "meta,explore=1").c_str(), "meta needs policy=");
+  reject((base + "meta,policy=magic").c_str(), "unknown meta policy");
+  reject((base + "meta,policy=ucb,bogus=1").c_str(), "unknown meta key");
+  reject((base + "meta,policy=ucb,pair=ad").c_str(), "only valid with policy=static");
+  reject((base + "meta,policy=static,profile=a").c_str(),
+         "only valid with policy=offline");
+  reject((base + "meta,policy=offline,profile=zz").c_str(), "unknown class");
+  reject((base + "meta,policy=static,pair=xy").c_str(), "bad meta pair");
+  reject((base + "meta,policy=ucb;meta,policy=ucb").c_str(), "duplicate meta segment");
+}
+
 TEST(StreamSpec, PolicyNames) {
   EXPECT_EQ(policy_by_name("fifo"), Policy::kFifo);
   EXPECT_EQ(policy_by_name("fair"), Policy::kFair);

@@ -26,6 +26,7 @@
 
 #include "core/fine_grained.hpp"
 #include "core/meta_scheduler.hpp"
+#include "core/online_scheduler.hpp"
 #include "core/phase_detector.hpp"
 #include "core/switch_cost.hpp"
 #include "fault/fault_plan.hpp"
@@ -466,7 +467,11 @@ int cmd_stream(const Args& a) {
   }
   const auto cfg = cluster_of(a);
   Telemetry tel(a);
-  const auto r = tenancy::run_stream(cfg, *spec);
+  // Honours the spec's meta segment: policy=static/offline/ucb/egreedy runs
+  // through the meta-scheduling pipeline, a meta-free spec is a plain
+  // run_stream (DESIGN.md §14).
+  const auto mr = core::run_stream_with_policy(cfg, *spec);
+  const auto& r = mr.stream;
   if (!r.ok) {
     std::fprintf(stderr, "stream FAILED: %s\n", r.error.c_str());
     return 1;
@@ -478,6 +483,17 @@ int cmd_stream(const Args& a) {
             std::to_string(r.jobs_completed), std::to_string(r.jobs_failed),
             std::to_string(r.sla_violations), metrics::Table::num(r.makespan_s, 1)});
   emit(a, head);
+  if (spec->meta.enabled()) {
+    metrics::Table mt("meta-scheduling (" +
+                      std::string(tenancy::to_string(spec->meta.policy)) + ")");
+    mt.headers({"boot pair", "pulls", "switches", "switch fails", "decays",
+                "profile runs", "schedule"});
+    mt.row({mr.boot_pair, std::to_string(mr.arm_pulls),
+            std::to_string(mr.arm_switches), std::to_string(mr.switch_failures),
+            std::to_string(mr.decays), std::to_string(mr.profile_runs),
+            mr.schedule_key.empty() ? "-" : mr.schedule_key});
+    emit(a, mt);
+  }
   metrics::Table cls("per-class sojourn (arrival -> completion, seconds)");
   cls.headers({"class", "jobs", "done", "failed", "SLA viol", "p50", "p95", "p99",
                "mean"});
